@@ -1,0 +1,246 @@
+package inframe
+
+// Benchmark harness: one benchmark per paper artifact (Fig. 3, 5, 6, 7 and
+// the ablations), each running the same experiment code that regenerates
+// the figure, plus micro-benchmarks for the pipeline's hot stages. Table
+// benchmarks report their headline metric via b.ReportMetric so a bench run
+// doubles as a figure regeneration at reduced duration; use
+// cmd/inframe-bench for the full-duration tables.
+
+import (
+	"testing"
+
+	"inframe/internal/camera"
+	"inframe/internal/core"
+	"inframe/internal/display"
+	"inframe/internal/experiments"
+	"inframe/internal/frame"
+	"inframe/internal/hvs"
+	"inframe/internal/video"
+)
+
+// benchSetup trims durations so a full -bench=. sweep stays tractable.
+func benchSetup() experiments.Setup {
+	s := experiments.DefaultSetup()
+	s.ThroughputSeconds = 1.0
+	s.FlickerSeconds = 0.5
+	return s
+}
+
+// BenchmarkFig3NaiveDesigns regenerates the naive-design flicker comparison.
+func BenchmarkFig3NaiveDesigns(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.NaiveDesigns(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Mean, "inframe-score")
+		b.ReportMetric(rows[1].Mean, "naive-score")
+	}
+}
+
+// BenchmarkFig5Waveform regenerates the smoothing waveform verification.
+func BenchmarkFig5Waveform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.SmoothingWaveform()
+		b.ReportMetric(series.Ripple, "lpf-ripple")
+	}
+}
+
+// BenchmarkFig6Brightness regenerates the flicker-vs-brightness study.
+func BenchmarkFig6Brightness(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FlickerVsBrightness(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Mean, "score-d50-b200")
+	}
+}
+
+// BenchmarkFig6Amplitude regenerates the flicker-vs-amplitude study.
+func BenchmarkFig6Amplitude(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FlickerVsAmplitude(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Mean, "score-d50-t14")
+	}
+}
+
+// BenchmarkFig7Throughput regenerates the full throughput chart (all twelve
+// bars); the reported metric is the paper's headline gray τ=10 rate.
+func BenchmarkFig7Throughput(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Throughput(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Report.ThroughputBps/1000, "gray-t10-kbps")
+	}
+}
+
+// BenchmarkAblationEnvelope regenerates the envelope-shape comparison.
+func BenchmarkAblationEnvelope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.EnvelopeAblation()
+		b.ReportMetric(rows[2].PhantomAmp, "stair-phantom")
+	}
+}
+
+// BenchmarkAblationShutter regenerates the shutter-regime comparison.
+func BenchmarkAblationShutter(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ShutterAblation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].ThroughputBps/1000, "rolling-kbps")
+	}
+}
+
+// BenchmarkAblationNoise regenerates the sensor-noise sweep.
+func BenchmarkAblationNoise(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NoiseSweep(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks for the pipeline's hot stages ---
+
+func benchLayout() core.Layout {
+	l, err := core.ScaledPaperLayout(2)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// BenchmarkMultiplexFrame measures rendering one 960×540 multiplexed frame.
+func BenchmarkMultiplexFrame(b *testing.B) {
+	l := benchLayout()
+	p := core.DefaultParams(l)
+	m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), core.NewRandomStream(l, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Frame(i % 600)
+	}
+}
+
+// BenchmarkCameraCapture measures one rolling-shutter capture of a 960×540
+// display at 640×360.
+func BenchmarkCameraCapture(b *testing.B) {
+	dcfg := display.DefaultConfig()
+	dcfg.ResponseTime = 0
+	d, err := display.New(dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		if err := d.Push(frame.NewFilled(960, 540, 127)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cam, err := camera.New(camera.DefaultConfig(640, 360))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cam.Capture(d, 0.01, i)
+	}
+}
+
+// BenchmarkMeasureCapture measures the per-capture Block energy scan.
+func BenchmarkMeasureCapture(b *testing.B) {
+	l := benchLayout()
+	p := core.DefaultParams(l)
+	rcv, err := core.NewReceiver(core.DefaultReceiverConfig(p, 640, 360))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cap := frame.NewFilled(640, 360, 127)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rcv.MeasureCapture(cap)
+	}
+}
+
+// BenchmarkFlickerAmplitude measures one spectral observer evaluation.
+func BenchmarkFlickerAmplitude(b *testing.B) {
+	o := hvs.DefaultObserver()
+	wave := make([]float64, 480)
+	for i := range wave {
+		if i%4 < 2 {
+			wave[i] = 140
+		} else {
+			wave[i] = 100
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.FlickerAmplitude(wave, 480)
+	}
+}
+
+// BenchmarkBoxBlur measures the separable smoothing filter on a capture.
+func BenchmarkBoxBlur(b *testing.B) {
+	f := frame.NewFilled(640, 360, 127)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame.BoxBlur(f, 1)
+	}
+}
+
+// BenchmarkMessageRoundTrip measures the full stack on a compact layout.
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	l := Layout{
+		FrameW: 192, FrameH: 128,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 24, BlocksY: 16,
+	}
+	p := DefaultParams(l)
+	p.Tau = 8
+	msg := []byte("benchmark payload")
+	// Benign channel: this benchmark measures the stack's speed; channel
+	// robustness at this miniature layout is covered by the test suite.
+	cfg := DefaultChannelConfig(l.FrameW, l.FrameH)
+	cfg.Camera.ReadoutTime = 0
+	cfg.Camera.NoiseSigma = 0.5
+	cfg.Camera.BlurRadius = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := NewTransmitter(p, GrayVideo(l.FrameW, l.FrameH), msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nDisplay := 16*tx.DisplayFramesPerCycle() + 24
+		res, err := Simulate(tx.Multiplexer(), nDisplay, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcfg := DefaultReceiverConfig(p, l.FrameW, l.FrameH)
+		rcfg.Exposure = cfg.Camera.Exposure
+		rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+		rx, err := NewMessageReceiver(rcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rx.Ingest(res, nDisplay/p.Tau)
+		if !rx.Complete() {
+			b.Fatal("message incomplete")
+		}
+	}
+}

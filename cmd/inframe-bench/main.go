@@ -1,0 +1,203 @@
+// Command inframe-bench regenerates every figure and table of the paper's
+// evaluation on the simulated substrate and prints them as text tables.
+//
+// Usage:
+//
+//	inframe-bench [-exp all|fig3|fig5|fig6a|fig6b|fig7|ablations] \
+//	              [-seconds 2.0] [-flicker-seconds 1.0] [-seed 1] [-scale 2]
+//
+// The output is the source of the measured columns in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"inframe/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations")
+	seconds := flag.Float64("seconds", 2.0, "simulated seconds per throughput setting")
+	flickerSeconds := flag.Float64("flicker-seconds", 1.0, "simulated seconds per flicker rating")
+	seed := flag.Int64("seed", 1, "global random seed")
+	scale := flag.Int("scale", 2, "paper-geometry divisor (1 = full 1080p, 2 = half)")
+	flag.Parse()
+
+	s := experiments.DefaultSetup()
+	s.ThroughputSeconds = *seconds
+	s.FlickerSeconds = *flickerSeconds
+	s.Seed = *seed
+	s.ScaleDiv = *scale
+	if err := s.Validate(); err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig3") {
+		run("Fig. 3 — naive designs vs complementary frames (flicker 0-4)", func() error {
+			rows, err := experiments.NaiveDesigns(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteNaive(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig5") {
+		run("Fig. 5 — temporal smoothing waveform through electronic LPF", func() error {
+			series := experiments.SmoothingWaveform()
+			// The full series is long; print the transition region and
+			// the stability summary.
+			fmt.Printf("samples: %d, residual ripple %.3f drive units (input p-p 40)\n",
+				len(series.Raw), series.Ripple)
+			experiments.WriteEnvelopes(os.Stdout, experiments.EnvelopeAblation())
+			return nil
+		})
+	}
+	if want("fig6a") {
+		run("Fig. 6 (left) — flicker vs color brightness", func() error {
+			rows, err := experiments.FlickerVsBrightness(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFlicker(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig6b") {
+		run("Fig. 6 (right) — flicker vs waveform amplitude", func() error {
+			rows, err := experiments.FlickerVsAmplitude(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFlicker(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("fig7") {
+		run("Fig. 7 — secondary channel throughput", func() error {
+			rows, err := experiments.Throughput(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteThroughput(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("ablations") {
+		run("A2 — Pixel pitch vs phantom array", func() error {
+			rows, err := experiments.PixelSizeAblation(s)
+			if err != nil {
+				return err
+			}
+			experiments.WritePixelSizes(os.Stdout, rows)
+			return nil
+		})
+		run("A3 — confidence band sweep (availability vs errors)", func() error {
+			rows, err := experiments.ThresholdSweep(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteBands(os.Stdout, rows)
+			return nil
+		})
+		run("A4 — shutter regimes", func() error {
+			rows, err := experiments.ShutterAblation(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteShutter(os.Stdout, rows)
+			return nil
+		})
+		run("A5 — GOB protection: XOR parity vs Reed-Solomon", func() error {
+			rows, err := experiments.CodingAblation(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteCoding(os.Stdout, rows)
+			return nil
+		})
+		run("A6 — sensor noise sweep", func() error {
+			rows, err := experiments.NoiseSweep(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteNoise(os.Stdout, rows)
+			return nil
+		})
+		run("A7 — detector comparison", func() error {
+			rows, err := experiments.DetectorAblation(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteDetectors(os.Stdout, rows)
+			return nil
+		})
+		run("A8 — blind frame synchronization", func() error {
+			rows, err := experiments.SyncAccuracy(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSync(os.Stdout, rows)
+			return nil
+		})
+		run("A9 — barcode baseline comparison", func() error {
+			rows, err := experiments.BarcodeComparison(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteBaseline(os.Stdout, rows)
+			return nil
+		})
+		run("A10 — blind camera registration", func() error {
+			rows, err := experiments.Registration(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteRegistration(os.Stdout, rows)
+			return nil
+		})
+		run("A11 — batch vs streaming receiver", func() error {
+			rows, err := experiments.Streaming(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteStreaming(os.Stdout, rows)
+			return nil
+		})
+		run("A12 — display pixel response (gray-to-gray)", func() error {
+			rows, err := experiments.ResponseAblation(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteResponse(os.Stdout, rows)
+			return nil
+		})
+		run("A13 — rate vs perceptibility trade-off (§5)", func() error {
+			rows, err := experiments.Tradeoff(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteTradeoff(os.Stdout, rows)
+			return nil
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inframe-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command inframe-codec converts between byte messages and multiplexed
+// display frames on disk, the offline half of the pipeline: "encode" renders
+// the multiplexed PNG frame sequence a 120 Hz player would show; "decode"
+// reads captured PNG frames back into the message.
+//
+// Usage:
+//
+//	inframe-codec encode -message "hello" -out frames/ [-video gray] [-cycles 16]
+//	inframe-codec decode -in frames/ [-fps 120]
+//
+// decode treats each input frame as an ideal capture at the display's
+// resolution and cadence; for the full camera-impaired path use inframe-sim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"inframe"
+	"inframe/internal/frame"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "encode":
+		encode(os.Args[2:])
+	case "decode":
+		decode(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: inframe-codec encode|decode [flags]")
+	os.Exit(2)
+}
+
+func layoutAndParams(scale int, tau int) (inframe.Layout, inframe.Params) {
+	l, err := inframe.ScaledPaperLayout(scale)
+	if err != nil {
+		fatal(err)
+	}
+	p := inframe.DefaultParams(l)
+	p.Tau = tau
+	return l, p
+}
+
+func encode(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	message := fs.String("message", "hello from InFrame", "message to embed")
+	out := fs.String("out", "frames", "output directory for PNG frames")
+	videoName := fs.String("video", "gray", "video content: gray, darkgray, sunrise")
+	cycles := fs.Int("cycles", 16, "message repetitions (receivers need ~16 frames to calibrate)")
+	scale := fs.Int("scale", 2, "paper-geometry divisor")
+	tau := fs.Int("tau", 12, "smoothing cycle")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	l, p := layoutAndParams(*scale, *tau)
+	var src inframe.VideoSource
+	switch *videoName {
+	case "gray":
+		src = inframe.GrayVideo(l.FrameW, l.FrameH)
+	case "darkgray":
+		src = inframe.DarkGrayVideo(l.FrameW, l.FrameH)
+	case "sunrise":
+		src = inframe.SunRiseVideo(l.FrameW, l.FrameH, *seed)
+	default:
+		fatal(fmt.Errorf("unknown video %q", *videoName))
+	}
+	tx, err := inframe.NewTransmitter(p, src, []byte(*message))
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	n := *cycles * tx.DisplayFramesPerCycle()
+	for k := 0; k < n; k++ {
+		f := tx.Multiplexer().Frame(k)
+		path := filepath.Join(*out, fmt.Sprintf("frame-%05d.png", k))
+		if err := frame.WritePNG(path, f); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d frames (%d packets × %d cycles) to %s\n",
+		n, tx.Packets(), *cycles, *out)
+}
+
+func decode(args []string) {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	in := fs.String("in", "frames", "directory of captured PNG frames (sorted by name)")
+	scale := fs.Int("scale", 2, "paper-geometry divisor")
+	tau := fs.Int("tau", 12, "smoothing cycle")
+	fps := fs.Float64("fps", 120, "capture cadence of the input frames")
+	fs.Parse(args)
+
+	l, p := layoutAndParams(*scale, *tau)
+	entries, err := os.ReadDir(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".png" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no PNG frames in %s", *in))
+	}
+	sort.Strings(names)
+	caps := make([]*frame.Frame, len(names))
+	times := make([]float64, len(names))
+	for i, name := range names {
+		f, err := frame.ReadPNG(filepath.Join(*in, name))
+		if err != nil {
+			fatal(err)
+		}
+		caps[i] = f
+		times[i] = float64(i) / *fps
+	}
+	rcfg := inframe.DefaultReceiverConfig(p, l.FrameW, l.FrameH)
+	rx, err := inframe.NewMessageReceiver(rcfg)
+	if err != nil {
+		fatal(err)
+	}
+	exposure := 1 / *fps
+	nData := int(times[len(times)-1] / (float64(*tau) / 120))
+	rx.Ingest(&inframe.ChannelResult{Captures: caps, Times: times, Exposure: exposure}, nData)
+	if !rx.Complete() {
+		fatal(fmt.Errorf("message incomplete; missing packets %v", rx.Missing()))
+	}
+	msg, err := rx.Message()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("decoded %d bytes: %q\n", len(msg), msg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inframe-codec:", err)
+	os.Exit(1)
+}

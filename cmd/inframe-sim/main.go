@@ -1,0 +1,143 @@
+// Command inframe-sim runs one end-to-end InFrame transmission through the
+// simulated display→camera channel and reports the secondary channel's
+// performance, optionally also sending a real text message.
+//
+// Usage:
+//
+//	inframe-sim [-video gray|darkgray|sunrise|textcard|bars] [-delta 20]
+//	            [-tau 12] [-seconds 2.0] [-scale 2] [-seed 1]
+//	            [-message "text to send"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inframe"
+	"inframe/internal/channel"
+	"inframe/internal/metrics"
+)
+
+func main() {
+	videoName := flag.String("video", "gray", "video content: gray, darkgray, sunrise, textcard, bars")
+	delta := flag.Float64("delta", 20, "chessboard amplitude δ")
+	tau := flag.Int("tau", 12, "smoothing cycle τ (display frames per data frame, even)")
+	seconds := flag.Float64("seconds", 2.0, "simulated transmission length")
+	scale := flag.Int("scale", 2, "paper-geometry divisor")
+	seed := flag.Int64("seed", 1, "random seed")
+	message := flag.String("message", "", "optional text message to transmit instead of random data")
+	flag.Parse()
+
+	l, err := inframe.ScaledPaperLayout(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	p := inframe.DefaultParams(l)
+	p.Delta = *delta
+	p.Tau = *tau
+	if err := p.Validate(); err != nil {
+		fatal(err)
+	}
+	src, err := pickVideo(*videoName, l, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	capW, capH := 1280 / *scale, 720 / *scale
+	cfg := channel.DefaultConfig(capW, capH)
+	cfg.Camera.BlurRadius = 0
+	cfg.Camera.Seed = *seed
+	nDisplay := int(*seconds * cfg.Display.RefreshHz)
+
+	if *message != "" {
+		runMessage(p, src, cfg, *message, nDisplay)
+		return
+	}
+
+	stream := inframe.NewRandomStream(l, *seed)
+	m, err := inframe.NewMultiplexer(p, src, stream)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("transmitting %.1fs of %s at δ=%.0f τ=%d over a %dx%d display → %dx%d camera...\n",
+		*seconds, *videoName, *delta, *tau, l.FrameW, l.FrameH, capW, capH)
+	res, err := inframe.Simulate(m, nDisplay, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rcfg := inframe.DefaultReceiverConfig(p, capW, capH)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rcv, err := inframe.NewReceiver(rcfg)
+	if err != nil {
+		fatal(err)
+	}
+	decoded := rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay / *tau)
+	var stats metrics.GOBStats
+	for d, fd := range decoded {
+		if fd.Captures == 0 {
+			continue
+		}
+		stats.AddWithOracle(fd, stream.DataFrame(d))
+	}
+	rep := inframe.ComputeReport(&stats, l, *tau, cfg.Display.RefreshHz)
+	fmt.Printf("captures: %d, data frames decoded: %d\n", len(res.Captures), stats.Frames)
+	fmt.Println(rep)
+}
+
+func runMessage(p inframe.Params, src inframe.VideoSource, cfg inframe.ChannelConfig, msg string, nDisplay int) {
+	tx, err := inframe.NewTransmitter(p, src, []byte(msg))
+	if err != nil {
+		fatal(err)
+	}
+	min := 16 * tx.DisplayFramesPerCycle()
+	if nDisplay < min {
+		nDisplay = min
+	}
+	fmt.Printf("sending %d bytes as %d packet(s) over %d display frames...\n",
+		len(msg), tx.Packets(), nDisplay)
+	res, err := inframe.Simulate(tx.Multiplexer(), nDisplay, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rcfg := inframe.DefaultReceiverConfig(p, cfg.Camera.W, cfg.Camera.H)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rx, err := inframe.NewMessageReceiver(rcfg)
+	if err != nil {
+		fatal(err)
+	}
+	fresh := rx.Ingest(res, nDisplay/p.Tau)
+	fmt.Printf("accepted %d packet(s)\n", fresh)
+	if !rx.Complete() {
+		fmt.Printf("message incomplete; missing packets %v\n", rx.Missing())
+		os.Exit(1)
+	}
+	got, err := rx.Message()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("received: %q\n", got)
+}
+
+func pickVideo(name string, l inframe.Layout, seed int64) (inframe.VideoSource, error) {
+	switch name {
+	case "gray":
+		return inframe.GrayVideo(l.FrameW, l.FrameH), nil
+	case "darkgray":
+		return inframe.DarkGrayVideo(l.FrameW, l.FrameH), nil
+	case "sunrise":
+		return inframe.SunRiseVideo(l.FrameW, l.FrameH, seed), nil
+	case "textcard":
+		return inframe.TextCardVideo(l.FrameW, l.FrameH, seed), nil
+	case "bars":
+		return inframe.MovingBarsVideo(l.FrameW, l.FrameH, l.BlockPx(), 2), nil
+	default:
+		return nil, fmt.Errorf("unknown video %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inframe-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module inframe
+
+go 1.22

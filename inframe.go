@@ -1,0 +1,314 @@
+// Package inframe is a Go implementation of InFrame (Wang et al.,
+// HotNets-XIII 2014): a dual-mode, full-frame visible communication system
+// that multiplexes a data channel for cameras onto ordinary video content
+// without disturbing the human viewer.
+//
+// The transmitter duplicates each video frame onto a high-refresh display
+// and embeds a chessboard-keyed data frame as complementary pairs V+D, V−D
+// (§3.2 of the paper): the alternation exceeds the eye's critical flicker
+// frequency and fuses back to V, while a rolling-shutter camera capturing
+// individual refreshes sees the pattern. Temporal smoothing (half
+// square-root raised-cosine envelopes over the cycle τ) suppresses the
+// phantom-array effect at data frame transitions, and a hierarchical
+// Pixel/Block/GOB structure with XOR parity carries the bits (§3.3).
+//
+// This package is the public facade. The building blocks live in internal
+// packages and are re-exported here:
+//
+//   - Layout, Params, Multiplexer — the transmitter;
+//   - Receiver, ReceiverConfig, FrameDecode — the demultiplexer/decoder;
+//   - Transmitter / MessageReceiver — a byte-message convenience layer
+//     (framing, CRC, reassembly) on top of the raw data frames;
+//   - Simulate* helpers — the display+camera channel simulator used for
+//     experiments and examples.
+//
+// Everything is deterministic given explicit seeds, uses only the standard
+// library, and is exercised end-to-end by the experiment harness that
+// regenerates the paper's figures (see DESIGN.md and EXPERIMENTS.md).
+package inframe
+
+import (
+	"fmt"
+
+	"inframe/internal/camera"
+	"inframe/internal/channel"
+	"inframe/internal/core"
+	"inframe/internal/display"
+	"inframe/internal/frame"
+	"inframe/internal/link"
+	"inframe/internal/metrics"
+	"inframe/internal/register"
+	"inframe/internal/video"
+)
+
+// Core transmitter/receiver types (see the paper mapping in package docs).
+type (
+	// Layout is the Pixel/Block/GOB spatial hierarchy of a data frame.
+	Layout = core.Layout
+	// Params are the transmitter knobs: amplitude δ, smoothing cycle τ,
+	// envelope shape, and video-to-display frame ratio.
+	Params = core.Params
+	// DataFrame is one payload frame: one bit per Block.
+	DataFrame = core.DataFrame
+	// Stream supplies successive data frames to the multiplexer.
+	Stream = core.Stream
+	// Multiplexer renders video + data into the displayed frame sequence.
+	Multiplexer = core.Multiplexer
+	// Receiver demultiplexes captured frames back into data frames.
+	Receiver = core.Receiver
+	// ReceiverConfig configures the receiver's geometry and detectors.
+	ReceiverConfig = core.ReceiverConfig
+	// FrameDecode is one decoded data frame with GOB outcomes.
+	FrameDecode = core.FrameDecode
+	// Frame is a grayscale image plane (float32 luminance, 0..255).
+	Frame = frame.Frame
+	// VideoSource yields primary-channel content frames.
+	VideoSource = video.Source
+	// DisplayConfig models the monitor (refresh, gamma, response).
+	DisplayConfig = display.Config
+	// CameraConfig models the capture side (rolling shutter, noise, …).
+	CameraConfig = camera.Config
+	// ChannelConfig bundles display and camera into one link.
+	ChannelConfig = channel.Config
+	// ChannelResult is a captured sequence with exposure timing.
+	ChannelResult = channel.Result
+	// GOBStats accumulates availability/error accounting.
+	GOBStats = metrics.GOBStats
+	// Report is the Fig. 7-style performance summary.
+	Report = metrics.Report
+	// CaptureMapping maps display coordinates into capture coordinates
+	// (camera registration).
+	CaptureMapping = core.CaptureMapping
+	// StreamingReceiver is the online receiver with sliding-window
+	// calibration.
+	StreamingReceiver = core.StreamingReceiver
+	// RGBFrame is a color frame for the presentation path.
+	RGBFrame = frame.RGB
+	// RGBVideoSource yields color primary-channel content.
+	RGBVideoSource = video.RGBSource
+	// RGBMultiplexer renders multiplexed color frames.
+	RGBMultiplexer = core.RGBMultiplexer
+)
+
+// Re-exported constructors and helpers.
+var (
+	// PaperLayout is the paper's 1920×1080, p=4, 50×30-Block geometry.
+	PaperLayout = core.PaperLayout
+	// ScaledPaperLayout divides the paper geometry by 1, 2 or 4.
+	ScaledPaperLayout = core.ScaledPaperLayout
+	// DefaultParams is the paper's recommended operating point (δ=20, τ=12).
+	DefaultParams = core.DefaultParams
+	// NewMultiplexer builds the transmitter.
+	NewMultiplexer = core.NewMultiplexer
+	// NewReceiver builds the receiver.
+	NewReceiver = core.NewReceiver
+	// DefaultReceiverConfig matches a receiver to transmitter parameters.
+	DefaultReceiverConfig = core.DefaultReceiverConfig
+	// NewRandomStream is the paper's seeded pseudo-random payload.
+	NewRandomStream = core.NewRandomStream
+	// FromDataBits packs payload bits into a parity-protected data frame.
+	FromDataBits = core.FromDataBits
+	// EstimatePhase recovers data-frame timing from captures alone.
+	EstimatePhase = core.EstimatePhase
+	// Simulate runs a multiplexer through the simulated channel.
+	Simulate = channel.Simulate
+	// DefaultChannelConfig is the paper-like simulated link.
+	DefaultChannelConfig = channel.DefaultConfig
+	// ComputeReport derives throughput/availability/error from stats.
+	ComputeReport = metrics.Compute
+	// Calibrate blindly solves camera registration from captures.
+	Calibrate = register.Calibrate
+	// NewStreamingReceiver builds the online receiver.
+	NewStreamingReceiver = core.NewStreamingReceiver
+	// NewRGBMultiplexer builds the color transmitter.
+	NewRGBMultiplexer = core.NewRGBMultiplexer
+)
+
+// Video sources for the primary channel.
+var (
+	// GrayVideo is the paper's bright pure-gray input (RGB 180).
+	GrayVideo = video.Gray
+	// DarkGrayVideo is the paper's dark-gray input (RGB 127).
+	DarkGrayVideo = video.DarkGray
+	// SunRiseVideo is the procedural stand-in for the sun-rising clip.
+	SunRiseVideo = video.NewSunRise
+	// TextCardVideo renders an announcement-card scene.
+	TextCardVideo = video.NewTextCard
+	// MovingBarsVideo renders drifting vertical bars.
+	MovingBarsVideo = video.NewMovingBars
+)
+
+// scrambleSeed keys the payload whitening shared by Transmitter and
+// MessageReceiver; see core.ScrambleBits for why whitening is load-bearing.
+const scrambleSeed = 0x1f7a
+
+// linkParityBytes returns the per-frame Reed–Solomon parity budget for a
+// layout: a quarter of the frame's byte capacity (mirroring the 25% the XOR
+// scheme spends on parity Blocks), floored so tiny layouts still correct
+// something.
+func linkParityBytes(l Layout) int {
+	parity := l.DataBitsPerFrame() / 8 / 4
+	if parity < 4 {
+		parity = 4
+	}
+	return parity
+}
+
+// Transmitter sends a byte message over the secondary channel: the message
+// is segmented into packets (one per data frame), each packet Reed–Solomon
+// coded across its frame, whitened, wrapped with GOB parity and multiplexed
+// onto the video.
+type Transmitter struct {
+	mux    *core.Multiplexer
+	stream core.Stream
+	seg    *link.RSSegmenter
+	pkts   int
+}
+
+// NewTransmitter builds a message transmitter over the given video source.
+// The message must be non-empty; it is repeated cyclically so receivers can
+// join at any time (data frame i carries packet i mod packets).
+func NewTransmitter(p Params, src VideoSource, msg []byte) (*Transmitter, error) {
+	return NewTransmitterParity(p, src, msg, linkParityBytes(p.Layout))
+}
+
+// NewTransmitterParity is NewTransmitter with an explicit per-frame RS
+// parity budget (bytes). Spend more parity on hostile content — motion and
+// saturation cost GOBs, and the frame decodes only while
+// erased bytes ≤ parity. The receiver must be built with the same budget.
+func NewTransmitterParity(p Params, src VideoSource, msg []byte, parityBytes int) (*Transmitter, error) {
+	seg, err := link.NewSegmenterRS(p.Layout.DataBitsPerFrame(), parityBytes)
+	if err != nil {
+		return nil, fmt.Errorf("inframe: %w", err)
+	}
+	pkts, err := seg.Segment(msg)
+	if err != nil {
+		return nil, fmt.Errorf("inframe: %w", err)
+	}
+	frames := make([]*core.DataFrame, len(pkts))
+	for i, pkt := range pkts {
+		bits, err := seg.FrameBits(pkt)
+		if err != nil {
+			return nil, fmt.Errorf("inframe: %w", err)
+		}
+		padded := make([]bool, p.Layout.DataBitsPerFrame())
+		copy(padded, bits)
+		df, err := core.FromDataBits(p.Layout, padded)
+		if err != nil {
+			return nil, fmt.Errorf("inframe: %w", err)
+		}
+		frames[i] = df
+	}
+	stream := &core.ScrambledStream{
+		Inner: &core.FixedStream{Frames: frames},
+		Seed:  scrambleSeed,
+	}
+	mux, err := core.NewMultiplexer(p, src, stream)
+	if err != nil {
+		return nil, fmt.Errorf("inframe: %w", err)
+	}
+	return &Transmitter{mux: mux, stream: stream, seg: seg, pkts: len(pkts)}, nil
+}
+
+// Packets returns how many data frames one full message cycle occupies.
+func (t *Transmitter) Packets() int { return t.pkts }
+
+// Multiplexer exposes the underlying frame renderer.
+func (t *Transmitter) Multiplexer() *core.Multiplexer { return t.mux }
+
+// Stream exposes the whitened data frame stream, for callers that render
+// the same payload through another multiplexer (e.g. the color path).
+func (t *Transmitter) Stream() Stream { return t.stream }
+
+// DisplayFramesPerCycle returns the displayed frames needed to transmit the
+// message once.
+func (t *Transmitter) DisplayFramesPerCycle() int {
+	return t.pkts * t.mux.Params().Tau
+}
+
+// MessageReceiver reassembles a byte message from decoded data frames.
+type MessageReceiver struct {
+	rcv *core.Receiver
+	seg *link.RSSegmenter
+	rs  *link.Reassembler
+}
+
+// NewMessageReceiver builds the receive side for the given configuration,
+// using the default parity budget (see NewTransmitter).
+func NewMessageReceiver(cfg ReceiverConfig) (*MessageReceiver, error) {
+	return NewMessageReceiverParity(cfg, linkParityBytes(cfg.Layout))
+}
+
+// NewMessageReceiverParity builds the receive side with an explicit RS
+// parity budget matching the transmitter's.
+func NewMessageReceiverParity(cfg ReceiverConfig, parityBytes int) (*MessageReceiver, error) {
+	rcv, err := core.NewReceiver(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("inframe: %w", err)
+	}
+	seg, err := link.NewSegmenterRS(cfg.Layout.DataBitsPerFrame(), parityBytes)
+	if err != nil {
+		return nil, fmt.Errorf("inframe: %w", err)
+	}
+	return &MessageReceiver{rcv: rcv, seg: seg, rs: link.NewReassembler()}, nil
+}
+
+// Receiver exposes the underlying physical-layer receiver.
+func (m *MessageReceiver) Receiver() *core.Receiver { return m.rcv }
+
+// Ingest decodes a captured sequence and feeds every decoded data frame to
+// the reassembler, ignoring frames whose link CRC fails. It returns how
+// many new packets were accepted.
+//
+// The physical receiver calibrates each Block from the temporal variation
+// of its energy, so Ingest needs on the order of 15 or more data frames
+// (about 1.5 s at the default τ=12) before decoding becomes reliable; feed
+// it the whole capture window rather than frame by frame.
+func (m *MessageReceiver) Ingest(res *ChannelResult, nDataFrames int) int {
+	decoded := m.rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDataFrames)
+	fresh := 0
+	for _, fd := range decoded {
+		if fd.Captures == 0 {
+			continue
+		}
+		bits := core.ScrambleBits(fd.Bits.DataBits(), scrambleSeed, fd.Index)
+		pkt, err := m.seg.DecodeFrame(bits, byteErasures(fd))
+		if err != nil {
+			continue
+		}
+		ok, err := m.rs.OfferPacket(pkt)
+		if err == nil && ok {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// byteErasures maps a decoded frame's GOB outcomes to the byte positions of
+// its link codeword that cannot be trusted: a byte is erased when any GOB
+// contributing to its bits was unavailable or failed parity.
+func byteErasures(fd *core.FrameDecode) []int {
+	bitsPerGOB := fd.Bits.Layout.BlocksPerGOB() - 1
+	nBytes := fd.Bits.Layout.DataBitsPerFrame() / 8
+	var out []int
+	for b := 0; b < nBytes; b++ {
+		g0 := (b * 8) / bitsPerGOB
+		g1 := (b*8 + 7) / bitsPerGOB
+		for g := g0; g <= g1 && g < len(fd.GOBs); g++ {
+			if !fd.GOBs[g].Available || !fd.GOBs[g].ParityOK {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Complete reports whether the full message has arrived.
+func (m *MessageReceiver) Complete() bool { return m.rs.Complete() }
+
+// Missing lists outstanding packet sequence numbers.
+func (m *MessageReceiver) Missing() []uint16 { return m.rs.Missing() }
+
+// Message returns the reassembled bytes once Complete.
+func (m *MessageReceiver) Message() ([]byte, error) { return m.rs.Message() }

@@ -1,0 +1,144 @@
+package inframe
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testLayout is a compact geometry shared by the facade tests: 24×16 Blocks
+// carry 288 payload bits per frame, enough for one link packet.
+func testLayout() Layout {
+	return Layout{
+		FrameW: 192, FrameH: 128,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 24, BlocksY: 16,
+	}
+}
+
+// quietChannel returns a benign simulated link at the given capture size.
+func quietChannel(capW, capH int) ChannelConfig {
+	cfg := DefaultChannelConfig(capW, capH)
+	cfg.Camera.ReadoutTime = 0
+	cfg.Camera.NoiseSigma = 0.5
+	cfg.Camera.BlurRadius = 0
+	cfg.Display.ResponseTime = 0
+	return cfg
+}
+
+func TestPaperLayoutExported(t *testing.T) {
+	l := PaperLayout()
+	if l.DataBitsPerFrame() != 1125 {
+		t.Fatalf("paper layout carries %d bits", l.DataBitsPerFrame())
+	}
+	if _, err := ScaledPaperLayout(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMessageRoundTrip sends a byte message through the full simulated
+// system — multiplexer, display, rolling-shutter camera, receiver, link
+// reassembly — and checks it arrives intact.
+func TestMessageRoundTrip(t *testing.T) {
+	l := testLayout()
+	p := DefaultParams(l)
+	p.Tau = 8
+	msg := []byte("hello, InFrame!")
+	tx, err := NewTransmitter(p, GrayVideo(l.FrameW, l.FrameH), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Packets() != 1 {
+		t.Fatalf("short message needs %d packets, want 1", tx.Packets())
+	}
+	// Transmit enough cycles for the receiver's per-Block calibration:
+	// it needs ~15+ data frames so whitening toggles every Block.
+	nDisplay := 16*tx.DisplayFramesPerCycle() + 24
+	cfg := quietChannel(l.FrameW, l.FrameH)
+	res, err := Simulate(tx.Multiplexer(), nDisplay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := DefaultReceiverConfig(p, l.FrameW, l.FrameH)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rx, err := NewMessageReceiver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Ingest(res, nDisplay/p.Tau)
+	if !rx.Complete() {
+		t.Fatalf("message incomplete; missing %v", rx.Missing())
+	}
+	got, err := rx.Message()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+// TestMultiPacketMessage exercises segmentation across several data frames.
+func TestMultiPacketMessage(t *testing.T) {
+	big := testLayout()
+	pb := DefaultParams(big)
+	pb.Tau = 8
+	if _, err := NewTransmitter(pb, GrayVideo(big.FrameW, big.FrameH), nil); err == nil {
+		t.Fatal("empty message accepted")
+	}
+	pb.Tau = 8
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 6) // 96 bytes
+	tx, err := NewTransmitter(pb, GrayVideo(big.FrameW, big.FrameH), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Packets() < 2 {
+		t.Fatalf("96-byte message should need >= 2 packets, got %d", tx.Packets())
+	}
+	nDisplay := 3*tx.DisplayFramesPerCycle() + 24
+	cfg := quietChannel(big.FrameW, big.FrameH)
+	res, err := Simulate(tx.Multiplexer(), nDisplay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := DefaultReceiverConfig(pb, big.FrameW, big.FrameH)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rx, err := NewMessageReceiver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Ingest(res, nDisplay/pb.Tau)
+	if !rx.Complete() {
+		t.Fatalf("message incomplete; missing %v", rx.Missing())
+	}
+	got, _ := rx.Message()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("multi-packet message corrupted")
+	}
+}
+
+func TestTransmitterRejectsTinyLayout(t *testing.T) {
+	// 6×4 blocks → 18 data bits per frame: cannot hold a packet header.
+	tiny := Layout{
+		FrameW: 48, FrameH: 32,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 6, BlocksY: 4,
+	}
+	p := DefaultParams(tiny)
+	if _, err := NewTransmitter(p, GrayVideo(48, 32), []byte("x")); err == nil {
+		t.Fatal("tiny layout accepted")
+	}
+}
+
+func TestFacadeReportPlumbing(t *testing.T) {
+	l := PaperLayout()
+	stats := &GOBStats{Frames: 10, Total: 3750, Available: 3600, Erroneous: 36}
+	rep := ComputeReport(stats, l, 10, 120)
+	if rep.RawBps != 13500 {
+		t.Fatalf("raw = %v", rep.RawBps)
+	}
+	if rep.ThroughputBps <= 0 || rep.ThroughputBps > rep.RawBps {
+		t.Fatalf("throughput = %v", rep.ThroughputBps)
+	}
+}

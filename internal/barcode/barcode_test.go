@@ -1,0 +1,146 @@
+package barcode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inframe/internal/camera"
+	"inframe/internal/display"
+	"inframe/internal/frame"
+)
+
+func testConfig() Config {
+	return Config{X0: 24, Y0: 16, W: 24, H: 16, CellPx: 2, Quiet: 1, FramesPerCode: 8}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultConfig(960, 540).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{X0: -1, Y0: 0, W: 10, H: 10, CellPx: 2, FramesPerCode: 1},
+		{W: 0, H: 10, CellPx: 2, FramesPerCode: 1},
+		{W: 10, H: 10, CellPx: 0, FramesPerCode: 1},
+		{W: 10, H: 10, CellPx: 2, Quiet: -1, FramesPerCode: 1},
+		{W: 10, H: 10, CellPx: 2, FramesPerCode: 0},
+		{W: 4, H: 4, CellPx: 2, Quiet: 1, FramesPerCode: 1}, // no data cells
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := testConfig()
+	if c.CellsX() != 10 || c.CellsY() != 6 {
+		t.Fatalf("cells %dx%d, want 10x6", c.CellsX(), c.CellsY())
+	}
+	if c.BitsPerCode() != 60 {
+		t.Fatalf("bits per code %d", c.BitsPerCode())
+	}
+	if f := c.AreaFraction(48, 32); math.Abs(f-0.25) > 1e-12 {
+		t.Fatalf("area fraction %v, want 0.25", f)
+	}
+	// 60 bits per 8 frames at 120 Hz = 900 bps.
+	if r := c.RawBps(120); math.Abs(r-900) > 1e-9 {
+		t.Fatalf("raw rate %v, want 900", r)
+	}
+}
+
+func TestRenderReplacesRegionOnly(t *testing.T) {
+	c := testConfig()
+	v := frame.NewFilled(48, 32, 127)
+	bits := make([]bool, c.BitsPerCode())
+	bits[0] = true
+	out := c.Render(v, bits)
+	// Outside the region untouched.
+	if out.At(0, 0) != 127 || out.At(23, 31) != 127 {
+		t.Fatal("video outside region altered")
+	}
+	// Quiet border white.
+	if out.At(c.X0, c.Y0) != 255 {
+		t.Fatal("quiet zone not white")
+	}
+	// First data cell black at its center.
+	if out.At(c.X0+c.CellPx+1, c.Y0+c.CellPx+1) != 0 {
+		t.Fatal("set cell not black")
+	}
+	// Input not mutated.
+	if v.At(c.X0, c.Y0) != 127 {
+		t.Fatal("Render mutated the input frame")
+	}
+}
+
+func TestDecodeIdeal(t *testing.T) {
+	c := testConfig()
+	rng := rand.New(rand.NewSource(8))
+	bits := make([]bool, c.BitsPerCode())
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	out := c.Render(frame.NewFilled(48, 32, 127), bits)
+	got := c.Decode(out, 1, 1)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+// TestDecodeThroughChannel: barcode through the display+camera simulators
+// decodes perfectly — the full-contrast cells are the easy case.
+func TestDecodeThroughChannel(t *testing.T) {
+	c := Config{X0: 32, Y0: 16, W: 32, H: 32, CellPx: 4, Quiet: 1, FramesPerCode: 8}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	bits := make([]bool, c.BitsPerCode())
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	dcfg := display.DefaultConfig()
+	d, err := display.New(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shown := c.Render(frame.NewFilled(96, 64, 127), bits)
+	for i := 0; i < 12; i++ {
+		if err := d.Push(shown); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ccfg := camera.DefaultConfig(64, 43)
+	ccfg.NoiseSigma = 1.5
+	cam, err := camera.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := cam.Capture(d, 0.01, 0)
+	got := c.Decode(cap, 64.0/96, 43.0/64)
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs > 0 {
+		t.Fatalf("%d/%d cell errors through benign channel", errs, len(bits))
+	}
+}
+
+func TestDecodeOutOfBoundsSafe(t *testing.T) {
+	c := testConfig()
+	tiny := frame.NewFilled(4, 4, 0)
+	// Must not panic even when the mapped region exceeds the capture.
+	bits := c.Decode(tiny, 0.1, 0.1)
+	if len(bits) != c.BitsPerCode() {
+		t.Fatal("wrong bit count")
+	}
+}

@@ -1,0 +1,102 @@
+package camera
+
+import (
+	"math"
+	"testing"
+
+	"inframe/internal/display"
+	"inframe/internal/frame"
+)
+
+func TestCropValidation(t *testing.T) {
+	cfg := DefaultConfig(32, 32)
+	cfg.CropX0, cfg.CropY0 = -8, -8 // overscan is legal
+	cfg.CropW, cfg.CropH = 48, 48
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("overscan rejected: %v", err)
+	}
+	cfg = DefaultConfig(32, 32)
+	cfg.CropW = 10 // height missing
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("half-specified crop accepted")
+	}
+}
+
+// TestOverscanPadsBlack: a window larger than the display sees the display
+// centered on black.
+func TestOverscanPadsBlack(t *testing.T) {
+	dcfg := display.DefaultConfig()
+	dcfg.ResponseTime = 0
+	dcfg.Gamma = 1
+	d, err := display.New(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Push(frame.NewFilled(32, 32, 200)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(48, 48)
+	cfg.ReadoutTime = 0
+	cfg.NoiseSigma = 0
+	cfg.BlurRadius = 0
+	cfg.Gamma = 1
+	cfg.CropX0, cfg.CropY0, cfg.CropW, cfg.CropH = -8, -8, 48, 48
+	cam, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := cam.Capture(d, 0.001, 0)
+	if v := cap.At(2, 2); v != 0 {
+		t.Fatalf("border pixel = %v, want black", v)
+	}
+	if v := float64(cap.At(24, 24)); math.Abs(v-200) > 2 {
+		t.Fatalf("display center = %v, want ~200", v)
+	}
+}
+
+// TestCropFramesWindow: a camera cropped to the display's bright quadrant
+// sees only that content, scaled onto the full sensor.
+func TestCropFramesWindow(t *testing.T) {
+	dcfg := display.DefaultConfig()
+	dcfg.ResponseTime = 0
+	dcfg.Gamma = 1
+	d, err := display.New(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := frame.New(64, 64)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			f.Set(x, y, 200) // bright top-left quadrant
+		}
+	}
+	if err := d.Push(f); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(32, 32)
+	cfg.ReadoutTime = 0
+	cfg.NoiseSigma = 0
+	cfg.BlurRadius = 0
+	cfg.Gamma = 1
+	cfg.CropX0, cfg.CropY0, cfg.CropW, cfg.CropH = 0, 0, 32, 32
+	cam, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := cam.Capture(d, 0.001, 0)
+	if cap.W != 32 || cap.H != 32 {
+		t.Fatalf("capture %dx%d", cap.W, cap.H)
+	}
+	// Whole sensor sees the bright quadrant.
+	if m := cap.Mean(); math.Abs(m-200) > 2 {
+		t.Fatalf("cropped capture mean %.1f, want ~200", m)
+	}
+	// Uncropped camera sees the mixed scene (~50 mean).
+	cfg2 := cfg
+	cfg2.CropW, cfg2.CropH = 0, 0
+	cam2, _ := New(cfg2)
+	full := cam2.Capture(d, 0.001, 0)
+	if m := full.Mean(); math.Abs(m-50) > 3 {
+		t.Fatalf("full capture mean %.1f, want ~50", m)
+	}
+}

@@ -1,0 +1,111 @@
+// Package channel composes the display and camera simulators into the full
+// screen→camera link of the InFrame system, providing the one-call
+// simulation used by experiments: multiplexed frames in, captured frames
+// (with exposure timing) out.
+package channel
+
+import (
+	"fmt"
+
+	"inframe/internal/camera"
+	"inframe/internal/core"
+	"inframe/internal/display"
+	"inframe/internal/frame"
+)
+
+// Config describes one end-to-end link.
+type Config struct {
+	// Display is the monitor model.
+	Display display.Config
+	// Camera is the capture model.
+	Camera camera.Config
+	// CameraStart offsets the first exposure relative to the first
+	// displayed frame, modelling free-running clocks (0 = aligned).
+	CameraStart float64
+}
+
+// DefaultConfig returns the paper's setup scaled to a capture resolution:
+// 120 Hz display, 30 FPS rolling-shutter camera. The display's pixel
+// response is zeroed: the paper's Eizo FG2421 is a strobed fast-GtG gaming
+// panel, and an un-strobed 2 ms exponential response would smear every
+// complementary pair into the next frame (see the response ablation in the
+// experiments package for the quantified effect).
+func DefaultConfig(capW, capH int) Config {
+	dcfg := display.DefaultConfig()
+	dcfg.ResponseTime = 0
+	return Config{
+		Display: dcfg,
+		Camera:  camera.DefaultConfig(capW, capH),
+	}
+}
+
+// Link is an instantiated screen→camera channel.
+type Link struct {
+	Display *display.Display
+	Camera  *camera.Camera
+	cfg     Config
+}
+
+// New builds a link from the configuration.
+func New(cfg Config) (*Link, error) {
+	d, err := display.New(cfg.Display)
+	if err != nil {
+		return nil, fmt.Errorf("channel: %w", err)
+	}
+	c, err := camera.New(cfg.Camera)
+	if err != nil {
+		return nil, fmt.Errorf("channel: %w", err)
+	}
+	return &Link{Display: d, Camera: c, cfg: cfg}, nil
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Transmit pushes pre-rendered display frames onto the monitor.
+func (l *Link) Transmit(frames []*frame.Frame) error {
+	for i, f := range frames {
+		if err := l.Display.Push(f); err != nil {
+			return fmt.Errorf("channel: frame %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CaptureAll captures as many camera frames as fit inside the displayed
+// duration, starting at CameraStart, returning frames and exposure start
+// times.
+func (l *Link) CaptureAll() ([]*frame.Frame, []float64) {
+	dur := l.Display.Duration()
+	period := l.Camera.FramePeriod()
+	exposureSpan := l.cfg.Camera.Exposure + l.cfg.Camera.ReadoutTime
+	n := int((dur - l.cfg.CameraStart - exposureSpan) / period)
+	if n <= 0 {
+		return nil, nil
+	}
+	return l.Camera.CaptureSequence(l.Display, l.cfg.CameraStart, n)
+}
+
+// Result bundles a one-shot simulation's outputs.
+type Result struct {
+	Captures []*frame.Frame
+	Times    []float64
+	Exposure float64
+}
+
+// Simulate runs a multiplexer for nDisplayFrames through the link and
+// captures the whole sequence: the standard experiment entry point.
+func Simulate(m *core.Multiplexer, nDisplayFrames int, cfg Config) (*Result, error) {
+	link, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.PushTo(link.Display, nDisplayFrames); err != nil {
+		return nil, err
+	}
+	caps, times := link.CaptureAll()
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("channel: displayed duration too short for any capture")
+	}
+	return &Result{Captures: caps, Times: times, Exposure: cfg.Camera.Exposure}, nil
+}

@@ -1,0 +1,183 @@
+package channel
+
+import (
+	"testing"
+
+	"inframe/internal/camera"
+	"inframe/internal/core"
+	"inframe/internal/display"
+	"inframe/internal/frame"
+	"inframe/internal/metrics"
+	"inframe/internal/video"
+)
+
+// testLayout: 6×4 blocks of 8×8 px (p=2, s=4) on a 48×32 panel.
+func testLayout() core.Layout {
+	return core.Layout{
+		FrameW: 48, FrameH: 32,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 6, BlocksY: 4,
+	}
+}
+
+func testParams() core.Params {
+	p := core.DefaultParams(testLayout())
+	p.Tau = 8
+	return p
+}
+
+// quietChannel is a benign channel: capture at display resolution, short
+// exposure, no rolling shutter, light noise.
+func quietChannel(capW, capH int) Config {
+	cfg := DefaultConfig(capW, capH)
+	cfg.Camera.ReadoutTime = 0
+	cfg.Camera.NoiseSigma = 0.5
+	cfg.Camera.BlurRadius = 0
+	cfg.Camera.Exposure = 0.004
+	cfg.Display.ResponseTime = 0
+	return cfg
+}
+
+func TestNewValidatesConfigs(t *testing.T) {
+	cfg := DefaultConfig(48, 32)
+	cfg.Display.RefreshHz = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted bad display config")
+	}
+	cfg = DefaultConfig(48, 32)
+	cfg.Camera.FPS = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted bad camera config")
+	}
+}
+
+func TestTransmitAndCaptureAll(t *testing.T) {
+	link, err := New(quietChannel(48, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]*frame.Frame, 60) // 0.5 s at 120 Hz
+	for i := range frames {
+		frames[i] = frame.NewFilled(48, 32, 127)
+	}
+	if err := link.Transmit(frames); err != nil {
+		t.Fatal(err)
+	}
+	caps, times := link.CaptureAll()
+	if len(caps) == 0 {
+		t.Fatal("no captures from a 0.5 s transmission")
+	}
+	if len(caps) != len(times) {
+		t.Fatal("captures/times length mismatch")
+	}
+	// ~30 FPS over 0.5 s minus the tail margin.
+	if len(caps) < 12 || len(caps) > 15 {
+		t.Fatalf("capture count %d, want ~14", len(caps))
+	}
+}
+
+func TestCaptureAllEmptyDisplay(t *testing.T) {
+	link, err := New(quietChannel(48, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, _ := link.CaptureAll()
+	if caps != nil {
+		t.Fatal("expected no captures from an empty display")
+	}
+}
+
+func TestSimulateEndToEndGray(t *testing.T) {
+	p := testParams()
+	l := p.Layout
+	stream := core.NewRandomStream(l, 31)
+	m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nData := 14 // enough frames for the per-Block baseline to settle
+	res, err := Simulate(m, nData*p.Tau+24, quietChannel(48, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := core.DefaultReceiverConfig(p, 48, 32)
+	r, err := core.NewReceiver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := r.DecodeCaptures(res.Captures, res.Times, res.Exposure, nData)
+	var stats metrics.GOBStats
+	for d, fd := range decoded {
+		stats.AddWithOracle(fd, stream.DataFrame(d))
+	}
+	if ratio := stats.AvailableRatio(); ratio < 0.9 {
+		t.Fatalf("benign-channel availability %.2f, want >= 0.9", ratio)
+	}
+	if errRate := stats.ErrorRate(); errRate > 0.05 {
+		t.Fatalf("benign-channel error rate %.2f, want <= 0.05", errRate)
+	}
+}
+
+func TestSimulateTooShort(t *testing.T) {
+	p := testParams()
+	m, err := core.NewMultiplexer(p, video.Gray(48, 32), core.NewRandomStream(p.Layout, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(m, 2, quietChannel(48, 32)); err == nil {
+		t.Fatal("expected error for too-short transmission")
+	}
+}
+
+// TestRollingShutterDegradesAvailability: the same transmission decoded
+// through a rolling-shutter, longer-exposure camera must lose availability
+// relative to the benign channel — the §3.3 impairment.
+func TestRollingShutterDegradesAvailability(t *testing.T) {
+	p := testParams()
+	l := p.Layout
+	stream := core.NewRandomStream(l, 33)
+	availability := func(cfg Config) float64 {
+		m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nData := 14
+		res, err := Simulate(m, nData*p.Tau+24, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.NewReceiver(core.DefaultReceiverConfig(p, 48, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats metrics.GOBStats
+		for _, fd := range r.DecodeCaptures(res.Captures, res.Times, res.Exposure, nData) {
+			stats.Add(fd)
+		}
+		return stats.AvailableRatio()
+	}
+	benign := availability(quietChannel(48, 32))
+	// An exposure spanning exactly one complementary pair integrates the
+	// chessboard away on every row — the §3.2 rate-mismatch failure mode.
+	harsh := quietChannel(48, 32)
+	harsh.Camera.Exposure = 2.0 / 120
+	harshAvail := availability(harsh)
+	if harshAvail >= benign-0.3 {
+		t.Fatalf("pair-spanning exposure did not collapse availability: %.3f vs benign %.3f", harshAvail, benign)
+	}
+}
+
+func TestDisplayCameraDefaultsCompose(t *testing.T) {
+	cfg := DefaultConfig(640, 360)
+	want := display.DefaultConfig()
+	want.ResponseTime = 0 // channel default models the strobed FG2421
+	if cfg.Display != want {
+		t.Fatal("display default mismatch")
+	}
+	if cfg.Camera != camera.DefaultConfig(640, 360) {
+		t.Fatal("camera default mismatch")
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package gf256 implements arithmetic over GF(2⁸) with the primitive
+// polynomial x⁸+x⁴+x³+x²+1 (0x11d), the field used by the Reed–Solomon
+// codes the paper applies to Groups of Blocks (§3.3).
+package gf256
+
+// poly is the primitive reduction polynomial (0x11d) without the x⁸ term.
+const poly = 0x1d
+
+var (
+	expTable [512]byte // generator powers, doubled to avoid mod 255 in Mul
+	logTable [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expTable[i] = x
+		logTable[x] = byte(i)
+		// Multiply by the generator α = 2.
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a+b in GF(2⁸) (XOR; identical to Sub).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a·b in GF(2⁸).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Exp returns α^e for the generator α = 2; e may be any integer.
+func Exp(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return expTable[e]
+}
+
+// Log returns log_α(a). It panics for a = 0, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Inv returns the multiplicative inverse of a. It panics for a = 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Div returns a/b. It panics for b = 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// PolyEval evaluates the polynomial p (coefficients in descending degree
+// order, p[0] the highest) at x using Horner's rule.
+func PolyEval(p []byte, x byte) byte {
+	var y byte
+	for _, c := range p {
+		y = Mul(y, x) ^ c
+	}
+	return y
+}
+
+// PolyMul multiplies two polynomials (descending degree order).
+func PolyMul(a, b []byte) []byte {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] ^= Mul(ca, cb)
+		}
+	}
+	return out
+}
+
+// PolyScale multiplies every coefficient of p by k.
+func PolyScale(p []byte, k byte) []byte {
+	out := make([]byte, len(p))
+	for i, c := range p {
+		out[i] = Mul(c, k)
+	}
+	return out
+}
+
+// PolyAdd adds two polynomials (descending degree order), aligning their
+// low-order ends.
+func PolyAdd(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	copy(out[n-len(a):], a)
+	for i, c := range b {
+		out[n-len(b)+i] ^= c
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xca) != 0x53^0xca {
+		t.Fatal("Add is not XOR")
+	}
+	if Add(7, 7) != 0 {
+		t.Fatal("a+a != 0")
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("%d*1 != %d", a, a)
+		}
+		if Mul(byte(a), 0) != 0 || Mul(0, byte(a)) != 0 {
+			t.Fatalf("%d*0 != 0", a)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Standard 0x11d field test vectors.
+	cases := []struct{ a, b, want byte }{
+		{2, 2, 4},
+		{0x80, 2, 0x1d},
+		{0x53, 2, 0xa6}, // doubling without reduction (MSB clear)
+		{3, 7, 9},
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	comm := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatal(err)
+	}
+	assoc := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	prop := func(a, b, c byte) bool { return Mul(a, b^c) == Mul(a, b)^Mul(a, c) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("a*Inv(a) != 1 for a=%d", a)
+		}
+		if Div(byte(a), byte(a)) != 1 {
+			t.Fatalf("a/a != 1 for a=%d", a)
+		}
+	}
+	if Div(0, 5) != 0 {
+		t.Fatal("0/5 != 0")
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Inv(0)":   func() { Inv(0) },
+		"Div(1,0)": func() { Div(1, 0) },
+		"Log(0)":   func() { Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(%d)) != %d", a, a)
+		}
+	}
+	if Exp(255) != Exp(0) {
+		t.Fatal("Exp not periodic with 255")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("Exp of negative exponent wrong")
+	}
+}
+
+func TestExpCoversField(t *testing.T) {
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator orbit covers %d elements, want 255", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("generator orbit contains 0")
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = x² + 3x + 2 at x=1 → 1^3^2 = 0.
+	p := []byte{1, 3, 2}
+	if got := PolyEval(p, 1); got != 0 {
+		t.Fatalf("PolyEval = %d, want 0", got)
+	}
+	if got := PolyEval(p, 0); got != 2 {
+		t.Fatalf("PolyEval at 0 = %d, want constant term 2", got)
+	}
+	if got := PolyEval(nil, 7); got != 0 {
+		t.Fatalf("PolyEval(nil) = %d, want 0", got)
+	}
+}
+
+func TestPolyMul(t *testing.T) {
+	// (x+1)(x+2) = x² + 3x + 2 over GF(2⁸).
+	got := PolyMul([]byte{1, 1}, []byte{1, 2})
+	want := []byte{1, 3, 2}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coef %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if PolyMul(nil, []byte{1}) != nil {
+		t.Fatal("PolyMul with empty operand should be nil")
+	}
+}
+
+func TestPolyMulEvalHomomorphism(t *testing.T) {
+	prop := func(a0, a1, b0, b1, x byte) bool {
+		a := []byte{a0, a1}
+		b := []byte{b0, b1}
+		return PolyEval(PolyMul(a, b), x) == Mul(PolyEval(a, x), PolyEval(b, x))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyScaleAdd(t *testing.T) {
+	p := []byte{1, 2, 3}
+	s := PolyScale(p, 2)
+	if s[0] != 2 || s[1] != 4 || s[2] != 6 {
+		t.Fatalf("PolyScale = %v", s)
+	}
+	sum := PolyAdd([]byte{1, 2}, []byte{1, 0, 0})
+	// x+2 aligned under x²: x² + x + 2.
+	if len(sum) != 3 || sum[0] != 1 || sum[1] != 1 || sum[2] != 2 {
+		t.Fatalf("PolyAdd = %v", sum)
+	}
+}

@@ -1,0 +1,79 @@
+// Package parity implements the XOR-based parity checking the InFrame
+// prototype applies per Group of Blocks (§3.3): a GOB is formed from 2×2
+// neighbouring Blocks, the fourth Block carrying the XOR of the other three.
+package parity
+
+import "fmt"
+
+// Encode returns data with one appended parity bit equal to the XOR of all
+// data bits, so the full group XORs to false.
+func Encode(data []bool) []bool {
+	out := make([]bool, len(data)+1)
+	copy(out, data)
+	var p bool
+	for _, b := range data {
+		p = p != b
+	}
+	out[len(data)] = p
+	return out
+}
+
+// Check reports whether a full group (data bits plus trailing parity bit)
+// satisfies the parity relation. Groups of fewer than 2 bits are invalid.
+func Check(group []bool) bool {
+	if len(group) < 2 {
+		return false
+	}
+	var p bool
+	for _, b := range group {
+		p = p != b
+	}
+	return !p
+}
+
+// Data returns the data portion of a checked group (everything but the
+// trailing parity bit). It panics on an empty group.
+func Data(group []bool) []bool {
+	if len(group) == 0 {
+		panic("parity: empty group")
+	}
+	return group[:len(group)-1]
+}
+
+// GroupSize is the number of Blocks per GOB in the paper's prototype
+// (2×2 = 4: three data Blocks and one parity Block).
+const GroupSize = 4
+
+// DataBitsPerGOB is the number of data bits carried per GOB.
+const DataBitsPerGOB = GroupSize - 1
+
+// EncodeFrameBits expands a stream of data bits into GOB-coded frame bits:
+// every 3 data bits become 4 frame bits. len(data) must be a multiple of 3.
+func EncodeFrameBits(data []bool) ([]bool, error) {
+	if len(data)%DataBitsPerGOB != 0 {
+		return nil, fmt.Errorf("parity: data length %d not a multiple of %d", len(data), DataBitsPerGOB)
+	}
+	out := make([]bool, 0, len(data)/DataBitsPerGOB*GroupSize)
+	for i := 0; i < len(data); i += DataBitsPerGOB {
+		out = append(out, Encode(data[i:i+DataBitsPerGOB])...)
+	}
+	return out, nil
+}
+
+// DecodeFrameBits splits GOB-coded frame bits back into data bits and
+// reports, per GOB, whether the parity check passed. len(coded) must be a
+// multiple of GroupSize.
+func DecodeFrameBits(coded []bool) (data []bool, ok []bool, err error) {
+	if len(coded)%GroupSize != 0 {
+		return nil, nil, fmt.Errorf("parity: coded length %d not a multiple of %d", len(coded), GroupSize)
+	}
+	n := len(coded) / GroupSize
+	data = make([]bool, 0, n*DataBitsPerGOB)
+	ok = make([]bool, n)
+	for g := 0; g < n; g++ {
+		grp := coded[g*GroupSize : (g+1)*GroupSize]
+		ok[g] = Check(grp)
+		data = append(data, Data(grp)...)
+	}
+	return data, ok, nil
+}

@@ -1,0 +1,110 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeCheckRoundTrip(t *testing.T) {
+	prop := func(b0, b1, b2 bool) bool {
+		g := Encode([]bool{b0, b1, b2})
+		return len(g) == 4 && Check(g)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBitFlipDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		data := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
+		g := Encode(data)
+		pos := rng.Intn(4)
+		g[pos] = !g[pos]
+		if Check(g) {
+			t.Fatalf("flip at %d undetected", pos)
+		}
+	}
+}
+
+func TestDoubleBitFlipUndetected(t *testing.T) {
+	// XOR parity cannot see even numbers of flips; document the limitation.
+	g := Encode([]bool{true, false, true})
+	g[0] = !g[0]
+	g[1] = !g[1]
+	if !Check(g) {
+		t.Fatal("double flip unexpectedly detected — not XOR parity?")
+	}
+}
+
+func TestCheckShortGroups(t *testing.T) {
+	if Check(nil) || Check([]bool{true}) {
+		t.Fatal("short groups must fail Check")
+	}
+}
+
+func TestData(t *testing.T) {
+	g := Encode([]bool{true, true, false})
+	d := Data(g)
+	if len(d) != 3 || !d[0] || !d[1] || d[2] {
+		t.Fatalf("Data = %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Data(empty) did not panic")
+		}
+	}()
+	Data(nil)
+}
+
+func TestEncodeFrameBits(t *testing.T) {
+	data := []bool{true, false, true, false, false, true}
+	coded, err := EncodeFrameBits(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coded) != 8 {
+		t.Fatalf("coded length %d, want 8", len(coded))
+	}
+	back, ok, err := DecodeFrameBits(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 6 || len(ok) != 2 {
+		t.Fatalf("decode shapes: %d data, %d gobs", len(back), len(ok))
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	for g, o := range ok {
+		if !o {
+			t.Fatalf("clean GOB %d failed parity", g)
+		}
+	}
+}
+
+func TestEncodeFrameBitsLength(t *testing.T) {
+	if _, err := EncodeFrameBits(make([]bool, 4)); err == nil {
+		t.Fatal("accepted non-multiple-of-3 data")
+	}
+	if _, _, err := DecodeFrameBits(make([]bool, 6)); err == nil {
+		t.Fatal("accepted non-multiple-of-4 coded bits")
+	}
+}
+
+func TestDecodeFlagsBadGOB(t *testing.T) {
+	data := []bool{true, false, true, false, false, true}
+	coded, _ := EncodeFrameBits(data)
+	coded[5] = !coded[5] // corrupt second GOB
+	_, ok, err := DecodeFrameBits(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok[0] || ok[1] {
+		t.Fatalf("ok = %v, want [true false]", ok)
+	}
+}

@@ -1,0 +1,293 @@
+// Package rs implements systematic Reed–Solomon codes over GF(2⁸), the
+// "common error correction code such as RS code" the paper applies within
+// Groups of Blocks (§3.3). The decoder handles both errors (unknown
+// locations, via Berlekamp–Massey + Chien search + Forney) and erasures
+// (locations known from undecodable Blocks), up to the usual bound
+// 2·errors + erasures ≤ n − k.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"inframe/internal/code/gf256"
+)
+
+// Code is a systematic RS(n, k) code: k data bytes, n−k parity bytes.
+type Code struct {
+	n, k int
+	gen  []byte // generator polynomial, descending degree, monic
+}
+
+// ErrTooManyErrors is returned when the received word is corrupted beyond
+// the code's correction capability.
+var ErrTooManyErrors = errors.New("rs: too many errors to correct")
+
+// New constructs an RS(n, k) code. n must be at most 255 and greater than k.
+func New(n, k int) (*Code, error) {
+	if n <= 0 || n > 255 {
+		return nil, fmt.Errorf("rs: n must be in [1,255], got %d", n)
+	}
+	if k <= 0 || k >= n {
+		return nil, fmt.Errorf("rs: k must be in [1,n), got k=%d n=%d", k, n)
+	}
+	// g(x) = Π_{i=0}^{n-k-1} (x − α^i)
+	gen := []byte{1}
+	for i := 0; i < n-k; i++ {
+		gen = gf256.PolyMul(gen, []byte{1, gf256.Exp(i)})
+	}
+	return &Code{n: n, k: k, gen: gen}, nil
+}
+
+// N returns the codeword length.
+func (c *Code) N() int { return c.n }
+
+// K returns the data length.
+func (c *Code) K() int { return c.k }
+
+// Parity returns the number of parity symbols n−k.
+func (c *Code) Parity() int { return c.n - c.k }
+
+// Encode appends n−k parity bytes to the k data bytes and returns the
+// systematic codeword of length n.
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("rs: data length %d, want %d", len(data), c.k)
+	}
+	out := make([]byte, c.n)
+	copy(out, data)
+	// Polynomial long division of data·x^(n−k) by the generator; the
+	// remainder is the parity.
+	rem := make([]byte, c.n)
+	copy(rem, data)
+	for i := 0; i < c.k; i++ {
+		coef := rem[i]
+		if coef == 0 {
+			continue
+		}
+		for j, g := range c.gen {
+			rem[i+j] ^= gf256.Mul(g, coef)
+		}
+	}
+	copy(out[c.k:], rem[c.k:])
+	return out, nil
+}
+
+// syndromes returns the n−k syndromes of the received word, and whether all
+// of them are zero (no detectable corruption).
+func (c *Code) syndromes(recv []byte) ([]byte, bool) {
+	syn := make([]byte, c.n-c.k)
+	clean := true
+	for i := range syn {
+		s := gf256.PolyEval(recv, gf256.Exp(i))
+		syn[i] = s
+		if s != 0 {
+			clean = false
+		}
+	}
+	return syn, clean
+}
+
+// Decode corrects the received codeword in place and returns the k data
+// bytes. erasures lists known-bad positions (0-based, position 0 is the
+// first data byte); pass nil when no erasure information is available.
+func (c *Code) Decode(recv []byte, erasures []int) ([]byte, error) {
+	if len(recv) != c.n {
+		return nil, fmt.Errorf("rs: received length %d, want %d", len(recv), c.n)
+	}
+	for _, e := range erasures {
+		if e < 0 || e >= c.n {
+			return nil, fmt.Errorf("rs: erasure position %d out of range", e)
+		}
+	}
+	if len(erasures) > c.Parity() {
+		return nil, ErrTooManyErrors
+	}
+	word := make([]byte, c.n)
+	copy(word, recv)
+
+	syn, clean := c.syndromes(word)
+	if clean {
+		return word[:c.k], nil
+	}
+
+	// Erasure locator Γ(x) = Π (1 + X_j·x), X_j = α^{position exponent}.
+	// Locator polynomials are kept in ascending coefficient order (index 0
+	// is the constant term); PolyMul is a plain convolution, so it applies
+	// unchanged as long as both operands use the same orientation.
+	gamma := []byte{1}
+	for _, e := range erasures {
+		x := gf256.Exp(c.n - 1 - e)
+		gamma = gf256.PolyMul(gamma, []byte{1, x})
+	}
+
+	// Modified syndromes: Ξ(x) = Γ(x)·S(x) mod x^{n−k}, with S ascending.
+	xi := polyMulMod(gamma, syn, c.Parity())
+
+	// Berlekamp–Massey for the error locator Λ(x) (ascending), on the
+	// modified syndromes, with the erasure count already consumed.
+	rho := len(erasures)
+	lambda := bmLocator(xi, c.Parity(), rho)
+	if lambda == nil {
+		return nil, ErrTooManyErrors
+	}
+
+	// Combined locator Ψ(x) = Λ(x)·Γ(x).
+	psi := gf256.PolyMul(lambda, gamma) // ascending·ascending = ascending
+	psi = trimAsc(psi)
+
+	// Chien search over all positions.
+	positions := chien(psi, c.n)
+	if len(positions) != degAsc(psi) {
+		return nil, ErrTooManyErrors
+	}
+
+	// Forney: error magnitudes from the evaluator Ω(x) = Ψ(x)·S(x) mod
+	// x^{n−k} (ascending).
+	omega := polyMulMod(psi, syn, c.Parity())
+	psiDeriv := formalDerivAsc(psi)
+	for _, pos := range positions {
+		x := gf256.Exp(c.n - 1 - pos)
+		xInv := gf256.Inv(x)
+		num := evalAsc(omega, xInv)
+		den := evalAsc(psiDeriv, xInv)
+		if den == 0 {
+			return nil, ErrTooManyErrors
+		}
+		// b = 0 syndrome convention: e_j = X_j·Ω(X_j⁻¹)/Ψ′(X_j⁻¹).
+		mag := gf256.Mul(x, gf256.Div(num, den))
+		word[pos] ^= mag
+	}
+
+	// Verify the corrected word.
+	if _, ok := c.syndromes(word); !ok {
+		return nil, ErrTooManyErrors
+	}
+	return word[:c.k], nil
+}
+
+// polyMulMod multiplies two ascending-order polynomials modulo x^m.
+func polyMulMod(a, b []byte, m int) []byte {
+	out := make([]byte, m)
+	for i, ca := range a {
+		if ca == 0 || i >= m {
+			continue
+		}
+		for j, cb := range b {
+			if i+j >= m {
+				break
+			}
+			out[i+j] ^= gf256.Mul(ca, cb)
+		}
+	}
+	return out
+}
+
+// bmLocator runs Berlekamp–Massey on the (modified) syndromes, returning
+// the ascending-order error locator, or nil if the error count exceeds the
+// remaining capacity (parity − erasures)/2.
+func bmLocator(syn []byte, parity, erasures int) []byte {
+	lambda := []byte{1}
+	b := []byte{1}
+	var l int
+	m := 1
+	bb := byte(1)
+	for n := erasures; n < parity; n++ {
+		// Discrepancy.
+		var d byte
+		for i := 0; i <= l; i++ {
+			if i < len(lambda) && n-i >= 0 && n-i < len(syn) {
+				d ^= gf256.Mul(lambda[i], syn[n-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n-erasures {
+			tmp := make([]byte, len(lambda))
+			copy(tmp, lambda)
+			lambda = polySubShift(lambda, b, gf256.Div(d, bb), m)
+			l = n - erasures + 1 - l
+			b = tmp
+			bb = d
+			m = 1
+		} else {
+			lambda = polySubShift(lambda, b, gf256.Div(d, bb), m)
+			m++
+		}
+	}
+	if 2*l > parity-erasures {
+		return nil
+	}
+	return trimAsc(lambda)
+}
+
+// polySubShift computes lambda − coef·x^shift·b for ascending polynomials.
+func polySubShift(lambda, b []byte, coef byte, shift int) []byte {
+	n := len(lambda)
+	if len(b)+shift > n {
+		n = len(b) + shift
+	}
+	out := make([]byte, n)
+	copy(out, lambda)
+	for i, c := range b {
+		out[i+shift] ^= gf256.Mul(c, coef)
+	}
+	return out
+}
+
+// chien finds codeword positions whose locator evaluates to zero.
+func chien(psi []byte, n int) []int {
+	var out []int
+	for pos := 0; pos < n; pos++ {
+		xInv := gf256.Exp(-(n - 1 - pos))
+		if evalAsc(psi, xInv) == 0 {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// evalAsc evaluates an ascending-order polynomial at x.
+func evalAsc(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gf256.Mul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// formalDerivAsc returns the formal derivative of an ascending polynomial;
+// over GF(2⁸) even-power terms vanish.
+func formalDerivAsc(p []byte) []byte {
+	if len(p) <= 1 {
+		return []byte{0}
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		if i%2 == 1 {
+			out[i-1] = p[i]
+		}
+	}
+	return out
+}
+
+// trimAsc removes trailing zero coefficients of an ascending polynomial.
+func trimAsc(p []byte) []byte {
+	n := len(p)
+	for n > 1 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// degAsc returns the degree of an ascending polynomial.
+func degAsc(p []byte) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,280 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mustCode(t *testing.T, n, k int) *Code {
+	t.Helper()
+	c, err := New(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, p := range [][2]int{{0, 0}, {256, 200}, {10, 10}, {10, 0}, {10, 12}} {
+		if _, err := New(p[0], p[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted", p[0], p[1])
+		}
+	}
+	c := mustCode(t, 15, 11)
+	if c.N() != 15 || c.K() != 11 || c.Parity() != 4 {
+		t.Fatalf("accessors: %d %d %d", c.N(), c.K(), c.Parity())
+	}
+}
+
+func TestEncodeSystematic(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	cw, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) != 15 {
+		t.Fatalf("codeword length %d", len(cw))
+	}
+	if !bytes.Equal(cw[:11], data) {
+		t.Fatal("code is not systematic")
+	}
+}
+
+func TestEncodeLengthCheck(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	if _, err := c.Encode(make([]byte, 10)); err == nil {
+		t.Fatal("Encode accepted short data")
+	}
+}
+
+func TestDecodeClean(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	data := []byte("hello world")
+	cw, _ := c.Encode(data)
+	got, err := c.Decode(cw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("clean decode = %q, want %q", got, data)
+	}
+}
+
+func TestDecodeLengthCheck(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	if _, err := c.Decode(make([]byte, 14), nil); err == nil {
+		t.Fatal("Decode accepted short word")
+	}
+	if _, err := c.Decode(make([]byte, 15), []int{15}); err == nil {
+		t.Fatal("Decode accepted out-of-range erasure")
+	}
+}
+
+func TestCorrectSingleErrorAllPositions(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	data := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255}
+	cw, _ := c.Encode(data)
+	for pos := 0; pos < 15; pos++ {
+		corrupted := append([]byte(nil), cw...)
+		corrupted[pos] ^= 0x5a
+		got, err := c.Decode(corrupted, nil)
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pos %d: wrong data", pos)
+		}
+	}
+}
+
+func TestCorrectTwoErrors(t *testing.T) {
+	c := mustCode(t, 15, 11) // t = 2
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 11)
+	for trial := 0; trial < 200; trial++ {
+		rng.Read(data)
+		cw, _ := c.Encode(data)
+		corrupted := append([]byte(nil), cw...)
+		p1 := rng.Intn(15)
+		p2 := (p1 + 1 + rng.Intn(14)) % 15
+		corrupted[p1] ^= byte(1 + rng.Intn(255))
+		corrupted[p2] ^= byte(1 + rng.Intn(255))
+		got, err := c.Decode(corrupted, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+	}
+}
+
+func TestThreeErrorsDetected(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 11)
+	detected := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		rng.Read(data)
+		cw, _ := c.Encode(data)
+		corrupted := append([]byte(nil), cw...)
+		perm := rng.Perm(15)[:3]
+		for _, p := range perm {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, err := c.Decode(corrupted, nil)
+		if err != nil {
+			detected++
+			continue
+		}
+		// Miscorrection to some other codeword is allowed by the distance
+		// bound, but the result must not silently equal the original while
+		// claiming 3 corrections happened elsewhere — just count it.
+		if bytes.Equal(got, data) {
+			t.Fatalf("trial %d: 3 errors silently reverted to original data", trial)
+		}
+	}
+	if detected < trials*3/4 {
+		t.Fatalf("only %d/%d triple errors detected", detected, trials)
+	}
+}
+
+func TestErasuresOnlyUpToParity(t *testing.T) {
+	c := mustCode(t, 15, 11) // 4 parity → 4 erasures correctable
+	data := []byte("RS-erasures")
+	cw, _ := c.Encode(data)
+	corrupted := append([]byte(nil), cw...)
+	erasures := []int{0, 5, 11, 14}
+	for _, e := range erasures {
+		corrupted[e] = 0
+	}
+	got, err := c.Decode(corrupted, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("erasure decode = %q, want %q", got, data)
+	}
+}
+
+func TestErasurePlusError(t *testing.T) {
+	c := mustCode(t, 15, 11) // 2·1 + 2 = 4 ≤ parity
+	rng := rand.New(rand.NewSource(13))
+	data := make([]byte, 11)
+	for trial := 0; trial < 100; trial++ {
+		rng.Read(data)
+		cw, _ := c.Encode(data)
+		corrupted := append([]byte(nil), cw...)
+		perm := rng.Perm(15)
+		e1, e2, errPos := perm[0], perm[1], perm[2]
+		corrupted[e1] = byte(rng.Intn(256))
+		corrupted[e2] = byte(rng.Intn(256))
+		corrupted[errPos] ^= byte(1 + rng.Intn(255))
+		got, err := c.Decode(corrupted, []int{e1, e2})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: wrong data", trial)
+		}
+	}
+}
+
+func TestTooManyErasures(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	cw, _ := c.Encode(make([]byte, 11))
+	if _, err := c.Decode(cw, []int{0, 1, 2, 3, 4}); !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("err = %v, want ErrTooManyErrors", err)
+	}
+}
+
+func TestErasedPositionContentIrrelevant(t *testing.T) {
+	// An erased position's received value must not affect the result.
+	c := mustCode(t, 15, 11)
+	data := []byte("indifferent")
+	cw, _ := c.Encode(data)
+	for v := 0; v < 256; v += 17 {
+		corrupted := append([]byte(nil), cw...)
+		corrupted[7] = byte(v)
+		got, err := c.Decode(corrupted, []int{7})
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("v=%d: wrong data", v)
+		}
+	}
+}
+
+func TestLargerCode(t *testing.T) {
+	c := mustCode(t, 255, 223) // the classic CCSDS shape, t = 16
+	rng := rand.New(rand.NewSource(77))
+	data := make([]byte, 223)
+	rng.Read(data)
+	cw, _ := c.Encode(data)
+	corrupted := append([]byte(nil), cw...)
+	for _, p := range rng.Perm(255)[:16] {
+		corrupted[p] ^= byte(1 + rng.Intn(255))
+	}
+	got, err := c.Decode(corrupted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("RS(255,223) failed at full correction capacity")
+	}
+}
+
+func TestDecodeDoesNotMutateInput(t *testing.T) {
+	c := mustCode(t, 15, 11)
+	cw, _ := c.Encode([]byte("hello world"))
+	corrupted := append([]byte(nil), cw...)
+	corrupted[3] ^= 0xff
+	snapshot := append([]byte(nil), corrupted...)
+	if _, err := c.Decode(corrupted, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(corrupted, snapshot) {
+		t.Fatal("Decode mutated its input")
+	}
+}
+
+func TestRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 150; trial++ {
+		n := 8 + rng.Intn(60)
+		k := 1 + rng.Intn(n-1)
+		c := mustCode(t, n, k)
+		data := make([]byte, k)
+		rng.Read(data)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt within capacity: e errors + r erasures, 2e+r ≤ n−k.
+		parity := n - k
+		e := rng.Intn(parity/2 + 1)
+		r := rng.Intn(parity - 2*e + 1)
+		perm := rng.Perm(n)
+		corrupted := append([]byte(nil), cw...)
+		var erasures []int
+		for i := 0; i < e; i++ {
+			corrupted[perm[i]] ^= byte(1 + rng.Intn(255))
+		}
+		for i := e; i < e+r; i++ {
+			corrupted[perm[i]] = byte(rng.Intn(256))
+			erasures = append(erasures, perm[i])
+		}
+		got, err := c.Decode(corrupted, erasures)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d k=%d e=%d r=%d): %v", trial, n, k, e, r, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d (n=%d k=%d e=%d r=%d): wrong data", trial, n, k, e, r)
+		}
+	}
+}

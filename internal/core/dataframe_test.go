@@ -1,0 +1,185 @@
+package core
+
+import "testing"
+
+// smallLayout is a compact geometry for unit tests: 4×6 blocks of 8×8 px
+// (p=2, s=4) in a 48×32 panel, 2×3 GOBs.
+func smallLayout() Layout {
+	return Layout{
+		FrameW: 48, FrameH: 32,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 6, BlocksY: 4,
+	}
+}
+
+func TestSmallLayoutValid(t *testing.T) {
+	if err := smallLayout().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := smallLayout()
+	if l.NumGOBs() != 6 || l.DataBitsPerFrame() != 18 {
+		t.Fatalf("GOBs=%d bits=%d", l.NumGOBs(), l.DataBitsPerFrame())
+	}
+}
+
+func TestFromDataBitsRoundTrip(t *testing.T) {
+	l := smallLayout()
+	bits := make([]bool, l.DataBitsPerFrame())
+	for i := range bits {
+		bits[i] = i%3 == 0 || i%7 == 2
+	}
+	df, err := FromDataBits(l, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := df.DataBits()
+	if len(back) != len(bits) {
+		t.Fatalf("extracted %d bits, want %d", len(back), len(bits))
+	}
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestFromDataBitsParityHolds(t *testing.T) {
+	l := smallLayout()
+	bits := make([]bool, l.DataBitsPerFrame())
+	bits[0], bits[4], bits[9] = true, true, true
+	df, err := FromDataBits(l, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gy := 0; gy < l.GOBsY(); gy++ {
+		for gx := 0; gx < l.GOBsX(); gx++ {
+			if !df.ParityOK(gx, gy) {
+				t.Fatalf("GOB (%d,%d) parity violated after encode", gx, gy)
+			}
+		}
+	}
+	// Flipping any single Block breaks its GOB's parity.
+	df.SetBit(0, 0, !df.Bit(0, 0))
+	if df.ParityOK(0, 0) {
+		t.Fatal("parity survived a flipped block")
+	}
+}
+
+func TestFromDataBitsWrongLength(t *testing.T) {
+	if _, err := FromDataBits(smallLayout(), make([]bool, 5)); err == nil {
+		t.Fatal("accepted wrong bit count")
+	}
+}
+
+func TestDataFrameCloneEqual(t *testing.T) {
+	df := NewDataFrame(smallLayout())
+	df.SetBit(2, 1, true)
+	cl := df.Clone()
+	if !df.Equal(cl) {
+		t.Fatal("clone not equal")
+	}
+	cl.SetBit(0, 0, true)
+	if df.Equal(cl) {
+		t.Fatal("clone shares storage")
+	}
+	if df.Bit(2, 1) != true || df.Bit(0, 0) != false {
+		t.Fatal("bit accessors wrong")
+	}
+}
+
+func TestRandomStreamDeterministicPerSeed(t *testing.T) {
+	l := smallLayout()
+	a := NewRandomStream(l, 42)
+	b := NewRandomStream(l, 42)
+	for _, i := range []int{0, 1, 5} {
+		if !a.DataFrame(i).Equal(b.DataFrame(i)) {
+			t.Fatalf("frame %d differs across identically seeded streams", i)
+		}
+	}
+	if a.DataFrame(0).Equal(a.DataFrame(1)) {
+		t.Fatal("consecutive random frames identical")
+	}
+	if NewRandomStream(l, 43).DataFrame(0).Equal(a.DataFrame(0)) {
+		t.Fatal("different seeds produced identical frames")
+	}
+	// Cached: same pointer for repeated access.
+	if a.DataFrame(3) != a.DataFrame(3) {
+		t.Fatal("random stream not cached")
+	}
+}
+
+func TestRandomStreamParity(t *testing.T) {
+	l := smallLayout()
+	s := NewRandomStream(l, 7)
+	df := s.DataFrame(0)
+	for gy := 0; gy < l.GOBsY(); gy++ {
+		for gx := 0; gx < l.GOBsX(); gx++ {
+			if !df.ParityOK(gx, gy) {
+				t.Fatalf("random frame GOB (%d,%d) fails parity", gx, gy)
+			}
+		}
+	}
+}
+
+func TestFixedStreamCycles(t *testing.T) {
+	l := smallLayout()
+	a := NewDataFrame(l)
+	b := NewDataFrame(l)
+	b.SetBit(0, 0, true)
+	fs := &FixedStream{Frames: []*DataFrame{a, b}}
+	if fs.DataFrame(0) != a || fs.DataFrame(1) != b || fs.DataFrame(2) != a {
+		t.Fatal("FixedStream does not cycle")
+	}
+	if fs.DataFrame(-1) != b {
+		t.Fatal("FixedStream negative index should wrap")
+	}
+}
+
+func TestFixedStreamEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty FixedStream did not panic")
+		}
+	}()
+	(&FixedStream{}).DataFrame(0)
+}
+
+func TestBitsStreamPacksAndPads(t *testing.T) {
+	l := smallLayout()
+	per := l.DataBitsPerFrame() // 18
+	bits := make([]bool, per+5)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	bs := &BitsStream{Layout: l, Bits: bits}
+	if bs.NumFrames() != 2 {
+		t.Fatalf("NumFrames = %d, want 2", bs.NumFrames())
+	}
+	f0 := bs.DataFrame(0).DataBits()
+	for i := 0; i < per; i++ {
+		if f0[i] != bits[i] {
+			t.Fatalf("frame 0 bit %d mismatch", i)
+		}
+	}
+	f1 := bs.DataFrame(1).DataBits()
+	for i := 0; i < 5; i++ {
+		if f1[i] != bits[per+i] {
+			t.Fatalf("frame 1 bit %d mismatch", i)
+		}
+	}
+	for i := 5; i < per; i++ {
+		if f1[i] {
+			t.Fatalf("padding bit %d not zero", i)
+		}
+	}
+	// Beyond the payload: all-zero frames.
+	f5 := bs.DataFrame(5).DataBits()
+	for i, b := range f5 {
+		if b {
+			t.Fatalf("post-payload frame has bit %d set", i)
+		}
+	}
+	if (&BitsStream{Layout: l}).NumFrames() != 0 {
+		t.Fatal("empty BitsStream should have 0 frames")
+	}
+}

@@ -1,0 +1,829 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"inframe/internal/frame"
+)
+
+// Detector selects the per-Block bit detector.
+type Detector int
+
+const (
+	// DetectorEnergy is the paper's method (§3.3): smooth the Block,
+	// subtract, sum absolute residual, remove the frame-wide mean.
+	DetectorEnergy Detector = iota
+	// DetectorMatched is an extension: correlate the Block residual with
+	// the known chessboard phase (a matched filter). More robust on
+	// textured content; used in ablations.
+	DetectorMatched
+)
+
+// String implements fmt.Stringer.
+func (d Detector) String() string {
+	switch d {
+	case DetectorEnergy:
+		return "energy"
+	case DetectorMatched:
+		return "matched"
+	default:
+		return fmt.Sprintf("Detector(%d)", int(d))
+	}
+}
+
+// Normalize selects the texture-normalization strategy of the receiver.
+type Normalize int
+
+const (
+	// NormalizeBlockBaseline (default) removes a per-Block temporal
+	// baseline: the minimum aggregated energy the Block showed across the
+	// decoded data frames. Static video texture contributes the same
+	// energy whether the Block carries a 0 or a 1, while the chessboard
+	// toggles with the payload, so the minimum estimates the texture
+	// floor — background subtraction for the §3.3 "high-texture areas"
+	// workaround. Requires payloads that vary across frames (the paper
+	// uses pseudo-random data).
+	NormalizeBlockBaseline Normalize = iota
+	// NormalizeFrameMean removes only the frame-wide mean energy — the
+	// most literal reading of the paper's "remove the mean absolute
+	// difference". Kept for the ablation; it confuses strongly textured
+	// content with data.
+	NormalizeFrameMean
+)
+
+// String implements fmt.Stringer.
+func (n Normalize) String() string {
+	switch n {
+	case NormalizeBlockBaseline:
+		return "block-baseline"
+	case NormalizeFrameMean:
+		return "frame-mean"
+	default:
+		return fmt.Sprintf("Normalize(%d)", int(n))
+	}
+}
+
+// ReceiverConfig describes the InFrame receiver.
+type ReceiverConfig struct {
+	// Layout is the transmitter's data frame geometry in display pixels.
+	Layout Layout
+	// CaptureW, CaptureH are the camera frame dimensions; Block
+	// rectangles are scaled from display to capture coordinates (the
+	// paper's fixed 50 cm setup implies known registration).
+	CaptureW, CaptureH int
+	// Tau and RefreshHz recover the data frame timing.
+	Tau       int
+	RefreshHz float64
+	// Threshold is T: a Block reads 1 when its normalized noise score
+	// exceeds it (scores are frame-mean-removed, so T is near 0).
+	Threshold float64
+	// MinConfidence is the absolute hysteresis half-width (in energy
+	// units): Blocks whose score lies within ±MinConfidence of the
+	// threshold are "undecoded", making their GOB unavailable. Under the
+	// adaptive stage it acts as the floor of the relative band, which is
+	// what makes larger amplitudes decode more Blocks.
+	MinConfidence float64
+	// Adaptive switches the decision stage to per-Block temporal
+	// self-calibration: across the decoded run, each Block's bit-0 and
+	// bit-1 energy levels are estimated as its own minimum and maximum
+	// aggregated energy, and the threshold sits midway between them. The
+	// scheme is invariant to static texture, vignetting and per-region
+	// attenuation, and Blocks that never show a usable swing (saturated
+	// areas, constant payload bits) come back undecided rather than
+	// wrong. Threshold is ignored when set; MinConfidence becomes the
+	// absolute band floor. Requires payloads that vary across frames
+	// (the paper uses pseudo-random data).
+	Adaptive bool
+	// AdaptiveBand is the hysteresis half-width as a fraction of the
+	// cluster gap (used when Adaptive is set).
+	AdaptiveBand float64
+	// MinGap is the smallest per-Block bit-0/bit-1 level separation (in
+	// energy units) the adaptive stage accepts as a live signal; Blocks
+	// below it are undecodable (saturated areas where the clipping
+	// adjustment crushed the chessboard, or captures whose exposure
+	// integrated a full complementary pair).
+	MinGap float64
+	// Normalize selects how raw per-Block noise energies are normalized
+	// before the decision stage (§3.3's high-texture workaround).
+	Normalize Normalize
+	// Exposure and ReadoutTime describe the camera's per-row timing (in
+	// seconds). When both are known (> 0 exposure), the receiver applies
+	// the §3.3 rolling-shutter counter-measure: rows whose exposure is
+	// known to straddle a complementary sign flip are compensated by the
+	// predicted attenuation, or skipped when mostly cancelled. Zero
+	// disables the row-timing model.
+	Exposure    float64
+	ReadoutTime float64
+	// SmoothRadius is the box-blur radius of the §3.3 smoothing step.
+	SmoothRadius int
+	// Detector selects the bit detector.
+	Detector Detector
+	// Calib maps display coordinates into capture coordinates. Nil means
+	// the capture frames the display exactly (the paper's fixed tripod
+	// setup); a registration pass (internal/register) supplies a mapping
+	// when the camera is offset or zoomed.
+	Calib *CaptureMapping
+}
+
+// CaptureMapping is an axis-aligned affine map from display pixel
+// coordinates to capture pixel coordinates:
+//
+//	capX = OffX + dispX·ScaleX,  capY = OffY + dispY·ScaleY.
+//
+// Rotation is out of scope: the registration experiments cover the
+// translation/zoom misalignments a hand-held capture of a full screen
+// produces, not arbitrary perspective.
+type CaptureMapping struct {
+	ScaleX, ScaleY float64
+	OffX, OffY     float64
+}
+
+// FullFrame returns the identity framing for the given sizes.
+func FullFrame(l Layout, capW, capH int) CaptureMapping {
+	return CaptureMapping{
+		ScaleX: float64(capW) / float64(l.FrameW),
+		ScaleY: float64(capH) / float64(l.FrameH),
+	}
+}
+
+// Apply maps a display coordinate to capture coordinates.
+func (m CaptureMapping) Apply(x, y float64) (float64, float64) {
+	return m.OffX + x*m.ScaleX, m.OffY + y*m.ScaleY
+}
+
+// Validate reports whether the mapping is usable.
+func (m CaptureMapping) Validate() error {
+	if m.ScaleX <= 0 || m.ScaleY <= 0 {
+		return fmt.Errorf("core: mapping scales must be positive, got %v, %v", m.ScaleX, m.ScaleY)
+	}
+	return nil
+}
+
+// DefaultReceiverConfig returns a receiver matched to transmitter params and
+// a capture size, with detection constants calibrated for the simulated
+// channel.
+func DefaultReceiverConfig(p Params, capW, capH int) ReceiverConfig {
+	return ReceiverConfig{
+		Layout:        p.Layout,
+		CaptureW:      capW,
+		CaptureH:      capH,
+		Tau:           p.Tau,
+		RefreshHz:     120,
+		Threshold:     0,
+		MinConfidence: 0.3,
+		Adaptive:      true,
+		AdaptiveBand:  0.1,
+		MinGap:        0.6,
+		SmoothRadius:  1,
+		Detector:      DetectorEnergy,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ReceiverConfig) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if c.CaptureW <= 0 || c.CaptureH <= 0 {
+		return fmt.Errorf("core: invalid capture size %dx%d", c.CaptureW, c.CaptureH)
+	}
+	if c.Tau < 2 || c.Tau%2 != 0 {
+		return fmt.Errorf("core: Tau must be even and >= 2, got %d", c.Tau)
+	}
+	if c.RefreshHz <= 0 {
+		return fmt.Errorf("core: RefreshHz must be positive")
+	}
+	if c.MinConfidence < 0 {
+		return fmt.Errorf("core: MinConfidence must be non-negative")
+	}
+	if c.Adaptive && (c.AdaptiveBand <= 0 || c.AdaptiveBand >= 0.5) {
+		return fmt.Errorf("core: AdaptiveBand must be in (0,0.5), got %v", c.AdaptiveBand)
+	}
+	if c.MinGap < 0 {
+		return fmt.Errorf("core: MinGap must be non-negative")
+	}
+	if c.SmoothRadius < 1 {
+		return fmt.Errorf("core: SmoothRadius must be >= 1")
+	}
+	return nil
+}
+
+// Receiver demultiplexes captured frames back into data frames.
+type Receiver struct {
+	cfg ReceiverConfig
+	// per-block capture rectangles, precomputed; zero rects mark Blocks
+	// outside the camera's view
+	rects   []capRect
+	visible int
+}
+
+type capRect struct{ x0, y0, w, h int }
+
+// NewReceiver builds a receiver and precomputes Block→capture geometry.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := cfg.Layout
+	calib := FullFrame(l, cfg.CaptureW, cfg.CaptureH)
+	if cfg.Calib != nil {
+		if err := cfg.Calib.Validate(); err != nil {
+			return nil, err
+		}
+		calib = *cfg.Calib
+	}
+	r := &Receiver{cfg: cfg, rects: make([]capRect, l.NumBlocks())}
+	for by := 0; by < l.BlocksY; by++ {
+		for bx := 0; bx < l.BlocksX; bx++ {
+			x0, y0, w, h := l.BlockRect(bx, by)
+			fx0, fy0 := calib.Apply(float64(x0), float64(y0))
+			fx1, fy1 := calib.Apply(float64(x0+w), float64(y0+h))
+			cx0 := int(math.Round(fx0))
+			cy0 := int(math.Round(fy0))
+			cx1 := int(math.Round(fx1))
+			cy1 := int(math.Round(fy1))
+			// Inset to keep resample/blur bleed from neighbouring Blocks
+			// out of the measurement.
+			if cx1-cx0 > 6 {
+				cx0++
+				cx1--
+			}
+			if cy1-cy0 > 6 {
+				cy0++
+				cy1--
+			}
+			if cx0 < 0 {
+				cx0 = 0
+			}
+			if cy0 < 0 {
+				cy0 = 0
+			}
+			if cx1 > cfg.CaptureW {
+				cx1 = cfg.CaptureW
+			}
+			if cy1 > cfg.CaptureH {
+				cy1 = cfg.CaptureH
+			}
+			if cx1-cx0 < 2 || cy1-cy0 < 2 {
+				// Block outside (or nearly outside) the camera's view:
+				// it stays permanently undecodable rather than failing
+				// the whole receiver — a zoomed-in capture legitimately
+				// misses border Blocks.
+				r.rects[by*l.BlocksX+bx] = capRect{}
+				continue
+			}
+			r.rects[by*l.BlocksX+bx] = capRect{x0: cx0, y0: cy0, w: cx1 - cx0, h: cy1 - cy0}
+			r.visible++
+		}
+	}
+	if r.visible == 0 {
+		return nil, fmt.Errorf("core: no block maps into the capture")
+	}
+	return r, nil
+}
+
+// Config returns the receiver configuration.
+func (r *Receiver) Config() ReceiverConfig { return r.cfg }
+
+// DataFramePeriod returns the duration of one data frame in seconds.
+func (r *Receiver) DataFramePeriod() float64 {
+	return float64(r.cfg.Tau) / r.cfg.RefreshHz
+}
+
+// rowAttenuationFloor is the predicted complementary-cancellation factor
+// below which a sensor row is dropped outright; rows above it enter the
+// block estimate with SNR weighting (weight ∝ attenuation), which keeps
+// mildly straddled rows useful without amplifying the noise energy of
+// nearly-cancelled ones. The weighting bias is constant across data frames
+// (row timing repeats), so the per-Block baseline normalization removes it.
+const rowAttenuationFloor = 0.15
+
+// rowWeights returns, for each capture row, the predicted chessboard
+// attenuation caused by the row's exposure straddling a complementary sign
+// flip (1 = clean, 0 = dropped). t0 is the first row's exposure start; rows
+// read out uniformly over ReadoutTime. Returns nil when the timing model is
+// disabled or the capture time is unknown (NaN).
+func (r *Receiver) rowWeights(t0 float64) []float64 {
+	if r.cfg.Exposure <= 0 || math.IsNaN(t0) {
+		return nil
+	}
+	T := 1 / r.cfg.RefreshHz
+	rowDt := 0.0
+	if r.cfg.CaptureH > 1 {
+		rowDt = r.cfg.ReadoutTime / float64(r.cfg.CaptureH)
+	}
+	ws := make([]float64, r.cfg.CaptureH)
+	for y := range ws {
+		start := t0 + float64(y)*rowDt
+		phase := math.Mod(start, T)
+		if phase < 0 {
+			phase += T
+		}
+		remain := T - phase
+		if remain >= r.cfg.Exposure {
+			ws[y] = 1
+			continue
+		}
+		// Fraction w of the exposure before the sign flip: residual
+		// chessboard amplitude is |2w−1| of the steady value.
+		w := remain / r.cfg.Exposure
+		att := math.Abs(2*w - 1)
+		if att < rowAttenuationFloor {
+			ws[y] = 0
+		} else {
+			ws[y] = att
+		}
+	}
+	return ws
+}
+
+// MeasureCapture computes the raw per-Block noise energy of one captured
+// frame (§3.3: smooth, subtract, sum absolute residual) without row-timing
+// information. Energies are indexed by·BlocksX+bx.
+func (r *Receiver) MeasureCapture(f *frame.Frame) []float64 {
+	scores, _ := r.MeasureCaptureAt(f, math.NaN())
+	return scores
+}
+
+// MeasureCaptureAt is MeasureCapture with the capture's exposure start time,
+// enabling the rolling-shutter row compensation when the receiver's timing
+// model is configured. Blocks whose every row was dropped yield NaN. The
+// second result is a per-Block measurement quality in (0,1]: the fraction of
+// the block's row-weight mass that survived the shutter model — low quality
+// means a noisier estimate.
+func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []float64) {
+	if f.W != r.cfg.CaptureW || f.H != r.cfg.CaptureH {
+		panic(fmt.Sprintf("core: capture %dx%d does not match receiver %dx%d",
+			f.W, f.H, r.cfg.CaptureW, r.cfg.CaptureH))
+	}
+	scores := make([]float64, len(r.rects))
+	quality := make([]float64, len(r.rects))
+	sm := frame.BoxBlur(f, r.cfg.SmoothRadius)
+	weights := r.rowWeights(t0)
+	l := r.cfg.Layout
+	// Chessboard phase in capture coordinates, for the matched detector:
+	// display Pixel (x/p, y/p) found by inverting the calibration map.
+	calib := FullFrame(l, r.cfg.CaptureW, r.cfg.CaptureH)
+	if r.cfg.Calib != nil {
+		calib = *r.cfg.Calib
+	}
+	sxInv := 1 / calib.ScaleX
+	syInv := 1 / calib.ScaleY
+	offX, offY := calib.OffX, calib.OffY
+	for i, rect := range r.rects {
+		if rect.w == 0 || rect.h == 0 {
+			scores[i] = math.NaN()
+			continue
+		}
+		var acc float64
+		var n float64
+		for y := rect.y0; y < rect.y0+rect.h; y++ {
+			rowW := 1.0
+			if weights != nil {
+				rowW = weights[y]
+				if rowW == 0 {
+					continue
+				}
+			}
+			base := y * f.W
+			var rowAcc float64
+			for x := rect.x0; x < rect.x0+rect.w; x++ {
+				d := float64(f.Pix[base+x] - sm.Pix[base+x])
+				switch r.cfg.Detector {
+				case DetectorMatched:
+					dx := int((float64(x)-offX)*sxInv) / l.PixelSize
+					dy := int((float64(y)-offY)*syInv) / l.PixelSize
+					if ChessOn(dx, dy) {
+						rowAcc += d
+					} else {
+						rowAcc -= d
+					}
+				default:
+					rowAcc += math.Abs(d)
+				}
+			}
+			// SNR weighting: estimate = Σ w·m / Σ w², which reduces to the
+			// plain mean when every row is clean (w = 1).
+			acc += rowAcc * rowW
+			n += float64(rect.w) * rowW * rowW
+		}
+		if n == 0 {
+			scores[i] = math.NaN()
+			quality[i] = 0
+			continue
+		}
+		s := acc / n
+		if r.cfg.Detector == DetectorMatched {
+			s = math.Abs(s)
+		}
+		scores[i] = s
+		quality[i] = n / float64(rect.w*rect.h)
+	}
+	return scores, quality
+}
+
+// BlockDecision is the tri-state outcome of a Block detector.
+type BlockDecision int8
+
+const (
+	// BlockUndecided means the score fell inside the hysteresis band.
+	BlockUndecided BlockDecision = iota
+	// BlockZero is a confidently decoded 0.
+	BlockZero
+	// BlockOne is a confidently decoded 1.
+	BlockOne
+)
+
+// GOBResult summarizes one Group of Blocks of one decoded data frame.
+type GOBResult struct {
+	GX, GY int
+	// Available: every component Block was confidently decoded (§4's
+	// "available GOB").
+	Available bool
+	// ParityOK: for available GOBs, whether the XOR parity held.
+	ParityOK bool
+}
+
+// FrameDecode is the decoded form of one data frame.
+type FrameDecode struct {
+	// Index is the data frame index.
+	Index int
+	// Captures is how many captured frames contributed.
+	Captures int
+	// Bits holds the per-Block decisions (threshold sign), defined even
+	// for undecided Blocks.
+	Bits *DataFrame
+	// Decided flags which Blocks cleared the confidence band.
+	Decided []bool
+	// GOBs holds per-GOB availability and parity outcomes.
+	GOBs []GOBResult
+}
+
+// AvailableGOBs counts available GOBs.
+func (fd *FrameDecode) AvailableGOBs() int {
+	n := 0
+	for _, g := range fd.GOBs {
+		if g.Available {
+			n++
+		}
+	}
+	return n
+}
+
+// ErroneousGOBs counts available GOBs that failed parity.
+func (fd *FrameDecode) ErroneousGOBs() int {
+	n := 0
+	for _, g := range fd.GOBs {
+		if g.Available && !g.ParityOK {
+			n++
+		}
+	}
+	return n
+}
+
+// cluster2 estimates the bit-0 and bit-1 score levels robustly as the 20th
+// and 80th percentiles of the (NaN-free) score distribution. With roughly
+// balanced random payloads the percentiles land inside the two clusters,
+// and — unlike k-means — the estimate is immune to a minority tail of
+// strongly textured outlier blocks.
+func cluster2(scores []float64) (c0, c1 float64) {
+	clean := make([]float64, 0, len(scores))
+	for _, s := range scores {
+		if !math.IsNaN(s) {
+			clean = append(clean, s)
+		}
+	}
+	if len(clean) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(clean)
+	pct := func(q float64) float64 {
+		return clean[int(q*float64(len(clean)-1))]
+	}
+	return pct(0.20), pct(0.80)
+}
+
+// DecodeScores converts accumulated per-Block scores into a FrameDecode,
+// applying the decision stage (fixed threshold+hysteresis, or adaptive
+// cluster-relative decision) and per-GOB parity.
+// DecodeScores converts per-Block scores into a FrameDecode. quality may be
+// nil (all blocks at full quality); low-quality blocks get a proportionally
+// wider hysteresis band, since their estimates carry more noise.
+func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, captures int) *FrameDecode {
+	l := r.cfg.Layout
+	fd := &FrameDecode{
+		Index:    index,
+		Captures: captures,
+		Bits:     NewDataFrame(l),
+		Decided:  make([]bool, l.NumBlocks()),
+	}
+	threshold := r.cfg.Threshold
+	band := r.cfg.MinConfidence
+	if r.cfg.Adaptive && len(scores) > 1 {
+		c0, c1 := cluster2(scores)
+		gap := c1 - c0
+		threshold = (c0 + c1) / 2
+		band = r.cfg.AdaptiveBand * gap
+		if band < r.cfg.MinConfidence {
+			band = r.cfg.MinConfidence
+		}
+		if gap <= 0 || gap < r.cfg.MinGap {
+			band = math.Inf(1) // degenerate frame: nothing decodable
+		}
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			fd.Bits.Bits[i] = false
+			fd.Decided[i] = false
+			continue
+		}
+		blockBand := band
+		if quality != nil && quality[i] > 0 && quality[i] < 1 {
+			blockBand = band / math.Sqrt(quality[i])
+		}
+		fd.Bits.Bits[i] = s > threshold
+		fd.Decided[i] = math.Abs(s-threshold) >= blockBand
+	}
+	for gy := 0; gy < l.GOBsY(); gy++ {
+		for gx := 0; gx < l.GOBsX(); gx++ {
+			res := GOBResult{GX: gx, GY: gy, Available: true}
+			for _, blk := range l.GOBBlocks(gx, gy) {
+				if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
+					res.Available = false
+					break
+				}
+			}
+			if res.Available {
+				res.ParityOK = fd.Bits.ParityOK(gx, gy)
+			}
+			fd.GOBs = append(fd.GOBs, res)
+		}
+	}
+	return fd
+}
+
+// steadyWindow returns the span of mid-exposure times for which a capture
+// of exposure e sees data frame d at full amplitude: the envelope is steady
+// over [0, τ/2) of the period (the previous transition completes exactly at
+// the boundary, §3.2), so a capture fits when its whole exposure lies
+// inside [0, P/2]. If the exposure is too long for any fully-steady
+// placement, the window degrades gracefully to the center of the first
+// half.
+func (r *Receiver) steadyWindow(d int, exposure float64) (t0, t1 float64) {
+	period := r.DataFramePeriod()
+	start := float64(d) * period
+	lo := exposure / 2
+	hi := period/2 - exposure/2
+	if hi < lo {
+		mid := period / 4
+		return start + mid, start + mid
+	}
+	return start + lo, start + hi
+}
+
+// DecodeCaptures demultiplexes a captured sequence (frames plus exposure
+// start times) into data frames 0..nFrames-1, using the receiver's timing
+// model to select the captures whose mid-exposure falls in each data
+// frame's steady window. Data frames observed by no capture yield a
+// FrameDecode with zero captures and no available GOBs.
+//
+// Decoding is two-pass: raw per-Block energies are first aggregated per
+// data frame, then normalized across frames (per-Block temporal baseline or
+// frame mean, per the configuration) before the per-frame decision stage.
+func (r *Receiver) DecodeCaptures(caps []*frame.Frame, times []float64, exposure float64, nFrames int) []*FrameDecode {
+	if len(caps) != len(times) {
+		panic("core: captures and times length mismatch")
+	}
+	nBlocks := r.cfg.Layout.NumBlocks()
+	measured := make([][]float64, len(caps))
+	qualities := make([][]float64, len(caps))
+	agg := make([][]float64, nFrames)
+	qual := make([][]float64, nFrames)
+	counts := make([]int, nFrames)
+	blockN := make([]float64, nBlocks)
+	for d := 0; d < nFrames; d++ {
+		t0, t1 := r.steadyWindow(d, exposure)
+		var acc []float64
+		for j := range blockN {
+			blockN[j] = 0
+		}
+		for i, t := range times {
+			mid := t + exposure/2
+			if mid < t0 || mid > t1 {
+				continue
+			}
+			if measured[i] == nil {
+				measured[i], qualities[i] = r.MeasureCaptureAt(caps[i], t)
+			}
+			if acc == nil {
+				acc = make([]float64, nBlocks)
+				qual[d] = make([]float64, nBlocks)
+			}
+			for j, s := range measured[i] {
+				if math.IsNaN(s) {
+					continue // block fully inside a dropped row band
+				}
+				acc[j] += s
+				qual[d][j] += qualities[i][j]
+				blockN[j]++
+			}
+			counts[d]++
+		}
+		if acc != nil {
+			for j := range acc {
+				if blockN[j] > 0 {
+					acc[j] /= blockN[j]
+					qual[d][j] /= blockN[j]
+				} else {
+					acc[j] = math.NaN()
+				}
+			}
+		}
+		agg[d] = acc
+	}
+
+	if r.cfg.Adaptive {
+		return r.decodePerBlock(agg, qual, counts)
+	}
+	r.normalize(agg)
+
+	out := make([]*FrameDecode, nFrames)
+	for d := 0; d < nFrames; d++ {
+		if counts[d] == 0 {
+			out[d] = r.emptyDecode(d)
+			continue
+		}
+		out[d] = r.DecodeScores(d, agg[d], qual[d], counts[d])
+	}
+	return out
+}
+
+// emptyDecode builds the all-undecided FrameDecode of a data frame no
+// capture observed.
+func (r *Receiver) emptyDecode(d int) *FrameDecode {
+	l := r.cfg.Layout
+	fd := &FrameDecode{
+		Index:   d,
+		Bits:    NewDataFrame(l),
+		Decided: make([]bool, l.NumBlocks()),
+	}
+	for gy := 0; gy < l.GOBsY(); gy++ {
+		for gx := 0; gx < l.GOBsX(); gx++ {
+			fd.GOBs = append(fd.GOBs, GOBResult{GX: gx, GY: gy})
+		}
+	}
+	return fd
+}
+
+// decodePerBlock implements the adaptive per-Block decision stage: each
+// Block's bit levels are its own extremes across the run, its threshold the
+// midpoint, and its hysteresis band the larger of the relative band and the
+// absolute MinConfidence floor (widened for shutter-degraded measurements).
+func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameDecode {
+	l := r.cfg.Layout
+	nBlocks := l.NumBlocks()
+	// Per-Block level estimates: the 10th/90th percentiles of the Block's
+	// own energy time series. Percentiles rather than extremes keep a
+	// single texture spike from inflating the Block's band forever, while
+	// still letting genuine content fluctuations produce the (realistic)
+	// occasional confident error.
+	series := make([][]float64, nBlocks)
+	for _, row := range agg {
+		if row == nil {
+			continue
+		}
+		for j, s := range row {
+			if !math.IsNaN(s) {
+				series[j] = append(series[j], s)
+			}
+		}
+	}
+	lo := make([]float64, nBlocks)
+	hi := make([]float64, nBlocks)
+	for j, sv := range series {
+		if len(sv) == 0 {
+			lo[j] = math.Inf(1)
+			hi[j] = math.Inf(-1)
+			continue
+		}
+		sort.Float64s(sv)
+		lo[j] = sv[int(0.1*float64(len(sv)-1))]
+		hi[j] = sv[int(math.Ceil(0.9*float64(len(sv)-1)))]
+	}
+	out := make([]*FrameDecode, len(agg))
+	for d, row := range agg {
+		if counts[d] == 0 || row == nil {
+			out[d] = r.emptyDecode(d)
+			continue
+		}
+		fd := &FrameDecode{
+			Index:    d,
+			Captures: counts[d],
+			Bits:     NewDataFrame(l),
+			Decided:  make([]bool, nBlocks),
+		}
+		for j, s := range row {
+			if math.IsNaN(s) || math.IsInf(lo[j], 1) {
+				continue
+			}
+			gap := hi[j] - lo[j]
+			if gap < r.cfg.MinGap {
+				continue // no usable swing: saturated or constant payload
+			}
+			thr := (lo[j] + hi[j]) / 2
+			band := r.cfg.AdaptiveBand * gap
+			if band < r.cfg.MinConfidence {
+				band = r.cfg.MinConfidence
+			}
+			if qual[d] != nil && qual[d][j] > 0 && qual[d][j] < 1 {
+				band /= math.Sqrt(qual[d][j])
+			}
+			fd.Bits.Bits[j] = s > thr
+			fd.Decided[j] = math.Abs(s-thr) >= band
+		}
+		for gy := 0; gy < l.GOBsY(); gy++ {
+			for gx := 0; gx < l.GOBsX(); gx++ {
+				res := GOBResult{GX: gx, GY: gy, Available: true}
+				for _, blk := range l.GOBBlocks(gx, gy) {
+					if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
+						res.Available = false
+						break
+					}
+				}
+				if res.Available {
+					res.ParityOK = fd.Bits.ParityOK(gx, gy)
+				}
+				fd.GOBs = append(fd.GOBs, res)
+			}
+		}
+		out[d] = fd
+	}
+	return out
+}
+
+// normalize converts aggregated raw energies into decision scores in place,
+// per the configured strategy. Frames without captures (nil rows) are
+// skipped.
+func (r *Receiver) normalize(agg [][]float64) {
+	switch r.cfg.Normalize {
+	case NormalizeFrameMean:
+		for _, row := range agg {
+			if row == nil {
+				continue
+			}
+			var mean float64
+			var n int
+			for _, s := range row {
+				if math.IsNaN(s) {
+					continue
+				}
+				mean += s
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			mean /= float64(n)
+			for j := range row {
+				row[j] -= mean
+			}
+		}
+	case NormalizeBlockBaseline:
+		nBlocks := r.cfg.Layout.NumBlocks()
+		baseline := make([]float64, nBlocks)
+		for j := range baseline {
+			baseline[j] = math.Inf(1)
+		}
+		seen := false
+		for _, row := range agg {
+			if row == nil {
+				continue
+			}
+			seen = true
+			for j, s := range row {
+				if !math.IsNaN(s) && s < baseline[j] {
+					baseline[j] = s
+				}
+			}
+		}
+		if !seen {
+			return
+		}
+		for _, row := range agg {
+			if row == nil {
+				continue
+			}
+			for j := range row {
+				if math.IsInf(baseline[j], 1) {
+					row[j] = math.NaN()
+					continue
+				}
+				row[j] -= baseline[j]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown normalization %v", r.cfg.Normalize))
+	}
+}

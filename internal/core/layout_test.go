@@ -1,0 +1,136 @@
+package core
+
+import "testing"
+
+func TestPaperLayoutMatchesPaper(t *testing.T) {
+	l := PaperLayout()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §4: 30*50 Blocks, 15*25 GOBs, on 1920×1080 with p=4.
+	if l.BlocksX != 50 || l.BlocksY != 30 {
+		t.Fatalf("blocks %dx%d, want 50x30", l.BlocksX, l.BlocksY)
+	}
+	if l.GOBsX() != 25 || l.GOBsY() != 15 {
+		t.Fatalf("GOBs %dx%d, want 25x15", l.GOBsX(), l.GOBsY())
+	}
+	if l.NumGOBs() != 375 {
+		t.Fatalf("NumGOBs = %d, want 375", l.NumGOBs())
+	}
+	// A frame carries up to w/s/2 × h/s/2 × 3 = 1125 data bits.
+	if l.DataBitsPerFrame() != 1125 {
+		t.Fatalf("DataBitsPerFrame = %d, want 1125", l.DataBitsPerFrame())
+	}
+	if l.BlockPx() != 36 {
+		t.Fatalf("BlockPx = %d, want 36", l.BlockPx())
+	}
+	if l.MarginX() != 60 || l.MarginY() != 0 {
+		t.Fatalf("margins %d,%d, want 60,0", l.MarginX(), l.MarginY())
+	}
+}
+
+func TestScaledPaperLayout(t *testing.T) {
+	l, err := ScaledPaperLayout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.FrameW != 960 || l.FrameH != 540 || l.PixelSize != 2 {
+		t.Fatalf("scaled layout %dx%d p=%d", l.FrameW, l.FrameH, l.PixelSize)
+	}
+	// Rate accounting unchanged by scaling.
+	if l.DataBitsPerFrame() != 1125 {
+		t.Fatalf("scaled DataBitsPerFrame = %d, want 1125", l.DataBitsPerFrame())
+	}
+	if _, err := ScaledPaperLayout(3); err == nil {
+		t.Fatal("divisor 3 should be rejected (does not divide p=4 evenly)")
+	}
+	if _, err := ScaledPaperLayout(0); err == nil {
+		t.Fatal("divisor 0 should be rejected")
+	}
+}
+
+func TestValidateRejectsBadLayouts(t *testing.T) {
+	base := PaperLayout()
+	mods := []func(*Layout){
+		func(l *Layout) { l.FrameW = 0 },
+		func(l *Layout) { l.PixelSize = 0 },
+		func(l *Layout) { l.BlockSize = -1 },
+		func(l *Layout) { l.GOBSize = 0 },
+		func(l *Layout) { l.BlocksX = 0 },
+		func(l *Layout) { l.BlocksX = 51 },  // not divisible by GOBSize
+		func(l *Layout) { l.BlocksX = 100 }, // exceeds panel
+	}
+	for i, m := range mods {
+		l := base
+		m(&l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("modification %d validated", i)
+		}
+	}
+}
+
+func TestBlockRect(t *testing.T) {
+	l := PaperLayout()
+	x0, y0, w, h := l.BlockRect(0, 0)
+	if x0 != 60 || y0 != 0 || w != 36 || h != 36 {
+		t.Fatalf("BlockRect(0,0) = %d,%d,%d,%d", x0, y0, w, h)
+	}
+	x0, y0, _, _ = l.BlockRect(49, 29)
+	if x0 != 60+49*36 || y0 != 29*36 {
+		t.Fatalf("BlockRect(49,29) = %d,%d", x0, y0)
+	}
+	if x0+36 > l.FrameW || y0+36 > l.FrameH {
+		t.Fatal("last block exceeds panel")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range BlockRect did not panic")
+		}
+	}()
+	l.BlockRect(50, 0)
+}
+
+func TestGOBBlocks(t *testing.T) {
+	l := PaperLayout()
+	blocks := l.GOBBlocks(0, 0)
+	want := [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	if len(blocks) != 4 {
+		t.Fatalf("GOB has %d blocks", len(blocks))
+	}
+	for i, w := range want {
+		if blocks[i] != w {
+			t.Fatalf("block %d = %v, want %v", i, blocks[i], w)
+		}
+	}
+	blocks = l.GOBBlocks(24, 14)
+	if blocks[3] != [2]int{49, 29} {
+		t.Fatalf("last GOB last block = %v", blocks[3])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range GOBBlocks did not panic")
+		}
+	}()
+	l.GOBBlocks(25, 0)
+}
+
+func TestChessOn(t *testing.T) {
+	if ChessOn(0, 0) || !ChessOn(0, 1) || !ChessOn(1, 0) || ChessOn(1, 1) {
+		t.Fatal("chessboard parity wrong")
+	}
+	// Exactly half the Pixels of any 2×2 tile are on.
+	n := 0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if ChessOn(i, j) {
+				n++
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatalf("%d of 4 pixels on, want 2", n)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"inframe/internal/display"
+	"inframe/internal/frame"
+	"inframe/internal/video"
+	"inframe/internal/waveform"
+)
+
+// Params are the tunable InFrame transmitter parameters from §3.2–3.3.
+type Params struct {
+	// Layout fixes the data frame geometry.
+	Layout Layout
+	// Delta is the chessboard amplitude δ in 8-bit drive units.
+	Delta float64
+	// Tau is the smoothing cycle τ: display frames per data frame. Even,
+	// at least 2. The first τ/2 frames of a period are steady; the last
+	// τ/2 carry the envelope transition to the next data frame.
+	Tau int
+	// Shape selects the transition envelope (paper: half square-root
+	// raised cosine).
+	Shape waveform.Shape
+	// VideoFrameRatio is how many display frames repeat each video frame
+	// (paper: 120 Hz display / 30 FPS video = 4).
+	VideoFrameRatio int
+}
+
+// DefaultParams returns the paper's recommended operating point
+// (δ=20, τ=12, SRRC smoothing) for the given layout.
+func DefaultParams(l Layout) Params {
+	return Params{Layout: l, Delta: 20, Tau: 12, Shape: waveform.SqrtRaisedCosine, VideoFrameRatio: 4}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Layout.Validate(); err != nil {
+		return err
+	}
+	if p.Delta <= 0 || p.Delta > 127 {
+		return fmt.Errorf("core: Delta must be in (0,127], got %v", p.Delta)
+	}
+	if p.Tau < 2 || p.Tau%2 != 0 {
+		return fmt.Errorf("core: Tau must be even and >= 2, got %d", p.Tau)
+	}
+	if p.VideoFrameRatio < 1 {
+		return fmt.Errorf("core: VideoFrameRatio must be >= 1, got %d", p.VideoFrameRatio)
+	}
+	return nil
+}
+
+// Multiplexer combines a video source and a data stream into the displayed
+// frame sequence (Fig. 2): each video frame is duplicated VideoFrameRatio
+// times, and every displayed frame carries ±D with the complementary sign
+// alternating per display frame.
+type Multiplexer struct {
+	p     Params
+	video video.Source
+	data  Stream
+
+	// cached per-video-frame state
+	videoIdx int
+	vframe   *frame.Frame
+	headroom []float32 // per-block clipping-limited amplitude bound
+}
+
+// NewMultiplexer builds a multiplexer. The video source must match the
+// layout's panel size.
+func NewMultiplexer(p Params, src video.Source, data Stream) (*Multiplexer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := src.Size()
+	if w != p.Layout.FrameW || h != p.Layout.FrameH {
+		return nil, fmt.Errorf("core: video %dx%d does not match layout panel %dx%d",
+			w, h, p.Layout.FrameW, p.Layout.FrameH)
+	}
+	return &Multiplexer{p: p, video: src, data: data, videoIdx: -1}, nil
+}
+
+// Params returns the transmitter parameters.
+func (m *Multiplexer) Params() Params { return m.p }
+
+// DataFrameIndex returns which data frame display frame k belongs to.
+func (m *Multiplexer) DataFrameIndex(k int) int { return k / m.p.Tau }
+
+// envelopeAmplitude computes §3.2's smoothed pre-clipping amplitude of
+// Block (bx, by) at display frame k: steady during the first τ/2 frames of
+// the data period, transitioning toward the next data frame's level
+// afterwards. Shared by the grayscale and color multiplexers.
+func envelopeAmplitude(p Params, data Stream, bx, by, k int) float64 {
+	tau := p.Tau
+	d := k / tau
+	j := k % tau
+	cur := data.DataFrame(d).Bit(bx, by)
+	a0 := 0.0
+	if cur {
+		a0 = p.Delta
+	}
+	half := tau / 2
+	if j < half {
+		return a0
+	}
+	next := data.DataFrame(d+1).Bit(bx, by)
+	if next == cur {
+		return a0
+	}
+	a1 := 0.0
+	if next {
+		a1 = p.Delta
+	}
+	u := float64(j-half+1) / float64(half)
+	return p.Shape.Between(a0, a1, u)
+}
+
+// amplitude returns the pre-clipping envelope amplitude of Block (bx, by)
+// at display frame k.
+func (m *Multiplexer) amplitude(bx, by, k int) float64 {
+	return envelopeAmplitude(m.p, m.data, bx, by, k)
+}
+
+// refreshVideo loads the video frame for display frame k and recomputes the
+// per-block clipping headroom: the largest amplitude a such that v±a stays
+// within [0,255] for every chessboard-on pixel of the block (§3.3's local
+// amplitude adjustment for bright and dark areas).
+func (m *Multiplexer) refreshVideo(k int) {
+	vi := k / m.p.VideoFrameRatio
+	if vi == m.videoIdx {
+		return
+	}
+	m.videoIdx = vi
+	m.vframe = m.video.Frame(vi)
+	l := m.p.Layout
+	if m.headroom == nil {
+		m.headroom = make([]float32, l.NumBlocks())
+	}
+	ps := l.PixelSize
+	for by := 0; by < l.BlocksY; by++ {
+		for bx := 0; bx < l.BlocksX; bx++ {
+			x0, y0, w, h := l.BlockRect(bx, by)
+			head := float32(255)
+			for y := y0; y < y0+h; y++ {
+				pj := y / ps
+				rowBase := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if !ChessOn(x/ps, pj) {
+						continue
+					}
+					v := m.vframe.Pix[rowBase+x]
+					if hi := 255 - v; hi < head {
+						head = hi
+					}
+					if v < head {
+						head = v
+					}
+				}
+			}
+			if head < 0 {
+				head = 0
+			}
+			m.headroom[by*l.BlocksX+bx] = head
+		}
+	}
+}
+
+// Frame renders display frame k: the current video frame plus the signed,
+// clipped, smoothed chessboard of every Block.
+func (m *Multiplexer) Frame(k int) *frame.Frame {
+	if k < 0 {
+		panic("core: negative display frame index")
+	}
+	m.refreshVideo(k)
+	out := m.vframe.Clone()
+	l := m.p.Layout
+	sign := float32(1)
+	if k%2 == 1 {
+		sign = -1
+	}
+	ps := l.PixelSize
+	for by := 0; by < l.BlocksY; by++ {
+		for bx := 0; bx < l.BlocksX; bx++ {
+			a := m.amplitude(bx, by, k)
+			if a <= 0 {
+				continue
+			}
+			if head := float64(m.headroom[by*l.BlocksX+bx]); a > head {
+				a = head
+			}
+			if a <= 0 {
+				continue
+			}
+			add := sign * float32(a)
+			x0, y0, w, h := l.BlockRect(bx, by)
+			for y := y0; y < y0+h; y++ {
+				pj := y / ps
+				rowBase := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if ChessOn(x/ps, pj) {
+						out.Pix[rowBase+x] += add
+					}
+				}
+			}
+		}
+	}
+	out.Clamp(0, 255)
+	return out
+}
+
+// Render produces display frames [0, n) in order.
+func (m *Multiplexer) Render(n int) []*frame.Frame {
+	frames := make([]*frame.Frame, n)
+	for k := 0; k < n; k++ {
+		frames[k] = m.Frame(k)
+	}
+	return frames
+}
+
+// PushTo renders n display frames straight onto a display simulator.
+func (m *Multiplexer) PushTo(d *display.Display, n int) error {
+	for k := 0; k < n; k++ {
+		if err := d.Push(m.Frame(k)); err != nil {
+			return fmt.Errorf("core: pushing frame %d: %w", k, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"inframe/internal/frame"
+	"inframe/internal/video"
+)
+
+// RGBMultiplexer is the color rendition of the transmitter: the chessboard
+// delta is added equally to R, G and B (a pure luma shift, as in the
+// paper's prototype), so the viewer's chroma is untouched and the camera's
+// luma plane carries exactly the grayscale pipeline's signal.
+//
+// The clipping-aware local amplitude (§3.3) considers all three channels: a
+// saturated red sky limits the amplitude just like a saturated gray one.
+type RGBMultiplexer struct {
+	p     Params
+	video video.RGBSource
+	data  Stream
+
+	videoIdx int
+	vframe   *frame.RGB
+	headroom []float32
+}
+
+// NewRGBMultiplexer builds a color multiplexer; the source must match the
+// layout's panel size.
+func NewRGBMultiplexer(p Params, src video.RGBSource, data Stream) (*RGBMultiplexer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := src.Size()
+	if w != p.Layout.FrameW || h != p.Layout.FrameH {
+		return nil, fmt.Errorf("core: video %dx%d does not match layout panel %dx%d",
+			w, h, p.Layout.FrameW, p.Layout.FrameH)
+	}
+	return &RGBMultiplexer{p: p, video: src, data: data, videoIdx: -1}, nil
+}
+
+// Params returns the transmitter parameters.
+func (m *RGBMultiplexer) Params() Params { return m.p }
+
+// refreshVideo loads the color frame for display frame k and recomputes the
+// per-block headroom across all channels.
+func (m *RGBMultiplexer) refreshVideo(k int) {
+	vi := k / m.p.VideoFrameRatio
+	if vi == m.videoIdx {
+		return
+	}
+	m.videoIdx = vi
+	m.vframe = m.video.FrameRGB(vi)
+	l := m.p.Layout
+	if m.headroom == nil {
+		m.headroom = make([]float32, l.NumBlocks())
+	}
+	ps := l.PixelSize
+	for by := 0; by < l.BlocksY; by++ {
+		for bx := 0; bx < l.BlocksX; bx++ {
+			x0, y0, w, h := l.BlockRect(bx, by)
+			head := float32(255)
+			for y := y0; y < y0+h; y++ {
+				pj := y / ps
+				rowBase := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if !ChessOn(x/ps, pj) {
+						continue
+					}
+					i := rowBase + x
+					for _, v := range [3]float32{m.vframe.R[i], m.vframe.G[i], m.vframe.B[i]} {
+						if hi := 255 - v; hi < head {
+							head = hi
+						}
+						if v < head {
+							head = v
+						}
+					}
+				}
+			}
+			if head < 0 {
+				head = 0
+			}
+			m.headroom[by*l.BlocksX+bx] = head
+		}
+	}
+}
+
+// DeltaFrame renders the signed chessboard-only delta of display frame k,
+// with headroom clipping applied.
+func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
+	if k < 0 {
+		panic("core: negative display frame index")
+	}
+	m.refreshVideo(k)
+	l := m.p.Layout
+	out := frame.New(l.FrameW, l.FrameH)
+	sign := float32(1)
+	if k%2 == 1 {
+		sign = -1
+	}
+	ps := l.PixelSize
+	for by := 0; by < l.BlocksY; by++ {
+		for bx := 0; bx < l.BlocksX; bx++ {
+			a := envelopeAmplitude(m.p, m.data, bx, by, k)
+			if a <= 0 {
+				continue
+			}
+			if head := float64(m.headroom[by*l.BlocksX+bx]); a > head {
+				a = head
+			}
+			if a <= 0 {
+				continue
+			}
+			add := sign * float32(a)
+			x0, y0, w, h := l.BlockRect(bx, by)
+			for y := y0; y < y0+h; y++ {
+				pj := y / ps
+				rowBase := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if ChessOn(x/ps, pj) {
+						out.Pix[rowBase+x] = add
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FrameRGB renders the multiplexed color frame k.
+func (m *RGBMultiplexer) FrameRGB(k int) (*frame.RGB, error) {
+	delta := m.DeltaFrame(k)
+	out := m.vframe.Clone()
+	if err := out.AddLumaDelta(delta); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LumaFrame renders the luma plane of multiplexed frame k — what the
+// grayscale channel pipeline (display/camera simulators) consumes.
+func (m *RGBMultiplexer) LumaFrame(k int) (*frame.Frame, error) {
+	f, err := m.FrameRGB(k)
+	if err != nil {
+		return nil, err
+	}
+	return f.Luma(), nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import "math/rand"
+
+// ScrambleBits XORs the payload bits with a pseudo-random whitening
+// sequence keyed by (seed, frameIdx). The operation is self-inverse:
+// applying it twice with the same key restores the input.
+//
+// Whitening matters to the physical layer: the adaptive receiver
+// self-calibrates each Block from the variation of its energy over time, so
+// a payload that repeats (or holds many Blocks constant) would starve the
+// calibration. With per-frame whitening every Block toggles like the
+// paper's pseudo-random test data regardless of message content.
+func ScrambleBits(bits []bool, seed int64, frameIdx int) []bool {
+	rng := rand.New(rand.NewSource(seed ^ int64(frameIdx)*0x5deece66d))
+	out := make([]bool, len(bits))
+	for i, b := range bits {
+		out[i] = b != (rng.Intn(2) == 1)
+	}
+	return out
+}
+
+// ScrambledStream wraps a Stream with per-frame payload whitening. The
+// receive side undoes it with ScrambleBits using the same seed and the
+// decoded frame's index.
+type ScrambledStream struct {
+	Inner Stream
+	Seed  int64
+}
+
+// DataFrame implements Stream: the inner frame's payload bits are whitened
+// and re-wrapped with fresh GOB parity.
+func (ss *ScrambledStream) DataFrame(i int) *DataFrame {
+	inner := ss.Inner.DataFrame(i)
+	df, err := FromDataBits(inner.Layout, ScrambleBits(inner.DataBits(), ss.Seed, i))
+	if err != nil {
+		panic(err) // impossible: bit count comes from the same layout
+	}
+	return df
+}

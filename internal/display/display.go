@@ -1,0 +1,321 @@
+// Package display simulates the transmitter-side monitor of the InFrame
+// system (the paper uses an Eizo FG2421: 120 Hz, 1920×1080, brightness 100%).
+//
+// The display accepts a sequence of 8-bit drive frames, one per refresh
+// interval, and exposes the resulting *light field*: the linear-light
+// luminance of any pixel averaged over any time window. Both receivers in
+// the dual-mode channel — the human visual system model and the camera
+// simulator — consume the light field through time-window integration,
+// which is exactly how eyes (temporal summation) and sensors (exposure)
+// observe a screen.
+//
+// Two display non-idealities matter for InFrame and are modelled:
+//
+//   - gamma: drive values map to luminance via a power law, so a ±δ drive
+//     modulation produces *luminance* modulation that depends on the local
+//     video level (dark content compresses the chessboard);
+//   - pixel response: LCD cells approach their target exponentially with a
+//     gray-to-gray time constant, smearing consecutive frames into each
+//     other at 120 Hz.
+//
+// Drive frames are stored as bytes (the cable carries 8-bit values) and
+// mapped to luminance through a 256-entry lookup table, keeping hour-long
+// simulations within memory and avoiding per-pixel pow() in the hot path.
+package display
+
+import (
+	"fmt"
+	"math"
+
+	"inframe/internal/frame"
+)
+
+// Config describes the simulated monitor.
+type Config struct {
+	// RefreshHz is the refresh rate; the paper's setup runs at 120.
+	RefreshHz float64
+	// Brightness scales peak luminance, 0..1 (paper: 100% → 1.0).
+	Brightness float64
+	// Gamma is the drive-to-luminance exponent (typical LCD: 2.2).
+	Gamma float64
+	// ResponseTime is the exponential gray-to-gray time constant in
+	// seconds (0 = ideal instant pixels; fast gaming LCD ≈ 2 ms).
+	// Nonzero response keeps one float32 state frame per refresh in
+	// memory; prefer 0 for long throughput runs.
+	ResponseTime float64
+	// StrobeDuty enables a strobed backlight (the FG2421's "Turbo 240"
+	// black-frame insertion): light is emitted only during the final
+	// StrobeDuty fraction of each refresh interval, scaled 1/duty so the
+	// mean luminance is unchanged. The strobe fires after the LCD has
+	// settled, so pixel response is hidden and ResponseTime is ignored.
+	// 0 disables strobing (continuous backlight).
+	StrobeDuty float64
+}
+
+// DefaultConfig models the paper's Eizo FG2421 at 100% brightness.
+func DefaultConfig() Config {
+	return Config{RefreshHz: 120, Brightness: 1.0, Gamma: 2.2, ResponseTime: 0.002}
+}
+
+// Validate reports whether the configuration is physical.
+func (c Config) Validate() error {
+	if c.RefreshHz <= 0 {
+		return fmt.Errorf("display: RefreshHz must be positive, got %v", c.RefreshHz)
+	}
+	if c.Brightness <= 0 || c.Brightness > 1 {
+		return fmt.Errorf("display: Brightness must be in (0,1], got %v", c.Brightness)
+	}
+	if c.Gamma <= 0 {
+		return fmt.Errorf("display: Gamma must be positive, got %v", c.Gamma)
+	}
+	if c.ResponseTime < 0 {
+		return fmt.Errorf("display: ResponseTime must be non-negative, got %v", c.ResponseTime)
+	}
+	if c.StrobeDuty < 0 || c.StrobeDuty > 1 {
+		return fmt.Errorf("display: StrobeDuty must be in [0,1], got %v", c.StrobeDuty)
+	}
+	return nil
+}
+
+// Display holds the pushed drive frames and the derived light field state.
+// Luminance is expressed on a 0..255 linear scale (255 = peak white at
+// Brightness 1.0) so it composes naturally with 8-bit pixel arithmetic.
+type Display struct {
+	cfg  Config
+	w, h int
+
+	// drive[k] is the quantized 8-bit drive frame of interval k.
+	drive [][]uint8
+	// lut maps a drive value to linear luminance.
+	lut [256]float32
+	// state[k] is the actual luminance at the *start* of interval k when
+	// ResponseTime > 0, accounting for the exponential response; extended
+	// lazily.
+	state []*frame.Frame
+}
+
+// New returns a display with the given config; frame dimensions are fixed by
+// the first pushed frame.
+func New(cfg Config) (*Display, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Display{cfg: cfg}
+	for v := 0; v < 256; v++ {
+		d.lut[v] = float32(cfg.Brightness * 255 * math.Pow(float64(v)/255, cfg.Gamma))
+	}
+	return d, nil
+}
+
+// Config returns the display configuration.
+func (d *Display) Config() Config { return d.cfg }
+
+// FrameDuration returns the length of one refresh interval in seconds.
+func (d *Display) FrameDuration() float64 { return 1 / d.cfg.RefreshHz }
+
+// NumFrames returns how many drive frames have been pushed.
+func (d *Display) NumFrames() int { return len(d.drive) }
+
+// Duration returns the total displayed time in seconds.
+func (d *Display) Duration() float64 { return float64(len(d.drive)) / d.cfg.RefreshHz }
+
+// Size returns the panel resolution (0,0 before the first Push).
+func (d *Display) Size() (int, int) { return d.w, d.h }
+
+// Push appends one drive frame for the next refresh interval. Drive values
+// are clamped to [0,255] and quantized (the cable carries 8-bit values).
+func (d *Display) Push(f *frame.Frame) error {
+	if d.w == 0 {
+		d.w, d.h = f.W, f.H
+	} else if f.W != d.w || f.H != d.h {
+		return fmt.Errorf("display: frame %dx%d does not match panel %dx%d", f.W, f.H, d.w, d.h)
+	}
+	dr := make([]uint8, len(f.Pix))
+	for i, v := range f.Pix {
+		q := math.Round(float64(v))
+		if q < 0 {
+			q = 0
+		} else if q > 255 {
+			q = 255
+		}
+		dr[i] = uint8(q)
+	}
+	d.drive = append(d.drive, dr)
+	return nil
+}
+
+// clampFrame returns the drive frame index clamped to the pushed range: the
+// first/last frame is held before t=0 and after the end.
+func (d *Display) clampFrame(k int) int {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(d.drive) {
+		return len(d.drive) - 1
+	}
+	return k
+}
+
+// Luminance returns the steady-state linear luminance frame of drive frame
+// k (clamped to the pushed range) as a freshly materialized frame.
+func (d *Display) Luminance(k int) *frame.Frame {
+	if len(d.drive) == 0 {
+		panic("display: no frames pushed")
+	}
+	dr := d.drive[d.clampFrame(k)]
+	out := frame.New(d.w, d.h)
+	for i, v := range dr {
+		out.Pix[i] = d.lut[v]
+	}
+	return out
+}
+
+// ensureState extends the response-state chain so state[k] exists.
+// state[0] assumes the panel settled on frame 0 before t=0.
+func (d *Display) ensureState(k int) {
+	if d.cfg.ResponseTime == 0 {
+		return
+	}
+	if len(d.state) == 0 {
+		d.state = append(d.state, d.Luminance(0))
+	}
+	alpha := float32(math.Exp(-d.FrameDuration() / d.cfg.ResponseTime))
+	for len(d.state) <= k {
+		j := len(d.state) - 1 // completed interval
+		prev := d.state[j]
+		target := d.drive[d.clampFrame(j)]
+		next := frame.New(d.w, d.h)
+		for i := range next.Pix {
+			tg := d.lut[target[i]]
+			next.Pix[i] = tg + (prev.Pix[i]-tg)*alpha
+		}
+		d.state = append(d.state, next)
+	}
+}
+
+// RowAverage computes, for every pixel of row y, the mean linear luminance
+// over the time window [t0, t1) and stores it into dst (length ≥ panel
+// width). Windows extending before 0 or past the last frame see the first /
+// last frame held steady.
+func (d *Display) RowAverage(y int, t0, t1 float64, dst []float32) {
+	if len(d.drive) == 0 {
+		panic("display: no frames pushed")
+	}
+	if t1 <= t0 {
+		panic(fmt.Sprintf("display: empty window [%v,%v)", t0, t1))
+	}
+	if y < 0 || y >= d.h {
+		panic(fmt.Sprintf("display: row %d out of range", y))
+	}
+	w := d.w
+	for x := 0; x < w; x++ {
+		dst[x] = 0
+	}
+	T := d.FrameDuration()
+	k0 := int(math.Floor(t0 / T))
+	k1 := int(math.Ceil(t1 / T))
+	if k1 <= k0 {
+		k1 = k0 + 1
+	}
+	total := t1 - t0
+	if duty := d.cfg.StrobeDuty; duty > 0 && duty < 1 {
+		// Strobed backlight: light only during the final duty fraction of
+		// each interval, at target luminance scaled by 1/duty.
+		boost := float32(1 / duty)
+		for k := k0; k < k1; k++ {
+			sOn := (float64(k) + 1 - duty) * T
+			sOff := float64(k+1) * T
+			a := math.Max(t0, sOn)
+			b := math.Min(t1, sOff)
+			if b <= a {
+				continue
+			}
+			target := d.drive[d.clampFrame(k)][y*w : y*w+w]
+			wgt := float32((b-a)/total) * boost
+			for x := 0; x < w; x++ {
+				dst[x] += d.lut[target[x]] * wgt
+			}
+		}
+		return
+	}
+	useResp := d.cfg.ResponseTime > 0
+	if useResp {
+		kLast := k1
+		if kLast > len(d.drive) {
+			kLast = len(d.drive)
+		}
+		d.ensureState(kLast)
+	}
+	tauR := d.cfg.ResponseTime
+	for k := k0; k < k1; k++ {
+		a := math.Max(t0, float64(k)*T)
+		b := math.Min(t1, float64(k+1)*T)
+		if b <= a {
+			continue
+		}
+		target := d.drive[d.clampFrame(k)][y*w : y*w+w]
+		if !useResp || k < 0 || k >= len(d.drive) {
+			// Settled (held) frame or ideal pixels: constant luminance.
+			wgt := float32((b - a) / total)
+			for x := 0; x < w; x++ {
+				dst[x] += d.lut[target[x]] * wgt
+			}
+			continue
+		}
+		// Exponential approach from the interval-start state:
+		// ∫ target + (s−target)·e^{−(t−tk)/τ} dt over [a,b].
+		tk := float64(k) * T
+		ea := math.Exp(-(a - tk) / tauR)
+		eb := math.Exp(-(b - tk) / tauR)
+		cLin := float32((b - a) / total)
+		cExp := float32(tauR * (ea - eb) / total)
+		st := d.state[k].Pix[y*w : y*w+w]
+		for x := 0; x < w; x++ {
+			tg := d.lut[target[x]]
+			dst[x] += tg*cLin + (st[x]-tg)*cExp
+		}
+	}
+}
+
+// WindowAverage returns a full frame of mean linear luminance over [t0, t1).
+func (d *Display) WindowAverage(t0, t1 float64) *frame.Frame {
+	out := frame.New(d.w, d.h)
+	row := make([]float32, d.w)
+	for y := 0; y < d.h; y++ {
+		d.RowAverage(y, t0, t1, row)
+		copy(out.Pix[y*d.w:(y+1)*d.w], row)
+	}
+	return out
+}
+
+// PixelWaveform samples the luminance of pixel (x, y) at n uniform points in
+// [t0, t1), using a sample window of dt seconds each; used by the HVS model
+// and waveform verification.
+func (d *Display) PixelWaveform(x, y int, t0, t1 float64, n int) []float64 {
+	if n <= 0 {
+		panic("display: non-positive sample count")
+	}
+	out := make([]float64, n)
+	row := make([]float32, d.w)
+	dt := (t1 - t0) / float64(n)
+	for i := 0; i < n; i++ {
+		a := t0 + float64(i)*dt
+		d.RowAverage(y, a, a+dt, row)
+		out[i] = float64(row[x])
+	}
+	return out
+}
+
+// EncodeLuminance converts a linear-light value (0..255 scale) back to the
+// 8-bit drive value that would produce it, inverting gamma and brightness.
+// It is the reference inverse transform used by the camera's encoder.
+func (d *Display) EncodeLuminance(l float64) float64 {
+	if l <= 0 {
+		return 0
+	}
+	v := 255 * math.Pow(l/(255*d.cfg.Brightness), 1/d.cfg.Gamma)
+	if v > 255 {
+		v = 255
+	}
+	return v
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrinters exercises every table writer on synthetic rows, checking the
+// headline values survive into the text (the tables are EXPERIMENTS.md's
+// source of truth, so formatting regressions matter).
+func TestPrinters(t *testing.T) {
+	var sb strings.Builder
+	check := func(name string, wants ...string) {
+		t.Helper()
+		out := sb.String()
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", name, w, out)
+			}
+		}
+		sb.Reset()
+	}
+
+	WriteFlicker(&sb, []FlickerPoint{{Brightness: 180, Delta: 20, Tau: 12, Mean: 0.75, Std: 0.43}})
+	check("WriteFlicker", "180", "0.75", "0.43")
+
+	WriteNaive(&sb, []NaiveRow{{Scheme: "V:D=1:3", Mean: 3.12, Std: 0.6}})
+	check("WriteNaive", "V:D=1:3", "3.12")
+
+	WriteBands(&sb, []BandRow{{Band: 0.3, AvailableRatio: 0.594, ErrorRate: 0.079}})
+	check("WriteBands", "0.30", "59.4", "7.90")
+
+	WriteShutter(&sb, []ShutterRow{{Name: "global", AvailableRatio: 0.995, ErrorRate: 0.0003, ThroughputBps: 11190}})
+	check("WriteShutter", "global", "99.5", "11.19")
+
+	WriteNoise(&sb, []NoiseRow{{Sigma: 2.5, AvailableRatio: 0.946, ErrorRate: 0.0003, ThroughputBps: 10640}})
+	check("WriteNoise", "2.5", "94.6", "10.64")
+
+	WriteDetectors(&sb, []DetectorRow{{Detector: "energy", AvailableRatio: 0.594, ErrorRate: 0.079}})
+	check("WriteDetectors", "energy", "59.4")
+
+	WriteCoding(&sb, []CodingRow{{Scheme: "RS(250,187)", FrameSuccessRatio: 1, GoodputBps: 11220}})
+	check("WriteCoding", "RS(250,187)", "100.0", "11.22")
+
+	WriteSync(&sb, []SyncRow{{Captures: 16, PhaseErrorFrac: 0.021}})
+	check("WriteSync", "16", "2.1")
+
+	WriteBaseline(&sb, []BaselineRow{{System: "InFrame", ThroughputBps: 6160, ScreenLoss: 0, Perceptible: false}})
+	check("WriteBaseline", "InFrame", "6.16", "false")
+
+	WriteRegistration(&sb, []RegistrationRow{{Name: "aligned", NaiveCorrect: 0.946, CalibCorrect: 0.946}})
+	check("WriteRegistration", "aligned", "94.6")
+
+	WriteStreaming(&sb, []StreamingRow{{Receiver: "batch", AvailableRatio: 0.597, ErrorRate: 0.0815}})
+	check("WriteStreaming", "batch", "59.7", "8.15")
+
+	WriteResponse(&sb, []ResponseRow{{Name: "instant", AvailableRatio: 0.944, ThroughputBps: 10620}})
+	check("WriteResponse", "instant", "94.4", "10.62")
+
+	WritePixelSizes(&sb, []PixelSizeRow{{PitchPaperPx: 4, Mean: 1.75, Std: 0.43}})
+	check("WritePixelSizes", "4", "1.75")
+
+	WriteTradeoff(&sb, []TradeoffRow{{Delta: 20, Tau: 10, ThroughputBps: 12710, FlickerMean: 0.88, Satisfactory: true}})
+	check("WriteTradeoff", "12.71", "0.88", "recommended")
+
+	WriteThroughput(&sb, []ThroughputRow{{
+		Setting: ThroughputSetting{Video: VideoGray, Delta: 20, Tau: 10},
+		Frames:  24,
+	}})
+	check("WriteThroughput", "Gray", "24")
+}

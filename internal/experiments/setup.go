@@ -1,0 +1,103 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (§4) on the simulated substrate, plus the ablations DESIGN.md
+// calls out. Each experiment returns typed rows and has a matching writer
+// that prints the same series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"inframe/internal/camera"
+	"inframe/internal/channel"
+	"inframe/internal/core"
+	"inframe/internal/display"
+)
+
+// Setup fixes the global simulation scale. Defaults run the full pipeline
+// at half the paper's spatial scale (960×540 display, 640×360 capture),
+// which preserves the Block/GOB geometry and Pixel pitch ratios exactly
+// while keeping runtimes workable.
+type Setup struct {
+	// Seed drives all randomness (payloads, noise, panel, ratings).
+	Seed int64
+	// ScaleDiv divides the paper's 1920×1080/1280×720 geometry (2 → half).
+	ScaleDiv int
+	// ThroughputSeconds is the simulated duration per Fig. 7 setting.
+	ThroughputSeconds float64
+	// FlickerSeconds is the simulated duration per Fig. 6 rating.
+	FlickerSeconds float64
+	// PanelSize is the number of simulated study participants (paper: 8).
+	PanelSize int
+}
+
+// DefaultSetup returns the standard configuration.
+func DefaultSetup() Setup {
+	return Setup{
+		Seed:              1,
+		ScaleDiv:          2,
+		ThroughputSeconds: 2.0,
+		FlickerSeconds:    1.0,
+		PanelSize:         8,
+	}
+}
+
+// Validate reports whether the setup is usable.
+func (s Setup) Validate() error {
+	if s.ScaleDiv <= 0 {
+		return fmt.Errorf("experiments: ScaleDiv must be positive")
+	}
+	if s.ThroughputSeconds <= 0 || s.FlickerSeconds <= 0 {
+		return fmt.Errorf("experiments: durations must be positive")
+	}
+	if s.PanelSize <= 0 {
+		return fmt.Errorf("experiments: PanelSize must be positive")
+	}
+	return nil
+}
+
+// layout returns the paper geometry at the setup's scale.
+func (s Setup) layout() (core.Layout, error) {
+	return core.ScaledPaperLayout(s.ScaleDiv)
+}
+
+// captureSize returns the Lumia-equivalent capture resolution at scale.
+func (s Setup) captureSize() (int, int) {
+	return 1280 / s.ScaleDiv, 720 / s.ScaleDiv
+}
+
+// channelConfig returns the standard simulated link: 120 Hz display,
+// 30 FPS rolling-shutter camera at the paper's office-distance quality.
+// Optical blur is left at 0 because at ScaleDiv ≥ 2 one display pixel
+// already aggregates 2×2 paper pixels — the blur is baked into the scale.
+func (s Setup) channelConfig() channel.Config {
+	capW, capH := s.captureSize()
+	dcfg := display.DefaultConfig()
+	dcfg.ResponseTime = 0 // keep long runs in memory; see display docs
+	ccfg := camera.DefaultConfig(capW, capH)
+	ccfg.BlurRadius = 0
+	ccfg.Seed = s.Seed
+	return channel.Config{Display: dcfg, Camera: ccfg}
+}
+
+// flickerLayout is a compact panel for the Fig. 6 perception stimuli: the
+// content is uniform, so a small Block grid at the correct Pixel pitch
+// produces identical waveforms to the full panel at a fraction of the cost.
+func (s Setup) flickerLayout() core.Layout {
+	p := 4 / s.ScaleDiv
+	if p < 1 {
+		p = 1
+	}
+	bs := 4
+	bp := p * bs
+	return core.Layout{
+		FrameW: 12 * bp, FrameH: 8 * bp,
+		PixelSize: p, BlockSize: bs, GOBSize: 2,
+		BlocksX: 12, BlocksY: 8,
+	}
+}
+
+// fullScalePitch converts the scaled Pixel pitch back to paper-equivalent
+// screen pixels for the HVS geometry (PixelsPerDegree assumes 1080p).
+func (s Setup) fullScalePitch(l core.Layout) float64 {
+	return float64(l.PixelSize * s.ScaleDiv)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// TradeoffRow is one operating point of the §5 discussion: the throughput
+// and the perceptual cost of a (δ, τ) pair on the gray video.
+type TradeoffRow struct {
+	Delta float64
+	Tau   int
+	// ThroughputBps is the secondary-channel rate at this point.
+	ThroughputBps float64
+	// FlickerMean is the simulated panel's rating (0-4).
+	FlickerMean float64
+	// Satisfactory marks ratings ≤ 1 (the paper's acceptance bar).
+	Satisfactory bool
+}
+
+// Tradeoff sweeps the (δ, τ) plane on the gray video, producing the
+// rate-vs-perceptibility map behind the paper's parameter recommendation:
+// pick the highest-throughput point that still rates ≤1.
+func Tradeoff(s Setup) ([]TradeoffRow, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []TradeoffRow
+	for _, tau := range []int{8, 10, 12, 16} {
+		for _, delta := range []float64{10, 20, 30, 40} {
+			row, err := RunSetting(s, ThroughputSetting{Video: VideoGray, Delta: delta, Tau: tau})
+			if err != nil {
+				return nil, err
+			}
+			mean, _, err := s.rateMultiplexed(180, delta, tau)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, TradeoffRow{
+				Delta:         delta,
+				Tau:           tau,
+				ThroughputBps: row.Report.ThroughputBps,
+				FlickerMean:   mean,
+				Satisfactory:  mean <= 1.0,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteTradeoff prints the operating-point map and the recommended point.
+func WriteTradeoff(w io.Writer, rows []TradeoffRow) {
+	fmt.Fprintf(w, "%6s %4s | %11s %8s %13s\n", "delta", "tau", "throughput", "flicker", "satisfactory")
+	best := -1
+	for i, r := range rows {
+		fmt.Fprintf(w, "%6.0f %4d | %8.2fkbps %8.2f %13v\n",
+			r.Delta, r.Tau, r.ThroughputBps/1000, r.FlickerMean, r.Satisfactory)
+		if r.Satisfactory && (best < 0 || r.ThroughputBps > rows[best].ThroughputBps) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		fmt.Fprintf(w, "recommended: δ=%.0f τ=%d (%.2f kbps at flicker %.2f)\n",
+			rows[best].Delta, rows[best].Tau,
+			rows[best].ThroughputBps/1000, rows[best].FlickerMean)
+	}
+}

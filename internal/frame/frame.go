@@ -1,0 +1,232 @@
+// Package frame provides the grayscale frame type shared by every stage of
+// the InFrame pipeline: video generation, multiplexing, display simulation,
+// camera capture and decoding.
+//
+// Frames store luminance as float32 in the nominal range [0, 255]. Keeping
+// the pipeline in float avoids accumulating quantization error across the
+// encode → display → integrate → capture chain; values are clamped and
+// quantized only where the physical system does (the display's drive value
+// and the camera's ADC).
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Frame is a single grayscale image plane. Pixels are stored row-major:
+// pixel (x, y) lives at Pix[y*W+x]. The zero value is not usable; construct
+// frames with New or NewFilled.
+type Frame struct {
+	W, H int
+	Pix  []float32
+}
+
+// ErrSizeMismatch is returned by binary frame operations whose operands have
+// different dimensions.
+var ErrSizeMismatch = errors.New("frame: size mismatch")
+
+// New returns a zeroed (black) frame of the given dimensions.
+// It panics if either dimension is non-positive.
+func New(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame.New: invalid size %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// NewFilled returns a frame of the given dimensions with every pixel set to v.
+func NewFilled(w, h int, v float32) *Frame {
+	f := New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = v
+	}
+	return f
+}
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{W: f.W, H: f.H, Pix: make([]float32, len(f.Pix))}
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// At returns the pixel value at (x, y). It panics if the coordinates are out
+// of bounds, matching slice semantics.
+func (f *Frame) At(x, y int) float32 { return f.Pix[y*f.W+x] }
+
+// Set assigns the pixel value at (x, y).
+func (f *Frame) Set(x, y int, v float32) { f.Pix[y*f.W+x] = v }
+
+// SameSize reports whether f and g have identical dimensions.
+func (f *Frame) SameSize(g *Frame) bool { return f.W == g.W && f.H == g.H }
+
+// Fill sets every pixel to v.
+func (f *Frame) Fill(v float32) {
+	for i := range f.Pix {
+		f.Pix[i] = v
+	}
+}
+
+// Add computes f += g in place.
+func (f *Frame) Add(g *Frame) error {
+	if !f.SameSize(g) {
+		return ErrSizeMismatch
+	}
+	for i, v := range g.Pix {
+		f.Pix[i] += v
+	}
+	return nil
+}
+
+// Sub computes f -= g in place.
+func (f *Frame) Sub(g *Frame) error {
+	if !f.SameSize(g) {
+		return ErrSizeMismatch
+	}
+	for i, v := range g.Pix {
+		f.Pix[i] -= v
+	}
+	return nil
+}
+
+// AddScaled computes f += k*g in place.
+func (f *Frame) AddScaled(g *Frame, k float32) error {
+	if !f.SameSize(g) {
+		return ErrSizeMismatch
+	}
+	for i, v := range g.Pix {
+		f.Pix[i] += k * v
+	}
+	return nil
+}
+
+// Scale multiplies every pixel by k.
+func (f *Frame) Scale(k float32) {
+	for i := range f.Pix {
+		f.Pix[i] *= k
+	}
+}
+
+// Clamp limits every pixel to [lo, hi].
+func (f *Frame) Clamp(lo, hi float32) {
+	for i, v := range f.Pix {
+		if v < lo {
+			f.Pix[i] = lo
+		} else if v > hi {
+			f.Pix[i] = hi
+		}
+	}
+}
+
+// Quantize rounds every pixel to the nearest integer and clamps to [0, 255],
+// modelling an 8-bit pixel value while keeping float storage.
+func (f *Frame) Quantize() {
+	for i, v := range f.Pix {
+		q := float32(math.Round(float64(v)))
+		if q < 0 {
+			q = 0
+		} else if q > 255 {
+			q = 255
+		}
+		f.Pix[i] = q
+	}
+}
+
+// Mean returns the average pixel value.
+func (f *Frame) Mean() float64 {
+	var s float64
+	for _, v := range f.Pix {
+		s += float64(v)
+	}
+	return s / float64(len(f.Pix))
+}
+
+// MinMax returns the smallest and largest pixel values.
+func (f *Frame) MinMax() (min, max float32) {
+	min, max = f.Pix[0], f.Pix[0]
+	for _, v := range f.Pix[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Complement returns the complementary frame of f with respect to luminance
+// level v: every output pixel o satisfies o + p = 2v (§3.2 of the paper).
+func (f *Frame) Complement(v float32) *Frame {
+	g := New(f.W, f.H)
+	for i, p := range f.Pix {
+		g.Pix[i] = 2*v - p
+	}
+	return g
+}
+
+// Region copies the rectangle with origin (x0, y0) and size w×h into a new
+// frame. The rectangle is clipped to f's bounds; it panics if the clipped
+// rectangle is empty.
+func (f *Frame) Region(x0, y0, w, h int) *Frame {
+	if x0 < 0 {
+		w += x0
+		x0 = 0
+	}
+	if y0 < 0 {
+		h += y0
+		y0 = 0
+	}
+	if x0+w > f.W {
+		w = f.W - x0
+	}
+	if y0+h > f.H {
+		h = f.H - y0
+	}
+	if w <= 0 || h <= 0 {
+		panic("frame.Region: empty region")
+	}
+	g := New(w, h)
+	for y := 0; y < h; y++ {
+		copy(g.Pix[y*w:(y+1)*w], f.Pix[(y0+y)*f.W+x0:(y0+y)*f.W+x0+w])
+	}
+	return g
+}
+
+// Blit copies src into f with its origin at (x0, y0), clipping to f's bounds.
+func (f *Frame) Blit(src *Frame, x0, y0 int) {
+	for y := 0; y < src.H; y++ {
+		dy := y0 + y
+		if dy < 0 || dy >= f.H {
+			continue
+		}
+		for x := 0; x < src.W; x++ {
+			dx := x0 + x
+			if dx < 0 || dx >= f.W {
+				continue
+			}
+			f.Pix[dy*f.W+dx] = src.Pix[y*src.W+x]
+		}
+	}
+}
+
+// Equal reports whether f and g are identical in size and pixel values.
+func (f *Frame) Equal(g *Frame) bool {
+	if !f.SameSize(g) {
+		return false
+	}
+	for i, v := range f.Pix {
+		if g.Pix[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the frame for debugging.
+func (f *Frame) String() string {
+	min, max := f.MinMax()
+	return fmt.Sprintf("Frame(%dx%d mean=%.1f range=[%.1f,%.1f])", f.W, f.H, f.Mean(), min, max)
+}

@@ -1,0 +1,217 @@
+package frame
+
+import "math"
+
+// BoxBlur returns a copy of f blurred with a (2r+1)×(2r+1) box filter.
+// Edges are handled by clamping coordinates (replicate padding). r <= 0
+// returns a plain clone. This is the "smoothing" primitive the InFrame
+// demultiplexer subtracts to expose chessboard energy (§3.3).
+func BoxBlur(f *Frame, r int) *Frame {
+	if r <= 0 {
+		return f.Clone()
+	}
+	// Two separable passes: horizontal then vertical, each using a sliding
+	// running sum so the cost is O(W*H) independent of r.
+	tmp := New(f.W, f.H)
+	blurRows(f, tmp, r)
+	out := New(f.W, f.H)
+	blurCols(tmp, out, r)
+	return out
+}
+
+func blurRows(src, dst *Frame, r int) {
+	w := src.W
+	inv := 1 / float32(2*r+1)
+	for y := 0; y < src.H; y++ {
+		row := src.Pix[y*w : (y+1)*w]
+		out := dst.Pix[y*w : (y+1)*w]
+		var sum float32
+		for i := -r; i <= r; i++ {
+			sum += row[clampIdx(i, w)]
+		}
+		for x := 0; x < w; x++ {
+			out[x] = sum * inv
+			sum += row[clampIdx(x+r+1, w)] - row[clampIdx(x-r, w)]
+		}
+	}
+}
+
+func blurCols(src, dst *Frame, r int) {
+	w, h := src.W, src.H
+	inv := 1 / float32(2*r+1)
+	col := make([]float32, h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			col[y] = src.Pix[y*w+x]
+		}
+		var sum float32
+		for i := -r; i <= r; i++ {
+			sum += col[clampIdx(i, h)]
+		}
+		for y := 0; y < h; y++ {
+			dst.Pix[y*w+x] = sum * inv
+			sum += col[clampIdx(y+r+1, h)] - col[clampIdx(y-r, h)]
+		}
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Resample returns f resampled to w×h using area averaging for reduction and
+// bilinear interpolation for enlargement. This models the camera sensor
+// seeing the screen at a different resolution than the display's.
+func Resample(f *Frame, w, h int) *Frame {
+	if w == f.W && h == f.H {
+		return f.Clone()
+	}
+	if w <= 0 || h <= 0 {
+		panic("frame.Resample: invalid target size")
+	}
+	if w <= f.W && h <= f.H {
+		return areaResample(f, w, h)
+	}
+	return bilinearResample(f, w, h)
+}
+
+func areaResample(f *Frame, w, h int) *Frame {
+	out := New(w, h)
+	sx := float64(f.W) / float64(w)
+	sy := float64(f.H) / float64(h)
+	for oy := 0; oy < h; oy++ {
+		y0 := float64(oy) * sy
+		y1 := y0 + sy
+		for ox := 0; ox < w; ox++ {
+			x0 := float64(ox) * sx
+			x1 := x0 + sx
+			var sum, area float64
+			for iy := int(y0); iy < int(math.Ceil(y1)) && iy < f.H; iy++ {
+				fy := overlap(float64(iy), float64(iy+1), y0, y1)
+				if fy <= 0 {
+					continue
+				}
+				for ix := int(x0); ix < int(math.Ceil(x1)) && ix < f.W; ix++ {
+					fx := overlap(float64(ix), float64(ix+1), x0, x1)
+					if fx <= 0 {
+						continue
+					}
+					wgt := fx * fy
+					sum += wgt * float64(f.Pix[iy*f.W+ix])
+					area += wgt
+				}
+			}
+			if area > 0 {
+				out.Pix[oy*w+ox] = float32(sum / area)
+			}
+		}
+	}
+	return out
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func bilinearResample(f *Frame, w, h int) *Frame {
+	out := New(w, h)
+	sx := float64(f.W-1) / float64(max(w-1, 1))
+	sy := float64(f.H-1) / float64(max(h-1, 1))
+	for oy := 0; oy < h; oy++ {
+		fy := float64(oy) * sy
+		y0 := int(fy)
+		y1 := min(y0+1, f.H-1)
+		wy := float32(fy - float64(y0))
+		for ox := 0; ox < w; ox++ {
+			fx := float64(ox) * sx
+			x0 := int(fx)
+			x1 := min(x0+1, f.W-1)
+			wx := float32(fx - float64(x0))
+			v00 := f.Pix[y0*f.W+x0]
+			v01 := f.Pix[y0*f.W+x1]
+			v10 := f.Pix[y1*f.W+x0]
+			v11 := f.Pix[y1*f.W+x1]
+			top := v00 + (v01-v00)*wx
+			bot := v10 + (v11-v10)*wx
+			out.Pix[oy*w+ox] = top + (bot-top)*wy
+		}
+	}
+	return out
+}
+
+// MAE returns the mean absolute pixel error between two equal-sized frames.
+func MAE(a, b *Frame) (float64, error) {
+	if !a.SameSize(b) {
+		return 0, ErrSizeMismatch
+	}
+	var s float64
+	for i, v := range a.Pix {
+		s += math.Abs(float64(v - b.Pix[i]))
+	}
+	return s / float64(len(a.Pix)), nil
+}
+
+// MSE returns the mean squared pixel error between two equal-sized frames.
+func MSE(a, b *Frame) (float64, error) {
+	if !a.SameSize(b) {
+		return 0, ErrSizeMismatch
+	}
+	var s float64
+	for i, v := range a.Pix {
+		d := float64(v - b.Pix[i])
+		s += d * d
+	}
+	return s / float64(len(a.Pix)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two equal-sized
+// frames assuming a 255 peak. Identical frames yield +Inf.
+func PSNR(a, b *Frame) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// Average returns the pixel-wise mean of the given frames, which must all
+// share one size. It models ideal temporal fusion over the frame set.
+func Average(frames ...*Frame) (*Frame, error) {
+	if len(frames) == 0 {
+		return nil, ErrSizeMismatch
+	}
+	out := New(frames[0].W, frames[0].H)
+	for _, f := range frames {
+		if err := out.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	out.Scale(1 / float32(len(frames)))
+	return out, nil
+}
+
+// HighFreqEnergy returns the mean absolute residual of f after subtracting
+// its r-radius box blur: the per-pixel high-spatial-frequency energy the
+// InFrame detector keys on.
+func HighFreqEnergy(f *Frame, r int) float64 {
+	sm := BoxBlur(f, r)
+	var s float64
+	for i, v := range f.Pix {
+		s += math.Abs(float64(v - sm.Pix[i]))
+	}
+	return s / float64(len(f.Pix))
+}

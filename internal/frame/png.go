@@ -1,0 +1,78 @@
+package frame
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+)
+
+// ToImage converts f to an 8-bit grayscale image, clamping to [0,255].
+func ToImage(f *Frame) *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			v := f.Pix[y*f.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			img.SetGray(x, y, color.Gray{Y: uint8(v + 0.5)})
+		}
+	}
+	return img
+}
+
+// FromImage converts any image to a luminance frame using the Rec. 601
+// weights applied by the standard library's color conversion.
+func FromImage(img image.Image) *Frame {
+	b := img.Bounds()
+	f := New(b.Dx(), b.Dy())
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			g := color.GrayModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
+			f.Pix[y*f.W+x] = float32(g.Y)
+		}
+	}
+	return f
+}
+
+// EncodePNG writes f as a grayscale PNG.
+func EncodePNG(w io.Writer, f *Frame) error {
+	return png.Encode(w, ToImage(f))
+}
+
+// DecodePNG reads a PNG (any color model) into a luminance frame.
+func DecodePNG(r io.Reader) (*Frame, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("frame: decoding png: %w", err)
+	}
+	return FromImage(img), nil
+}
+
+// WritePNG saves f as a grayscale PNG at path.
+func WritePNG(path string, f *Frame) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("frame: creating %s: %w", path, err)
+	}
+	defer fh.Close()
+	if err := EncodePNG(fh, f); err != nil {
+		return fmt.Errorf("frame: encoding %s: %w", path, err)
+	}
+	return fh.Close()
+}
+
+// ReadPNG loads the PNG at path into a luminance frame.
+func ReadPNG(path string) (*Frame, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("frame: opening %s: %w", path, err)
+	}
+	defer fh.Close()
+	return DecodePNG(fh)
+}

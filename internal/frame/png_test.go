@@ -1,0 +1,88 @@
+package frame
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := New(20, 15)
+	for i := range f.Pix {
+		f.Pix[i] = float32(rng.Intn(256))
+	}
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("PNG round trip changed integral pixel values")
+	}
+}
+
+func TestToImageClamps(t *testing.T) {
+	f := New(2, 1)
+	f.Pix[0], f.Pix[1] = -50, 300
+	img := ToImage(f)
+	if img.GrayAt(0, 0).Y != 0 || img.GrayAt(1, 0).Y != 255 {
+		t.Fatalf("ToImage clamp: got %d, %d", img.GrayAt(0, 0).Y, img.GrayAt(1, 0).Y)
+	}
+}
+
+func TestFromImageColor(t *testing.T) {
+	img := image.NewRGBA(image.Rect(0, 0, 2, 1))
+	img.Set(0, 0, color.RGBA{R: 255, G: 255, B: 255, A: 255})
+	img.Set(1, 0, color.RGBA{A: 255})
+	f := FromImage(img)
+	if f.At(0, 0) != 255 || f.At(1, 0) != 0 {
+		t.Fatalf("FromImage luminance: got %v, %v", f.At(0, 0), f.At(1, 0))
+	}
+}
+
+func TestFromImageRespectsBoundsOffset(t *testing.T) {
+	img := image.NewGray(image.Rect(5, 5, 8, 7))
+	img.SetGray(5, 5, color.Gray{Y: 42})
+	f := FromImage(img)
+	if f.W != 3 || f.H != 2 {
+		t.Fatalf("size %dx%d, want 3x2", f.W, f.H)
+	}
+	if f.At(0, 0) != 42 {
+		t.Fatalf("offset bounds pixel = %v, want 42", f.At(0, 0))
+	}
+}
+
+func TestWriteReadPNGFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.png")
+	f := NewFilled(8, 8, 180)
+	if err := WritePNG(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadPNG(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("file round trip changed pixels")
+	}
+}
+
+func TestReadPNGMissing(t *testing.T) {
+	if _, err := ReadPNG(filepath.Join(t.TempDir(), "missing.png")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestDecodePNGGarbage(t *testing.T) {
+	if _, err := DecodePNG(bytes.NewReader([]byte("not a png"))); err == nil {
+		t.Fatal("expected error decoding garbage")
+	}
+}

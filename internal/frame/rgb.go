@@ -1,0 +1,237 @@
+package frame
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+)
+
+// RGB is a color frame with planar float32 storage in the nominal range
+// [0, 255] per channel. The InFrame prototype adds the chessboard equally to
+// R, G and B — i.e. purely to luma — so the core pipeline runs on the Y
+// plane and this type carries the presentation path (color demos, Y4M/PNG
+// export, colored video sources).
+type RGB struct {
+	W, H    int
+	R, G, B []float32
+}
+
+// NewRGB returns a zeroed color frame.
+func NewRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame.NewRGB: invalid size %dx%d", w, h))
+	}
+	n := w * h
+	return &RGB{W: w, H: h, R: make([]float32, n), G: make([]float32, n), B: make([]float32, n)}
+}
+
+// NewRGBFilled returns a color frame with every pixel set to (r, g, b).
+func NewRGBFilled(w, h int, r, g, b float32) *RGB {
+	f := NewRGB(w, h)
+	for i := range f.R {
+		f.R[i], f.G[i], f.B[i] = r, g, b
+	}
+	return f
+}
+
+// Clone returns a deep copy.
+func (f *RGB) Clone() *RGB {
+	g := NewRGB(f.W, f.H)
+	copy(g.R, f.R)
+	copy(g.G, f.G)
+	copy(g.B, f.B)
+	return g
+}
+
+// At returns the pixel at (x, y).
+func (f *RGB) At(x, y int) (r, g, b float32) {
+	i := y*f.W + x
+	return f.R[i], f.G[i], f.B[i]
+}
+
+// Set assigns the pixel at (x, y).
+func (f *RGB) Set(x, y int, r, g, b float32) {
+	i := y*f.W + x
+	f.R[i], f.G[i], f.B[i] = r, g, b
+}
+
+// Clamp limits every channel to [lo, hi].
+func (f *RGB) Clamp(lo, hi float32) {
+	for _, ch := range [][]float32{f.R, f.G, f.B} {
+		for i, v := range ch {
+			if v < lo {
+				ch[i] = lo
+			} else if v > hi {
+				ch[i] = hi
+			}
+		}
+	}
+}
+
+// Rec. 601 luma weights, matching the standard library's conversion and the
+// Y'CbCr encoding used by Y4M.
+const (
+	lumaR = 0.299
+	lumaG = 0.587
+	lumaB = 0.114
+)
+
+// Luma extracts the Y plane (Rec. 601 weights).
+func (f *RGB) Luma() *Frame {
+	out := New(f.W, f.H)
+	for i := range out.Pix {
+		out.Pix[i] = lumaR*f.R[i] + lumaG*f.G[i] + lumaB*f.B[i]
+	}
+	return out
+}
+
+// AddLumaDelta shifts every pixel's luma by d[i] while preserving chroma
+// exactly: the delta is added equally to R, G and B (the paper's prototype
+// behaviour), then clamped to [0, 255].
+func (f *RGB) AddLumaDelta(d *Frame) error {
+	if d.W != f.W || d.H != f.H {
+		return ErrSizeMismatch
+	}
+	for i, dv := range d.Pix {
+		f.R[i] += dv
+		f.G[i] += dv
+		f.B[i] += dv
+	}
+	f.Clamp(0, 255)
+	return nil
+}
+
+// FromLuma lifts a grayscale frame into RGB (equal channels).
+func FromLuma(y *Frame) *RGB {
+	out := NewRGB(y.W, y.H)
+	for i, v := range y.Pix {
+		out.R[i], out.G[i], out.B[i] = v, v, v
+	}
+	return out
+}
+
+// YCbCr converts to Y'CbCr (BT.601 full range: Cb, Cr centered on 128).
+func (f *RGB) YCbCr() (y, cb, cr *Frame) {
+	y = New(f.W, f.H)
+	cb = New(f.W, f.H)
+	cr = New(f.W, f.H)
+	for i := range y.Pix {
+		r, g, b := float64(f.R[i]), float64(f.G[i]), float64(f.B[i])
+		yy := lumaR*r + lumaG*g + lumaB*b
+		y.Pix[i] = float32(yy)
+		cb.Pix[i] = float32(128 + (b-yy)/1.772)
+		cr.Pix[i] = float32(128 + (r-yy)/1.402)
+	}
+	return y, cb, cr
+}
+
+// RGBFromYCbCr converts BT.601 full-range planes back to RGB, clamped.
+func RGBFromYCbCr(y, cb, cr *Frame) (*RGB, error) {
+	if !y.SameSize(cb) || !y.SameSize(cr) {
+		return nil, ErrSizeMismatch
+	}
+	out := NewRGB(y.W, y.H)
+	for i := range y.Pix {
+		yy := float64(y.Pix[i])
+		cbv := float64(cb.Pix[i]) - 128
+		crv := float64(cr.Pix[i]) - 128
+		r := yy + 1.402*crv
+		b := yy + 1.772*cbv
+		g := (yy - lumaR*r - lumaB*b) / lumaG
+		out.R[i] = float32(clamp255(r))
+		out.G[i] = float32(clamp255(g))
+		out.B[i] = float32(clamp255(b))
+	}
+	return out, nil
+}
+
+func clamp255(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// ToImageRGB converts to an 8-bit RGBA image, clamping each channel.
+func ToImageRGB(f *RGB) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			i := y*f.W + x
+			img.SetRGBA(x, y, color.RGBA{
+				R: quant8(f.R[i]), G: quant8(f.G[i]), B: quant8(f.B[i]), A: 255,
+			})
+		}
+	}
+	return img
+}
+
+func quant8(v float32) uint8 {
+	q := math.Round(float64(v))
+	if q < 0 {
+		q = 0
+	} else if q > 255 {
+		q = 255
+	}
+	return uint8(q)
+}
+
+// RGBFromImage converts any image to an RGB frame.
+func RGBFromImage(img image.Image) *RGB {
+	b := img.Bounds()
+	f := NewRGB(b.Dx(), b.Dy())
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, bb, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			i := y*f.W + x
+			f.R[i] = float32(r >> 8)
+			f.G[i] = float32(g >> 8)
+			f.B[i] = float32(bb >> 8)
+		}
+	}
+	return f
+}
+
+// EncodePNGRGB writes f as a color PNG.
+func EncodePNGRGB(w io.Writer, f *RGB) error {
+	return png.Encode(w, ToImageRGB(f))
+}
+
+// DecodePNGRGB reads a PNG into an RGB frame.
+func DecodePNGRGB(r io.Reader) (*RGB, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("frame: decoding png: %w", err)
+	}
+	return RGBFromImage(img), nil
+}
+
+// WritePNGRGB saves f as a color PNG at path.
+func WritePNGRGB(path string, f *RGB) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("frame: creating %s: %w", path, err)
+	}
+	defer fh.Close()
+	if err := EncodePNGRGB(fh, f); err != nil {
+		return fmt.Errorf("frame: encoding %s: %w", path, err)
+	}
+	return fh.Close()
+}
+
+// ReadPNGRGB loads the PNG at path into an RGB frame.
+func ReadPNGRGB(path string) (*RGB, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("frame: opening %s: %w", path, err)
+	}
+	defer fh.Close()
+	return DecodePNGRGB(fh)
+}

@@ -1,0 +1,76 @@
+package hvs
+
+import (
+	"testing"
+)
+
+func TestArtifactAmplitude(t *testing.T) {
+	o := DefaultObserver()
+	ref := []float64{100, 100, 100, 100}
+	shifted := []float64{110, 110, 110, 110}
+	if a := o.ArtifactAmplitude(shifted, ref); a != 10 {
+		t.Fatalf("artifact = %v, want 10", a)
+	}
+	if a := o.ArtifactAmplitude(ref, ref); a != 0 {
+		t.Fatalf("identical artifact = %v, want 0", a)
+	}
+	if a := o.ArtifactAmplitude(nil, ref); a != 0 {
+		t.Fatalf("empty samples artifact = %v, want 0", a)
+	}
+	if a := o.ArtifactAmplitude(ref, nil); a != 0 {
+		t.Fatalf("empty reference artifact = %v, want 0", a)
+	}
+	// A zero-mean alternation around the reference level: no artifact.
+	alt := alternation(100, 30, 8, 1)
+	if a := o.ArtifactAmplitude(alt, ref); a > 1e-9 {
+		t.Fatalf("balanced alternation artifact = %v, want 0", a)
+	}
+}
+
+// TestScoreWaveformRefCatchesStaticShift: a one-sided overlay fuses to a
+// shifted mean; side-by-side scoring must flag it even though temporal
+// flicker is fused away.
+func TestScoreWaveformRefCatchesStaticShift(t *testing.T) {
+	o := DefaultObserver()
+	fs := 480.0
+	ref := make([]float64, 960)
+	for i := range ref {
+		ref[i] = 120
+	}
+	// 60 Hz alternation between 120 and 160 (one-sided +40): fuses to 140.
+	oneSided := make([]float64, 960)
+	for i := range oneSided {
+		if (i/4)%2 == 0 {
+			oneSided[i] = 160
+		} else {
+			oneSided[i] = 120
+		}
+	}
+	plain := o.ScoreWaveform(oneSided, fs, 120, 4)
+	withRef := o.ScoreWaveformRef(oneSided, ref, fs, 120, 4)
+	if withRef <= plain {
+		t.Fatalf("reference scoring %.2f not above plain %.2f", withRef, plain)
+	}
+	if withRef < 2 {
+		t.Fatalf("static +20 luminance shift scored %.2f, want >= 2", withRef)
+	}
+	// A balanced (complementary) alternation stays clean under both.
+	balanced := alternation(120, 20, 240, 4)
+	if s := o.ScoreWaveformRef(balanced, ref, fs, 120, 4); s > 1 {
+		t.Fatalf("balanced alternation scored %.2f with reference, want <= 1", s)
+	}
+}
+
+func TestWorstScoreRefHandlesShortRefs(t *testing.T) {
+	o := DefaultObserver()
+	waves := [][]float64{alternation(127, 5, 240, 4), alternation(127, 5, 240, 4)}
+	refs := [][]float64{make([]float64, 960)} // fewer refs than waves
+	for i := range refs[0] {
+		refs[0][i] = 127
+	}
+	// Must not panic; second waveform scored without reference.
+	s := WorstScoreRef(o, waves, refs, 480, 120, 4)
+	if s < 0 || s > 4 {
+		t.Fatalf("score %v out of range", s)
+	}
+}

@@ -1,0 +1,102 @@
+package hvs
+
+import (
+	"inframe/internal/display"
+)
+
+// Point is a pixel position sampled by an observer.
+type Point struct{ X, Y int }
+
+// GridPoints returns an n×n grid of sample positions covering a w×h panel,
+// inset by one cell so samples avoid the exact border.
+func GridPoints(w, h, n int) []Point {
+	if n <= 0 {
+		panic("hvs: non-positive grid size")
+	}
+	pts := make([]Point, 0, n*n)
+	for j := 0; j < n; j++ {
+		y := (2*j + 1) * h / (2 * n)
+		for i := 0; i < n; i++ {
+			x := (2*i + 1) * w / (2 * n)
+			pts = append(pts, Point{X: x, Y: y})
+		}
+	}
+	return pts
+}
+
+// ExtractWaveforms samples the luminance waveform of each point over the
+// display's full duration, at oversample samples per refresh interval.
+// The waveforms can then be scored by many observers without re-integration.
+func ExtractWaveforms(d *display.Display, points []Point, oversample int) (waves [][]float64, fs float64) {
+	if oversample <= 0 {
+		panic("hvs: non-positive oversample")
+	}
+	fs = d.Config().RefreshHz * float64(oversample)
+	n := d.NumFrames() * oversample
+	waves = make([][]float64, len(points))
+	for i, p := range points {
+		waves[i] = d.PixelWaveform(p.X, p.Y, 0, d.Duration(), n)
+	}
+	return waves, fs
+}
+
+// WorstScore scores every waveform with the observer and returns the
+// maximum: a viewer judges a clip by its worst visible region.
+func WorstScore(o Observer, waves [][]float64, fs, refreshHz, pitchPx float64) float64 {
+	var worst float64
+	for _, w := range waves {
+		if s := o.ScoreWaveform(w, fs, refreshHz, pitchPx); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// WorstScoreRef scores every waveform against its reference waveform and
+// returns the maximum.
+func WorstScoreRef(o Observer, waves, refs [][]float64, fs, refreshHz, pitchPx float64) float64 {
+	var worst float64
+	for i, w := range waves {
+		var ref []float64
+		if i < len(refs) {
+			ref = refs[i]
+		}
+		if s := o.ScoreWaveformRef(w, ref, fs, refreshHz, pitchPx); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// RateDisplay runs a full simulated user-study trial: the panel views the
+// displayed stream, each member reports an integer rating of the worst
+// region, and the ratings are returned. pitchPx is the data-Pixel pitch.
+func RateDisplay(panel []Observer, d *display.Display, grid, oversample int, pitchPx float64, seed int64) []int {
+	waves, fs := ExtractWaveforms(d, GridPoints(mustW(d), mustH(d), grid), oversample)
+	refresh := d.Config().RefreshHz
+	ratings := make([]int, len(panel))
+	for i, o := range panel {
+		s := WorstScore(o, waves, fs, refresh, pitchPx)
+		ratings[i] = jitterRating(s, seed+int64(i))
+	}
+	return ratings
+}
+
+// RateDisplayRef is RateDisplay with the paper's side-by-side protocol: ref
+// shows the original (unmultiplexed) stream, and static fused artifacts
+// count against the rating alongside flicker.
+func RateDisplayRef(panel []Observer, d, ref *display.Display, grid, oversample int, pitchPx float64, seed int64) []int {
+	points := GridPoints(mustW(d), mustH(d), grid)
+	waves, fs := ExtractWaveforms(d, points, oversample)
+	refWaves, _ := ExtractWaveforms(ref, points, oversample)
+	refresh := d.Config().RefreshHz
+	ratings := make([]int, len(panel))
+	for i, o := range panel {
+		s := WorstScoreRef(o, waves, refWaves, fs, refresh, pitchPx)
+		ratings[i] = jitterRating(s, seed+int64(i))
+	}
+	return ratings
+}
+
+func mustW(d *display.Display) int { w, _ := d.Size(); return w }
+func mustH(d *display.Display) int { _, h := d.Size(); return h }

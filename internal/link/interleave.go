@@ -1,0 +1,87 @@
+package link
+
+import "fmt"
+
+// Interleaver is a byte block interleaver of depth D over fixed-size frame
+// payloads: D consecutive codewords are written as rows and transmitted as
+// columns, so a whole lost frame (a burst on the screen→camera channel:
+// occlusion, a hand waving past, a scene cut) becomes ≤⌈n/D⌉ scattered
+// erasures in each codeword instead of one destroyed codeword.
+type Interleaver struct {
+	depth      int
+	frameBytes int
+}
+
+// NewInterleaver builds a depth-D interleaver over frames of n bytes.
+func NewInterleaver(depth, frameBytes int) (*Interleaver, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("link: interleaver depth must be >= 1, got %d", depth)
+	}
+	if frameBytes < 1 {
+		return nil, fmt.Errorf("link: frame size must be >= 1, got %d", frameBytes)
+	}
+	return &Interleaver{depth: depth, frameBytes: frameBytes}, nil
+}
+
+// Depth returns D.
+func (il *Interleaver) Depth() int { return il.depth }
+
+// Interleave maps D codewords onto D transmitted frame payloads. Input and
+// output are both depth×frameBytes.
+func (il *Interleaver) Interleave(codewords [][]byte) ([][]byte, error) {
+	if err := il.check(codewords); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, il.depth)
+	for i := range out {
+		out[i] = make([]byte, il.frameBytes)
+	}
+	// Transmitted frame f, position p carries codeword (f+p) mod D's byte p.
+	for f := 0; f < il.depth; f++ {
+		for p := 0; p < il.frameBytes; p++ {
+			out[f][p] = codewords[(f+p)%il.depth][p]
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave. Nil rows mark frames lost in transit;
+// their contributions surface as per-codeword erasure positions.
+func (il *Interleaver) Deinterleave(frames [][]byte) (codewords [][]byte, erasures [][]int, err error) {
+	if len(frames) != il.depth {
+		return nil, nil, fmt.Errorf("link: got %d frames, want %d", len(frames), il.depth)
+	}
+	for i, f := range frames {
+		if f != nil && len(f) != il.frameBytes {
+			return nil, nil, fmt.Errorf("link: frame %d has %d bytes, want %d", i, len(f), il.frameBytes)
+		}
+	}
+	codewords = make([][]byte, il.depth)
+	erasures = make([][]int, il.depth)
+	for i := range codewords {
+		codewords[i] = make([]byte, il.frameBytes)
+	}
+	for f := 0; f < il.depth; f++ {
+		for p := 0; p < il.frameBytes; p++ {
+			c := (f + p) % il.depth
+			if frames[f] == nil {
+				erasures[c] = append(erasures[c], p)
+				continue
+			}
+			codewords[c][p] = frames[f][p]
+		}
+	}
+	return codewords, erasures, nil
+}
+
+func (il *Interleaver) check(rows [][]byte) error {
+	if len(rows) != il.depth {
+		return fmt.Errorf("link: got %d codewords, want %d", len(rows), il.depth)
+	}
+	for i, r := range rows {
+		if len(r) != il.frameBytes {
+			return fmt.Errorf("link: codeword %d has %d bytes, want %d", i, len(r), il.frameBytes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"inframe/internal/code/rs"
+)
+
+func TestNewInterleaverValidation(t *testing.T) {
+	if _, err := NewInterleaver(0, 10); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if _, err := NewInterleaver(4, 0); err == nil {
+		t.Fatal("frame size 0 accepted")
+	}
+	il, err := NewInterleaver(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.Depth() != 4 {
+		t.Fatal("depth accessor wrong")
+	}
+}
+
+func testCodewords(depth, n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, depth)
+	for i := range out {
+		out[i] = make([]byte, n)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	il, _ := NewInterleaver(5, 23)
+	cws := testCodewords(5, 23, 1)
+	frames, err := il.Interleave(cws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, erasures, err := il.Deinterleave(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cws {
+		if !bytes.Equal(back[i], cws[i]) {
+			t.Fatalf("codeword %d changed", i)
+		}
+		if len(erasures[i]) != 0 {
+			t.Fatalf("codeword %d has spurious erasures", i)
+		}
+	}
+}
+
+func TestInterleaveShapeChecks(t *testing.T) {
+	il, _ := NewInterleaver(3, 8)
+	if _, err := il.Interleave(testCodewords(2, 8, 1)); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if _, err := il.Interleave(testCodewords(3, 9, 1)); err == nil {
+		t.Fatal("wrong row size accepted")
+	}
+	if _, _, err := il.Deinterleave(testCodewords(2, 8, 1)); err == nil {
+		t.Fatal("wrong frame count accepted")
+	}
+	bad := testCodewords(3, 8, 1)
+	bad[1] = bad[1][:5]
+	if _, _, err := il.Deinterleave(bad); err == nil {
+		t.Fatal("wrong frame size accepted")
+	}
+}
+
+// TestLostFrameSpreadsErasures: dropping one of D frames erases about n/D
+// bytes of every codeword — within RS correction reach — instead of one
+// whole codeword.
+func TestLostFrameSpreadsErasures(t *testing.T) {
+	const depth, n = 4, 32
+	il, _ := NewInterleaver(depth, n)
+	cws := testCodewords(depth, n, 9)
+	frames, _ := il.Interleave(cws)
+	frames[2] = nil // one whole frame lost
+	back, erasures, err := il.Deinterleave(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < depth; c++ {
+		if len(erasures[c]) != n/depth {
+			t.Fatalf("codeword %d: %d erasures, want %d", c, len(erasures[c]), n/depth)
+		}
+		// Non-erased positions intact.
+		eras := map[int]bool{}
+		for _, p := range erasures[c] {
+			eras[p] = true
+		}
+		for p := 0; p < n; p++ {
+			if !eras[p] && back[c][p] != cws[c][p] {
+				t.Fatalf("codeword %d byte %d corrupted", c, p)
+			}
+		}
+	}
+}
+
+// TestInterleavedRSSurvivesFrameLoss: end-to-end with RS(32, 24): one lost
+// frame in four is fully recovered through interleaving, while without
+// interleaving the codeword carried by that frame is gone.
+func TestInterleavedRSSurvivesFrameLoss(t *testing.T) {
+	const depth, n, k = 4, 32, 24
+	code, err := rs.New(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il, _ := NewInterleaver(depth, n)
+	rng := rand.New(rand.NewSource(4))
+	data := make([][]byte, depth)
+	cws := make([][]byte, depth)
+	for i := range cws {
+		data[i] = make([]byte, k)
+		rng.Read(data[i])
+		cw, err := code.Encode(data[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cws[i] = cw
+	}
+	frames, _ := il.Interleave(cws)
+	frames[1] = nil
+	back, erasures, err := il.Deinterleave(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < depth; c++ {
+		got, err := code.Decode(back[c], erasures[c])
+		if err != nil {
+			t.Fatalf("codeword %d: %v", c, err)
+		}
+		if !bytes.Equal(got, data[c]) {
+			t.Fatalf("codeword %d data corrupted", c)
+		}
+	}
+	// Without interleaving: the lost frame's codeword is simply absent —
+	// 32 erasures exceed the 8-byte parity and cannot be decoded.
+	allErased := make([]int, n)
+	for i := range allErased {
+		allErased[i] = i
+	}
+	if _, err := code.Decode(make([]byte, n), allErased); err == nil {
+		t.Fatal("whole-codeword loss should be undecodable")
+	}
+}

@@ -1,0 +1,211 @@
+// Package link provides a byte-stream framing layer over InFrame data
+// frames — the "further framing optimizations" hook of §3.3. It segments a
+// message into packets with sequence numbers and CRC-32 integrity, maps
+// packets to data-frame bit payloads, and reassembles on the receive side,
+// tolerating lost and corrupted data frames through retransmission rounds.
+package link
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Packet header layout (big endian):
+//
+//	0:2  magic 0x1F7A
+//	2:4  sequence number
+//	4:6  total packets in message
+//	6:8  payload length in bytes
+//	8:12 CRC-32 (IEEE) of header[0:8] + payload
+const (
+	headerSize = 12
+	magic      = 0x1F7A
+)
+
+// ErrCorrupt is returned for packets failing CRC or structural checks.
+var ErrCorrupt = errors.New("link: corrupt packet")
+
+// Packet is one link-layer unit, sized to fit one data frame.
+type Packet struct {
+	Seq     uint16
+	Total   uint16
+	Payload []byte
+}
+
+// Marshal serializes the packet with header and CRC.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, headerSize+len(p.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], magic)
+	binary.BigEndian.PutUint16(buf[2:4], p.Seq)
+	binary.BigEndian.PutUint16(buf[4:6], p.Total)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(p.Payload)))
+	copy(buf[headerSize:], p.Payload)
+	crc := crc32.ChecksumIEEE(append(append([]byte{}, buf[0:8]...), p.Payload...))
+	binary.BigEndian.PutUint32(buf[8:12], crc)
+	return buf
+}
+
+// Unmarshal parses and validates a packet.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < headerSize {
+		return nil, ErrCorrupt
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != magic {
+		return nil, ErrCorrupt
+	}
+	plen := int(binary.BigEndian.Uint16(buf[6:8]))
+	if len(buf) < headerSize+plen {
+		return nil, ErrCorrupt
+	}
+	payload := buf[headerSize : headerSize+plen]
+	want := binary.BigEndian.Uint32(buf[8:12])
+	crc := crc32.ChecksumIEEE(append(append([]byte{}, buf[0:8]...), payload...))
+	if crc != want {
+		return nil, ErrCorrupt
+	}
+	p := &Packet{
+		Seq:     binary.BigEndian.Uint16(buf[2:4]),
+		Total:   binary.BigEndian.Uint16(buf[4:6]),
+		Payload: append([]byte(nil), payload...),
+	}
+	if p.Total == 0 || p.Seq >= p.Total {
+		return nil, ErrCorrupt
+	}
+	return p, nil
+}
+
+// BytesToBits expands bytes MSB-first.
+func BytesToBits(data []byte) []bool {
+	bits := make([]bool, len(data)*8)
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			bits[i*8+j] = b&(1<<(7-j)) != 0
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs bits MSB-first, truncating a partial final byte.
+func BitsToBytes(bits []bool) []byte {
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var b byte
+		for j := 0; j < 8; j++ {
+			if bits[i*8+j] {
+				b |= 1 << (7 - j)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Segmenter splits a message into packets sized for a data frame carrying
+// frameBits payload bits.
+type Segmenter struct {
+	frameBits int
+}
+
+// NewSegmenter returns a segmenter for data frames of frameBits bits. The
+// frame must fit at least the header plus one payload byte.
+func NewSegmenter(frameBits int) (*Segmenter, error) {
+	if frameBits < (headerSize+1)*8 {
+		return nil, fmt.Errorf("link: frame of %d bits cannot hold a packet", frameBits)
+	}
+	return &Segmenter{frameBits: frameBits}, nil
+}
+
+// PayloadPerPacket returns the payload bytes carried per packet.
+func (s *Segmenter) PayloadPerPacket() int { return s.frameBits/8 - headerSize }
+
+// Segment splits the message into packets, one per data frame.
+func (s *Segmenter) Segment(msg []byte) ([]*Packet, error) {
+	if len(msg) == 0 {
+		return nil, errors.New("link: empty message")
+	}
+	per := s.PayloadPerPacket()
+	total := (len(msg) + per - 1) / per
+	if total > 0xffff {
+		return nil, fmt.Errorf("link: message needs %d packets, max 65535", total)
+	}
+	pkts := make([]*Packet, total)
+	for i := range pkts {
+		lo := i * per
+		hi := lo + per
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		pkts[i] = &Packet{Seq: uint16(i), Total: uint16(total), Payload: msg[lo:hi]}
+	}
+	return pkts, nil
+}
+
+// FrameBits renders one packet into a frame-sized bit payload, zero-padded.
+func (s *Segmenter) FrameBits(p *Packet) []bool {
+	bits := BytesToBits(p.Marshal())
+	out := make([]bool, s.frameBits)
+	copy(out, bits)
+	return out
+}
+
+// Reassembler collects packets until a message completes.
+type Reassembler struct {
+	total    int
+	received map[uint16][]byte
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{total: -1, received: make(map[uint16][]byte)}
+}
+
+// Offer feeds one decoded frame's bits. It returns true if the frame held a
+// valid, new packet; corrupt frames are ignored with ErrCorrupt.
+func (r *Reassembler) Offer(bits []bool) (bool, error) {
+	p, err := Unmarshal(BitsToBytes(bits))
+	if err != nil {
+		return false, err
+	}
+	if r.total == -1 {
+		r.total = int(p.Total)
+	} else if r.total != int(p.Total) {
+		return false, ErrCorrupt
+	}
+	if _, dup := r.received[p.Seq]; dup {
+		return false, nil
+	}
+	r.received[p.Seq] = p.Payload
+	return true, nil
+}
+
+// Missing returns the sequence numbers still outstanding (nil when nothing
+// has been learned yet).
+func (r *Reassembler) Missing() []uint16 {
+	if r.total < 0 {
+		return nil
+	}
+	var out []uint16
+	for i := 0; i < r.total; i++ {
+		if _, ok := r.received[uint16(i)]; !ok {
+			out = append(out, uint16(i))
+		}
+	}
+	return out
+}
+
+// Complete reports whether every packet has arrived.
+func (r *Reassembler) Complete() bool { return r.total > 0 && len(r.received) == r.total }
+
+// Message concatenates the payloads; it errors until Complete.
+func (r *Reassembler) Message() ([]byte, error) {
+	if !r.Complete() {
+		return nil, fmt.Errorf("link: message incomplete: %d of %d packets", len(r.received), r.total)
+	}
+	var out []byte
+	for i := 0; i < r.total; i++ {
+		out = append(out, r.received[uint16(i)]...)
+	}
+	return out, nil
+}

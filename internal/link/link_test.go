@@ -1,0 +1,197 @@
+package link
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	p := &Packet{Seq: 3, Total: 7, Payload: []byte("hello, inframe")}
+	buf := p.Marshal()
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Seq != 3 || q.Total != 7 || !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("round trip = %+v", q)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	p := &Packet{Seq: 0, Total: 1, Payload: []byte("payload")}
+	buf := p.Marshal()
+	for i := 0; i < len(buf); i++ {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x40
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d undetected", i)
+		}
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestUnmarshalRejectsBadSeq(t *testing.T) {
+	p := &Packet{Seq: 5, Total: 5, Payload: []byte("x")} // seq >= total
+	if _, err := Unmarshal(p.Marshal()); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("seq >= total accepted")
+	}
+	p2 := &Packet{Seq: 0, Total: 0, Payload: []byte("x")}
+	if _, err := Unmarshal(p2.Marshal()); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("total == 0 accepted")
+	}
+}
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	prop := func(data []byte) bool {
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	// MSB-first convention.
+	bits := BytesToBits([]byte{0x80})
+	if !bits[0] || bits[7] {
+		t.Fatal("not MSB-first")
+	}
+	// Partial final byte truncated.
+	if len(BitsToBytes(make([]bool, 10))) != 1 {
+		t.Fatal("partial byte not truncated")
+	}
+}
+
+func TestNewSegmenterMinimumSize(t *testing.T) {
+	if _, err := NewSegmenter(95); err == nil {
+		t.Fatal("accepted frame too small for header+1")
+	}
+	s, err := NewSegmenter(1125) // the paper's frame payload
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1125/8 = 140 bytes − 12 header = 128 payload bytes per frame.
+	if s.PayloadPerPacket() != 128 {
+		t.Fatalf("payload per packet = %d, want 128", s.PayloadPerPacket())
+	}
+}
+
+func TestSegmentReassemble(t *testing.T) {
+	s, _ := NewSegmenter(1125)
+	msg := make([]byte, 1000)
+	rand.New(rand.NewSource(4)).Read(msg)
+	pkts, err := s.Segment(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 8 { // ceil(1000/128)
+		t.Fatalf("segmented into %d packets, want 8", len(pkts))
+	}
+	r := NewReassembler()
+	for _, p := range pkts {
+		fresh, err := r.Offer(s.FrameBits(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh {
+			t.Fatal("fresh packet reported duplicate")
+		}
+	}
+	if !r.Complete() {
+		t.Fatal("not complete after all packets")
+	}
+	got, err := r.Message()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("reassembled message differs")
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	s, _ := NewSegmenter(1125)
+	if _, err := s.Segment(nil); err == nil {
+		t.Fatal("accepted empty message")
+	}
+}
+
+func TestReassemblerOutOfOrderAndDuplicates(t *testing.T) {
+	s, _ := NewSegmenter(1125)
+	msg := []byte("the quick brown fox jumps over the lazy dog, repeatedly, for a while longer than one packet's worth of payload bytes would ever allow in this configuration")
+	pkts, _ := s.Segment(msg)
+	if len(pkts) < 2 {
+		t.Fatalf("want multi-packet message, got %d", len(pkts))
+	}
+	r := NewReassembler()
+	// Feed in reverse with duplicates.
+	for i := len(pkts) - 1; i >= 0; i-- {
+		if _, err := r.Offer(s.FrameBits(pkts[i])); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := r.Offer(s.FrameBits(pkts[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh {
+			t.Fatal("duplicate reported fresh")
+		}
+	}
+	got, err := r.Message()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestReassemblerMissing(t *testing.T) {
+	s, _ := NewSegmenter(1125)
+	msg := make([]byte, 300)
+	pkts, _ := s.Segment(msg) // 3 packets
+	r := NewReassembler()
+	if r.Missing() != nil {
+		t.Fatal("missing before any packet should be nil")
+	}
+	r.Offer(s.FrameBits(pkts[1]))
+	miss := r.Missing()
+	if len(miss) != 2 || miss[0] != 0 || miss[1] != 2 {
+		t.Fatalf("missing = %v, want [0 2]", miss)
+	}
+	if _, err := r.Message(); err == nil {
+		t.Fatal("incomplete message returned")
+	}
+	if r.Complete() {
+		t.Fatal("incomplete reassembler claims complete")
+	}
+}
+
+func TestReassemblerRejectsCorruptFrames(t *testing.T) {
+	s, _ := NewSegmenter(1125)
+	pkts, _ := s.Segment([]byte("some payload"))
+	bits := s.FrameBits(pkts[0])
+	bits[40] = !bits[40] // corrupt inside payload area covered by CRC
+	r := NewReassembler()
+	if _, err := r.Offer(bits); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt frame accepted: %v", err)
+	}
+	if len(r.received) != 0 {
+		t.Fatal("corrupt frame stored")
+	}
+}
+
+func TestReassemblerInconsistentTotal(t *testing.T) {
+	s, _ := NewSegmenter(1125)
+	a := &Packet{Seq: 0, Total: 2, Payload: []byte("a")}
+	b := &Packet{Seq: 1, Total: 3, Payload: []byte("b")}
+	r := NewReassembler()
+	if _, err := r.Offer(s.FrameBits(a)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Offer(s.FrameBits(b)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("inconsistent total accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package link
+
+import (
+	"fmt"
+
+	"inframe/internal/code/rs"
+)
+
+// RSSegmenter is the forward-error-corrected framing layer: each packet is
+// Reed–Solomon coded across its data frame, so the frame survives the GOB
+// losses a physical screen→camera channel always has (unavailable GOBs
+// become byte erasures, undetected flips become symbol errors). This is the
+// "more sophisticated error correction codes" extension of §3.3 made load-
+// bearing: without it, one bad Block in a 375-GOB frame would kill the
+// whole packet.
+type RSSegmenter struct {
+	frameBytes int
+	code       *rs.Code
+}
+
+// NewSegmenterRS builds an RS-protected segmenter for data frames carrying
+// frameBits payload bits, reserving parityBytes of each frame's byte budget
+// for RS parity. The remaining bytes carry one packet (header + payload).
+func NewSegmenterRS(frameBits, parityBytes int) (*RSSegmenter, error) {
+	frameBytes := frameBits / 8
+	if frameBytes > 255 {
+		return nil, fmt.Errorf("link: frame of %d bytes exceeds RS(255) symbol budget", frameBytes)
+	}
+	k := frameBytes - parityBytes
+	if parityBytes < 2 {
+		return nil, fmt.Errorf("link: need at least 2 parity bytes, got %d", parityBytes)
+	}
+	if k < headerSize+1 {
+		return nil, fmt.Errorf("link: frame of %d bits cannot hold a packet plus %d parity bytes",
+			frameBits, parityBytes)
+	}
+	code, err := rs.New(frameBytes, k)
+	if err != nil {
+		return nil, fmt.Errorf("link: %w", err)
+	}
+	return &RSSegmenter{frameBytes: frameBytes, code: code}, nil
+}
+
+// PayloadPerPacket returns the message bytes carried per data frame.
+func (s *RSSegmenter) PayloadPerPacket() int { return s.code.K() - headerSize }
+
+// ParityBytes returns the per-frame RS parity budget.
+func (s *RSSegmenter) ParityBytes() int { return s.code.Parity() }
+
+// Segment splits the message into packets, one per data frame.
+func (s *RSSegmenter) Segment(msg []byte) ([]*Packet, error) {
+	if len(msg) == 0 {
+		return nil, fmt.Errorf("link: empty message")
+	}
+	per := s.PayloadPerPacket()
+	total := (len(msg) + per - 1) / per
+	if total > 0xffff {
+		return nil, fmt.Errorf("link: message needs %d packets, max 65535", total)
+	}
+	pkts := make([]*Packet, total)
+	for i := range pkts {
+		lo := i * per
+		hi := lo + per
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		pkts[i] = &Packet{Seq: uint16(i), Total: uint16(total), Payload: msg[lo:hi]}
+	}
+	return pkts, nil
+}
+
+// FrameBits renders one packet into its RS-coded frame bit payload.
+func (s *RSSegmenter) FrameBits(p *Packet) ([]bool, error) {
+	data := make([]byte, s.code.K())
+	buf := p.Marshal()
+	if len(buf) > len(data) {
+		return nil, fmt.Errorf("link: packet of %d bytes exceeds frame data budget %d", len(buf), len(data))
+	}
+	copy(data, buf)
+	cw, err := s.code.Encode(data)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToBits(cw), nil
+}
+
+// DecodeFrame recovers the packet from a decoded frame's payload bits.
+// erasedBytes lists byte positions the physical layer flagged unreliable
+// (e.g. bytes touching unavailable GOBs). Returns ErrCorrupt when the RS
+// decode fails or the recovered header is invalid.
+func (s *RSSegmenter) DecodeFrame(bits []bool, erasedBytes []int) (*Packet, error) {
+	cw := BytesToBytesBudget(bits, s.frameBytes)
+	if len(erasedBytes) > s.code.Parity() {
+		// Beyond RS capacity: truncation would invite miscorrection, so
+		// report the frame lost outright.
+		return nil, ErrCorrupt
+	}
+	data, err := s.code.Decode(cw, erasedBytes)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	return Unmarshal(data)
+}
+
+// BytesToBytesBudget packs bits MSB-first into exactly n bytes, zero-padding
+// or truncating as needed.
+func BytesToBytesBudget(bits []bool, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		var b byte
+		for j := 0; j < 8; j++ {
+			idx := i*8 + j
+			if idx < len(bits) && bits[idx] {
+				b |= 1 << (7 - j)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// OfferPacket feeds an already-validated packet into the reassembler,
+// applying the same duplicate/consistency rules as Offer.
+func (r *Reassembler) OfferPacket(p *Packet) (bool, error) {
+	if p.Total == 0 || p.Seq >= p.Total {
+		return false, ErrCorrupt
+	}
+	if r.total == -1 {
+		r.total = int(p.Total)
+	} else if r.total != int(p.Total) {
+		return false, ErrCorrupt
+	}
+	if _, dup := r.received[p.Seq]; dup {
+		return false, nil
+	}
+	r.received[p.Seq] = p.Payload
+	return true, nil
+}

@@ -1,0 +1,155 @@
+package link
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewSegmenterRSValidation(t *testing.T) {
+	// 1125 bits = 140 bytes; 35 parity leaves 105 data ≥ header+1.
+	s, err := NewSegmenterRS(1125, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ParityBytes() != 35 {
+		t.Fatalf("parity = %d", s.ParityBytes())
+	}
+	if s.PayloadPerPacket() != 140-35-12 {
+		t.Fatalf("payload = %d", s.PayloadPerPacket())
+	}
+	if _, err := NewSegmenterRS(1125, 1); err == nil {
+		t.Fatal("1 parity byte accepted")
+	}
+	if _, err := NewSegmenterRS(1125, 130); err == nil {
+		t.Fatal("parity leaving no packet room accepted")
+	}
+	if _, err := NewSegmenterRS(3000, 35); err == nil {
+		t.Fatal("frame beyond RS(255) accepted")
+	}
+}
+
+func TestRSFrameRoundTripClean(t *testing.T) {
+	s, _ := NewSegmenterRS(1125, 35)
+	msg := []byte("reed-solomon protected link frame")
+	pkts, err := s.Segment(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	bits, err := s.FrameBits(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 140*8 {
+		t.Fatalf("frame bits = %d", len(bits))
+	}
+	got, err := s.DecodeFrame(bits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, msg) {
+		t.Fatal("payload changed")
+	}
+}
+
+func TestRSFrameCorrectsErrorsAndErasures(t *testing.T) {
+	s, _ := NewSegmenterRS(1125, 35)
+	msg := make([]byte, 90)
+	rand.New(rand.NewSource(5)).Read(msg)
+	pkts, _ := s.Segment(msg)
+	bits, err := s.FrameBits(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt 10 unknown bytes (errors) and zero 15 known bytes (erasures):
+	// 2·10 + 15 = 35 = parity budget.
+	rng := rand.New(rand.NewSource(6))
+	perm := rng.Perm(140)
+	flip := func(byteIdx int) {
+		bit := byteIdx*8 + rng.Intn(8)
+		bits[bit] = !bits[bit]
+	}
+	for _, b := range perm[:10] {
+		flip(b)
+	}
+	var erasures []int
+	for _, b := range perm[10:25] {
+		erasures = append(erasures, b)
+		for j := 0; j < 8; j++ {
+			bits[b*8+j] = false
+		}
+	}
+	got, err := s.DecodeFrame(bits, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, msg) {
+		t.Fatal("payload corrupted after correction")
+	}
+}
+
+func TestRSFrameBeyondCapacity(t *testing.T) {
+	s, _ := NewSegmenterRS(1125, 35)
+	pkts, _ := s.Segment([]byte("x"))
+	bits, _ := s.FrameBits(pkts[0])
+	var erasures []int
+	for b := 0; b < 36; b++ { // one beyond parity
+		erasures = append(erasures, b)
+	}
+	if _, err := s.DecodeFrame(bits, erasures); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRSSegmentEdgeCases(t *testing.T) {
+	s, _ := NewSegmenterRS(1125, 35)
+	if _, err := s.Segment(nil); err == nil {
+		t.Fatal("empty message accepted")
+	}
+	// Oversized packet payload rejected by FrameBits.
+	big := &Packet{Seq: 0, Total: 1, Payload: make([]byte, 1000)}
+	if _, err := s.FrameBits(big); err == nil {
+		t.Fatal("oversized packet accepted")
+	}
+}
+
+func TestOfferPacket(t *testing.T) {
+	r := NewReassembler()
+	if _, err := r.OfferPacket(&Packet{Seq: 2, Total: 2}); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("seq >= total accepted")
+	}
+	fresh, err := r.OfferPacket(&Packet{Seq: 0, Total: 2, Payload: []byte("a")})
+	if err != nil || !fresh {
+		t.Fatalf("first offer: %v %v", fresh, err)
+	}
+	fresh, err = r.OfferPacket(&Packet{Seq: 0, Total: 2, Payload: []byte("a")})
+	if err != nil || fresh {
+		t.Fatal("duplicate reported fresh")
+	}
+	if _, err := r.OfferPacket(&Packet{Seq: 1, Total: 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("inconsistent total accepted")
+	}
+	if _, err := r.OfferPacket(&Packet{Seq: 1, Total: 2, Payload: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := r.Message()
+	if err != nil || string(msg) != "ab" {
+		t.Fatalf("message = %q, %v", msg, err)
+	}
+}
+
+func TestBytesToBytesBudget(t *testing.T) {
+	bits := BytesToBits([]byte{0xAB, 0xCD})
+	out := BytesToBytesBudget(bits, 3) // pad
+	if out[0] != 0xAB || out[1] != 0xCD || out[2] != 0 {
+		t.Fatalf("padded = %x", out)
+	}
+	out = BytesToBytesBudget(bits, 1) // truncate
+	if out[0] != 0xAB {
+		t.Fatalf("truncated = %x", out)
+	}
+}

@@ -1,0 +1,169 @@
+// Package metrics accounts the secondary-channel performance figures the
+// paper reports in Fig. 7: throughput, available-GOB ratio and GOB error
+// rate, plus oracle-verified goodput and summary statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"inframe/internal/core"
+)
+
+// GOBStats accumulates per-GOB outcomes across decoded data frames.
+type GOBStats struct {
+	// Frames is how many data frames were decoded.
+	Frames int
+	// Total is the number of GOB observations (frames × GOBs per frame).
+	Total int
+	// Available counts GOBs whose Blocks all decoded (§4).
+	Available int
+	// Erroneous counts available GOBs failing parity.
+	Erroneous int
+	// OracleCorrect counts available, parity-clean GOBs whose data bits
+	// all match the transmitted frame (requires AddWithOracle).
+	OracleCorrect int
+	// oracle notes whether oracle information was supplied.
+	oracle bool
+}
+
+// Add accumulates one decoded frame without ground truth.
+func (s *GOBStats) Add(fd *core.FrameDecode) {
+	s.Frames++
+	s.Total += len(fd.GOBs)
+	s.Available += fd.AvailableGOBs()
+	s.Erroneous += fd.ErroneousGOBs()
+}
+
+// AddWithOracle accumulates one decoded frame and verifies every available,
+// parity-clean GOB against the transmitted data frame.
+func (s *GOBStats) AddWithOracle(fd *core.FrameDecode, sent *core.DataFrame) {
+	s.Add(fd)
+	s.oracle = true
+	l := sent.Layout
+	for _, g := range fd.GOBs {
+		if !g.Available || !g.ParityOK {
+			continue
+		}
+		good := true
+		for _, blk := range l.GOBBlocks(g.GX, g.GY) {
+			if fd.Bits.Bit(blk[0], blk[1]) != sent.Bit(blk[0], blk[1]) {
+				good = false
+				break
+			}
+		}
+		if good {
+			s.OracleCorrect++
+		}
+	}
+}
+
+// AvailableRatio returns available/total (0 when empty).
+func (s *GOBStats) AvailableRatio() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Available) / float64(s.Total)
+}
+
+// ErrorRate returns erroneous/available (0 when nothing was available).
+func (s *GOBStats) ErrorRate() float64 {
+	if s.Available == 0 {
+		return 0
+	}
+	return float64(s.Erroneous) / float64(s.Available)
+}
+
+// Report is the Fig. 7 row for one experimental setting.
+type Report struct {
+	// ThroughputBps follows the paper's accounting: data frame rate ×
+	// data bits per frame × available ratio × (1 − error rate).
+	ThroughputBps float64
+	// GoodputBps is the oracle-verified rate: only GOBs whose decoded
+	// data bits match the transmission count (0 if no oracle was used).
+	GoodputBps float64
+	// RawBps is the channel's nominal rate with every GOB delivered.
+	RawBps float64
+	// AvailableRatio and ErrorRate echo the GOB statistics.
+	AvailableRatio float64
+	ErrorRate      float64
+}
+
+// Compute derives the report from accumulated statistics and the channel
+// parameters: refresh rate (Hz), smoothing cycle τ (display frames per data
+// frame) and the layout's data bits per frame.
+func Compute(s *GOBStats, layout core.Layout, tau int, refreshHz float64) Report {
+	frameRate := refreshHz / float64(tau)
+	bitsPerGOB := float64(layout.BlocksPerGOB() - 1)
+	raw := frameRate * bitsPerGOB * float64(layout.NumGOBs())
+	r := Report{
+		RawBps:         raw,
+		AvailableRatio: s.AvailableRatio(),
+		ErrorRate:      s.ErrorRate(),
+	}
+	r.ThroughputBps = raw * r.AvailableRatio * (1 - r.ErrorRate)
+	if s.oracle && s.Total > 0 {
+		r.GoodputBps = raw * float64(s.OracleCorrect) / float64(s.Total)
+	}
+	return r
+}
+
+// String renders the report in the spirit of a Fig. 7 annotation.
+func (r Report) String() string {
+	return fmt.Sprintf("throughput=%.1fkbps avail=%.1f%% err=%.1f%% raw=%.1fkbps goodput=%.1fkbps",
+		r.ThroughputBps/1000, 100*r.AvailableRatio, 100*r.ErrorRate, r.RawBps/1000, r.GoodputBps/1000)
+}
+
+// Series summarizes repeated scalar measurements.
+type Series struct{ xs []float64 }
+
+// Add appends one observation.
+func (s *Series) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the observation count.
+func (s *Series) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the population standard deviation (0 when empty).
+func (s *Series) Std() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, x := range s.xs {
+		d := x - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval on the mean (0 for fewer than 2 observations).
+func (s *Series) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	// Sample std (n−1) for the interval.
+	m := s.Mean()
+	var acc float64
+	for _, x := range s.xs {
+		d := x - m
+		acc += d * d
+	}
+	sd := math.Sqrt(acc / float64(n-1))
+	return 1.96 * sd / math.Sqrt(float64(n))
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"inframe/internal/core"
+)
+
+func testLayout() core.Layout {
+	return core.Layout{
+		FrameW: 48, FrameH: 32,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 6, BlocksY: 4,
+	}
+}
+
+// fakeDecode builds a FrameDecode with the given number of available GOBs,
+// of which errs fail parity, against an all-zero transmission.
+func fakeDecode(t *testing.T, l core.Layout, avail, errs int) (*core.FrameDecode, *core.DataFrame) {
+	t.Helper()
+	sent := core.NewDataFrame(l) // all zero: parity holds trivially
+	scores := make([]float64, l.NumBlocks())
+	for i := range scores {
+		scores[i] = -2 // confident zeros
+	}
+	cfg := core.DefaultReceiverConfig(core.DefaultParams(l), l.FrameW, l.FrameH)
+	cfg.Adaptive = false // deterministic fixed-threshold decisions
+	r, err := core.NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make (NumGOBs - avail) GOBs unavailable by zeroing one block score
+	// (inside the hysteresis band), and errs GOBs erroneous by flipping one
+	// block to a confident 1.
+	g := 0
+	for gy := 0; gy < l.GOBsY(); gy++ {
+		for gx := 0; gx < l.GOBsX(); gx++ {
+			blk := l.GOBBlocks(gx, gy)[0]
+			idx := blk[1]*l.BlocksX + blk[0]
+			switch {
+			case g >= avail:
+				scores[idx] = 0 // undecided
+			case g < errs:
+				scores[idx] = 2 // wrong bit → parity failure
+			}
+			g++
+		}
+	}
+	return r.DecodeScores(0, scores, nil, 1), sent
+}
+
+func TestGOBStatsCounts(t *testing.T) {
+	l := testLayout() // 6 GOBs
+	fd, sent := fakeDecode(t, l, 4, 1)
+	var s GOBStats
+	s.AddWithOracle(fd, sent)
+	if s.Frames != 1 || s.Total != 6 {
+		t.Fatalf("frames=%d total=%d", s.Frames, s.Total)
+	}
+	if s.Available != 4 {
+		t.Fatalf("available=%d, want 4", s.Available)
+	}
+	if s.Erroneous != 1 {
+		t.Fatalf("erroneous=%d, want 1", s.Erroneous)
+	}
+	// 3 available clean GOBs decode all-zero = transmitted.
+	if s.OracleCorrect != 3 {
+		t.Fatalf("oracleCorrect=%d, want 3", s.OracleCorrect)
+	}
+	if math.Abs(s.AvailableRatio()-4.0/6) > 1e-12 {
+		t.Fatalf("availableRatio=%v", s.AvailableRatio())
+	}
+	if math.Abs(s.ErrorRate()-0.25) > 1e-12 {
+		t.Fatalf("errorRate=%v", s.ErrorRate())
+	}
+}
+
+func TestGOBStatsEmpty(t *testing.T) {
+	var s GOBStats
+	if s.AvailableRatio() != 0 || s.ErrorRate() != 0 {
+		t.Fatal("empty stats should report zero ratios")
+	}
+}
+
+func TestComputePaperAccounting(t *testing.T) {
+	// The paper's headline: 1125 bits/frame at τ=10 on a 120 Hz display is
+	// 13.5 kbps raw; at 95.2% availability and 1.5% error that lands near
+	// the reported 12.6-12.8 kbps.
+	l := core.PaperLayout()
+	s := &GOBStats{Frames: 100, Total: 37500, Available: 35700, Erroneous: 536}
+	r := Compute(s, l, 10, 120)
+	if math.Abs(r.RawBps-13500) > 1e-9 {
+		t.Fatalf("raw = %v, want 13500", r.RawBps)
+	}
+	if r.ThroughputBps < 12300 || r.ThroughputBps > 12900 {
+		t.Fatalf("throughput = %v, want ≈12.6k", r.ThroughputBps)
+	}
+	if r.GoodputBps != 0 {
+		t.Fatalf("goodput without oracle = %v, want 0", r.GoodputBps)
+	}
+}
+
+func TestComputeGoodput(t *testing.T) {
+	l := testLayout()
+	fd, sent := fakeDecode(t, l, 6, 0)
+	var s GOBStats
+	s.AddWithOracle(fd, sent)
+	r := Compute(&s, l, 8, 120)
+	if r.GoodputBps <= 0 {
+		t.Fatal("goodput should be positive with oracle data")
+	}
+	if r.GoodputBps > r.RawBps+1e-9 {
+		t.Fatal("goodput exceeds raw rate")
+	}
+	if math.Abs(r.GoodputBps-r.RawBps) > 1e-9 {
+		t.Fatalf("all-correct goodput %v != raw %v", r.GoodputBps, r.RawBps)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{ThroughputBps: 12600, AvailableRatio: 0.952, ErrorRate: 0.015, RawBps: 13500}
+	s := r.String()
+	for _, want := range []string{"12.6", "95.2", "1.5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.CI95() != 0 || s.N() != 0 {
+		t.Fatal("empty series should be all zero")
+	}
+	for _, x := range []float64{1, 1, 3, 3} {
+		s.Add(x)
+	}
+	if s.N() != 4 || s.Mean() != 2 || s.Std() != 1 {
+		t.Fatalf("N=%d mean=%v std=%v", s.N(), s.Mean(), s.Std())
+	}
+	ci := s.CI95()
+	want := 1.96 * math.Sqrt(4.0/3) / 2
+	if math.Abs(ci-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", ci, want)
+	}
+}

@@ -1,0 +1,141 @@
+// Package naive implements the failed first designs of Fig. 3: inserting
+// distinct data frames between video frames without the complementary-frame
+// construction. They are kept as baselines for the flicker-perception
+// experiments — every one of them violates the CFF constraint and shows
+// "dynamic semi-transparent data blocks" to the viewer.
+package naive
+
+import (
+	"fmt"
+
+	"inframe/internal/core"
+	"inframe/internal/frame"
+	"inframe/internal/video"
+)
+
+// Scheme enumerates the Fig. 3 frame-insertion patterns, assuming a 120 Hz
+// display and 30 FPS video (four display slots per video frame).
+type Scheme int
+
+const (
+	// Normal displays the video only: V V V V (Fig. 3b), the no-data
+	// reference.
+	Normal Scheme = iota
+	// Aggressive inserts three distinct data frames after each video
+	// frame: V D D D (Fig. 3c).
+	Aggressive
+	// Alternate interleaves evenly: V D V D (Fig. 3d).
+	Alternate
+	// TwoTwo plays two video then two data frames: V V D D.
+	TwoTwo
+	// ThreeOne plays three video then one data frame: V V V D.
+	ThreeOne
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case Aggressive:
+		return "V:D=1:3"
+	case Alternate:
+		return "V:D=1:1"
+	case TwoTwo:
+		return "V:D=2:2"
+	case ThreeOne:
+		return "V:D=3:1"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists every naive scheme for table-driven experiments.
+func Schemes() []Scheme { return []Scheme{Normal, Aggressive, Alternate, TwoTwo, ThreeOne} }
+
+// slotPattern returns, for each of the four display slots of one video
+// frame, which data frame (0-based within the slot, -1 for video) to show.
+func (s Scheme) slotPattern() [4]int {
+	switch s {
+	case Normal:
+		return [4]int{-1, -1, -1, -1}
+	case Aggressive:
+		return [4]int{-1, 0, 1, 2}
+	case Alternate:
+		return [4]int{-1, 0, -1, 1}
+	case TwoTwo:
+		return [4]int{-1, -1, 0, 1}
+	case ThreeOne:
+		return [4]int{-1, -1, -1, 0}
+	default:
+		panic("naive: unknown scheme")
+	}
+}
+
+// Renderer produces the naive multiplexed display stream.
+type Renderer struct {
+	Scheme Scheme
+	Layout core.Layout
+	Delta  float64
+	Video  video.Source
+	Data   core.Stream
+}
+
+// NewRenderer builds a naive renderer; the video must match the layout.
+func NewRenderer(s Scheme, l core.Layout, delta float64, src video.Source, data core.Stream) (*Renderer, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := src.Size()
+	if w != l.FrameW || h != l.FrameH {
+		return nil, fmt.Errorf("naive: video %dx%d does not match layout %dx%d", w, h, l.FrameW, l.FrameH)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("naive: delta must be positive")
+	}
+	return &Renderer{Scheme: s, Layout: l, Delta: delta, Video: src, Data: data}, nil
+}
+
+// Frame renders display frame k: either the video frame of the slot or the
+// video frame with a one-sided (non-complementary) chessboard overlay — the
+// "distinctive data frame" of the naive designs.
+func (r *Renderer) Frame(k int) *frame.Frame {
+	vi := k / 4
+	slot := k % 4
+	v := r.Video.Frame(vi)
+	dIdx := r.Scheme.slotPattern()[slot]
+	if dIdx < 0 {
+		return v
+	}
+	df := r.Data.DataFrame(vi*3 + dIdx)
+	out := v
+	l := r.Layout
+	ps := l.PixelSize
+	for by := 0; by < l.BlocksY; by++ {
+		for bx := 0; bx < l.BlocksX; bx++ {
+			if !df.Bit(bx, by) {
+				continue
+			}
+			x0, y0, w, h := l.BlockRect(bx, by)
+			for y := y0; y < y0+h; y++ {
+				base := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if core.ChessOn(x/ps, y/ps) {
+						out.Pix[base+x] += float32(r.Delta)
+					}
+				}
+			}
+		}
+	}
+	out.Clamp(0, 255)
+	return out
+}
+
+// Render produces display frames [0, n).
+func (r *Renderer) Render(n int) []*frame.Frame {
+	frames := make([]*frame.Frame, n)
+	for k := range frames {
+		frames[k] = r.Frame(k)
+	}
+	return frames
+}

@@ -1,0 +1,184 @@
+package naive
+
+import (
+	"testing"
+
+	"inframe/internal/core"
+	"inframe/internal/display"
+	"inframe/internal/frame"
+	"inframe/internal/hvs"
+	"inframe/internal/video"
+)
+
+func testLayout() core.Layout {
+	return core.Layout{
+		FrameW: 48, FrameH: 32,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 6, BlocksY: 4,
+	}
+}
+
+func onesStream(l core.Layout) core.Stream {
+	df := core.NewDataFrame(l)
+	for i := range df.Bits {
+		df.Bits[i] = true
+	}
+	return &core.FixedStream{Frames: []*core.DataFrame{df}}
+}
+
+func newRenderer(t *testing.T, s Scheme) *Renderer {
+	t.Helper()
+	l := testLayout()
+	r, err := NewRenderer(s, l, 40, video.Gray(l.FrameW, l.FrameH), onesStream(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSchemeNames(t *testing.T) {
+	want := map[Scheme]string{
+		Normal: "normal", Aggressive: "V:D=1:3", Alternate: "V:D=1:1",
+		TwoTwo: "V:D=2:2", ThreeOne: "V:D=3:1",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if len(Schemes()) != 5 {
+		t.Fatal("Schemes() should list all five")
+	}
+}
+
+func TestNewRendererValidation(t *testing.T) {
+	l := testLayout()
+	if _, err := NewRenderer(Normal, l, 40, video.Gray(10, 10), onesStream(l)); err == nil {
+		t.Fatal("accepted mismatched video")
+	}
+	if _, err := NewRenderer(Normal, l, 0, video.Gray(l.FrameW, l.FrameH), onesStream(l)); err == nil {
+		t.Fatal("accepted zero delta")
+	}
+	bad := l
+	bad.BlocksX = 0
+	if _, err := NewRenderer(Normal, bad, 40, video.Gray(l.FrameW, l.FrameH), onesStream(l)); err == nil {
+		t.Fatal("accepted invalid layout")
+	}
+}
+
+func TestNormalIsPureVideo(t *testing.T) {
+	r := newRenderer(t, Normal)
+	for k := 0; k < 8; k++ {
+		if !r.Frame(k).Equal(video.Gray(48, 32).Frame(0)) {
+			t.Fatalf("normal scheme altered frame %d", k)
+		}
+	}
+}
+
+func TestSlotPatterns(t *testing.T) {
+	// For each scheme, the data slots differ from video, video slots don't.
+	gray := video.Gray(48, 32).Frame(0)
+	for _, s := range Schemes() {
+		r := newRenderer(t, s)
+		pat := s.slotPattern()
+		for slot := 0; slot < 4; slot++ {
+			f := r.Frame(slot)
+			isVideo := f.Equal(gray)
+			if pat[slot] < 0 && !isVideo {
+				t.Fatalf("%v slot %d should be video", s, slot)
+			}
+			if pat[slot] >= 0 && isVideo {
+				t.Fatalf("%v slot %d should carry data", s, slot)
+			}
+		}
+	}
+}
+
+func TestDataOverlayIsOneSided(t *testing.T) {
+	// Unlike InFrame's ±D pairs, the naive data frame only adds: its mean
+	// exceeds the video mean, which is exactly why fusion fails.
+	r := newRenderer(t, Alternate)
+	v := r.Frame(0)
+	d := r.Frame(1)
+	if d.Mean() <= v.Mean() {
+		t.Fatal("naive data frame mean should exceed video mean")
+	}
+	avg, err := frame.Average(r.Render(4)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae, _ := frame.MAE(avg, v)
+	if mae < 1 {
+		t.Fatalf("naive average matches video (MAE %v); fusion should fail", mae)
+	}
+}
+
+func TestRenderCount(t *testing.T) {
+	r := newRenderer(t, TwoTwo)
+	if len(r.Render(13)) != 13 {
+		t.Fatal("Render count wrong")
+	}
+}
+
+// TestNaiveSchemesFlickerInFrameDoesNot reproduces the §3.1 user-study
+// outcome on the simulated panel: every naive data-bearing scheme scores
+// "evident flicker" territory, while the complementary design stays
+// satisfactory.
+func TestNaiveSchemesFlickerInFrameDoesNot(t *testing.T) {
+	l := testLayout()
+	panel := hvs.Panel(8, 3)
+	build := func(frames []*frame.Frame) *display.Display {
+		cfg := display.DefaultConfig()
+		cfg.ResponseTime = 0
+		d, err := display.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frames {
+			if err := d.Push(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	reference := build(newRenderer(t, Normal).Render(120))
+	rate := func(frames []*frame.Frame) float64 {
+		d := build(frames)
+		ratings := hvs.RateDisplayRef(panel, d, reference, 3, 4, float64(l.PixelSize), 9)
+		mean, _ := hvs.MeanStd(ratings)
+		return mean
+	}
+
+	scores := map[Scheme]float64{}
+	for _, s := range Schemes() {
+		r := newRenderer(t, s)
+		scores[s] = rate(r.Render(120))
+	}
+	if scores[Normal] > 0.5 {
+		t.Fatalf("pure video scored %.2f, want ~0", scores[Normal])
+	}
+	for _, s := range []Scheme{Aggressive, Alternate, TwoTwo, ThreeOne} {
+		if scores[s] < 2 {
+			t.Fatalf("naive %v scored %.2f, want >= 2 (evident flicker)", s, scores[s])
+		}
+	}
+
+	// InFrame at its recommended amplitude (δ=20, §4): satisfactory.
+	inframeAt := func(delta float64) float64 {
+		p := core.DefaultParams(l)
+		p.Tau = 8
+		p.Delta = delta
+		m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), onesStream(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rate(m.Render(120))
+	}
+	if s := inframeAt(20); s > 1.2 {
+		t.Fatalf("InFrame at δ=20 scored %.2f, want <= 1.2", s)
+	}
+	// Even at the naive schemes' amplitude, InFrame stays clearly below them.
+	if s := inframeAt(40); s >= scores[Alternate] {
+		t.Fatalf("InFrame at δ=40 (%.2f) must beat naive alternate (%.2f)", s, scores[Alternate])
+	}
+}

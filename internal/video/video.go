@@ -1,0 +1,316 @@
+// Package video provides the primary-channel content sources for InFrame:
+// an abstract Source interface and a set of procedural generators standing in
+// for the paper's test inputs (pure gray, pure dark-gray, and a sun-rising
+// clip), plus extra scenes used in tests and ablations.
+//
+// A Source produces luminance frames indexed by frame number at its native
+// frame rate (the paper uses 30 FPS content on a 120 Hz display).
+package video
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"inframe/internal/frame"
+)
+
+// Source yields the primary video content, frame by frame.
+type Source interface {
+	// Frame returns the i-th video frame. Implementations must return a
+	// frame the caller may mutate (a fresh copy or freshly rendered).
+	Frame(i int) *frame.Frame
+	// Size returns the frame dimensions in pixels.
+	Size() (w, h int)
+	// FPS returns the native content frame rate.
+	FPS() float64
+}
+
+// Solid is a constant-luminance video, the paper's "pure gray" and
+// "pure dark gray" inputs (RGB 180 and 127 respectively, which collapse to
+// the same value in luminance).
+type Solid struct {
+	W, H  int
+	Level float32
+	Rate  float64
+}
+
+// NewSolid returns a solid video source at 30 FPS.
+func NewSolid(w, h int, level float32) *Solid {
+	return &Solid{W: w, H: h, Level: level, Rate: 30}
+}
+
+// Frame implements Source.
+func (s *Solid) Frame(int) *frame.Frame { return frame.NewFilled(s.W, s.H, s.Level) }
+
+// Size implements Source.
+func (s *Solid) Size() (int, int) { return s.W, s.H }
+
+// FPS implements Source.
+func (s *Solid) FPS() float64 { return s.Rate }
+
+// Gray returns the paper's bright pure-gray input (RGB 180,180,180).
+func Gray(w, h int) *Solid { return NewSolid(w, h, 180) }
+
+// DarkGray returns the paper's dark-gray input (RGB 127,127,127).
+func DarkGray(w, h int) *Solid { return NewSolid(w, h, 127) }
+
+// SunRise procedurally reproduces the structure of the paper's "sun-rising
+// video clip" as seen by the secondary channel: a brightening sky gradient,
+// a rising sun disc with a wide saturated halo and a glare band on the
+// horizon (areas with no clipping headroom, where the local amplitude
+// adjustment of §3.3 crushes the chessboard regardless of δ), and a dark
+// ground with patchy high-spatial-frequency texture (false chessboard
+// energy that stresses the noise detector).
+type SunRise struct {
+	W, H int
+	Rate float64
+	seed int64
+	// texture is static per-pixel noise; strength is a patchy low-
+	// frequency field modulating it, both regenerated from the seed.
+	texture  []float32
+	strength []float32
+}
+
+// NewSunRise builds the procedural clip. The same seed reproduces the same
+// clip exactly.
+func NewSunRise(w, h int, seed int64) *SunRise {
+	s := &SunRise{W: w, H: h, Rate: 30, seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	s.texture = make([]float32, w*h)
+	for i := range s.texture {
+		s.texture[i] = rng.Float32()*2 - 1
+	}
+	// Patchy strength: constant within ~1/32-frame cells, varied across
+	// them, so some regions are heavily textured and others nearly flat.
+	cell := w / 32
+	if cell < 2 {
+		cell = 2
+	}
+	cw := (w + cell - 1) / cell
+	ch := (h + cell - 1) / cell
+	cells := make([]float32, cw*ch)
+	for i := range cells {
+		// Heavy-tailed: most cells mild, some strong.
+		u := rng.Float32()
+		cells[i] = 15 + 200*u*u
+	}
+	s.strength = make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s.strength[y*w+x] = cells[(y/cell)*cw+x/cell]
+		}
+	}
+	return s
+}
+
+// Frame implements Source. The clip loops every 20 seconds of content.
+func (s *SunRise) Frame(i int) *frame.Frame {
+	f := frame.New(s.W, s.H)
+	t := math.Mod(float64(i)/s.Rate, 20) / 20 // progress 0..1
+	w, h := float64(s.W), float64(s.H)
+	horizon := 0.65 * h
+	sunX := w * (0.25 + 0.5*t)
+	sunY := horizon - (0.05+0.45*t)*horizon
+	sunR := 0.09 * w
+	skyBase := 90 + 80*t
+	glareH := 0.10 * h // saturated glare band above the horizon
+	for y := 0; y < s.H; y++ {
+		fy := float64(y)
+		for x := 0; x < s.W; x++ {
+			fx := float64(x)
+			var v float64
+			if fy < horizon {
+				// Sky: vertical gradient brightening towards the horizon.
+				v = skyBase + 120*(fy/horizon)
+				// Glare band hugging the horizon: effectively saturated.
+				if fy > horizon-glareH {
+					v = 250
+				}
+				// Sun disc and halo.
+				d := math.Hypot(fx-sunX, fy-sunY)
+				switch {
+				case d < sunR:
+					v = 252
+				case d < 3*sunR:
+					v += (252 - v) * math.Exp(-(d-sunR)/(1.1*sunR))
+				}
+			} else {
+				// Ground: dark with patchy texture that drifts slowly
+				// (water/foliage motion), plus gentle luminance waves.
+				// The drift matters to the secondary channel: moving
+				// texture defeats temporal background subtraction the way
+				// real footage does.
+				base := 55 + 18*math.Sin(fx/17+3*t*2*math.Pi)
+				drift := int(float64(i) / s.Rate * 45) // 1.5 px per frame
+				tx := ((x+drift)%s.W + s.W) % s.W
+				idx := y*s.W + tx
+				v = base + float64(s.strength[y*s.W+x])*float64(s.texture[idx])
+			}
+			if v > 255 {
+				v = 255
+			} else if v < 0 {
+				v = 0
+			}
+			f.Pix[y*s.W+x] = float32(v)
+		}
+	}
+	return f
+}
+
+// Size implements Source.
+func (s *SunRise) Size() (int, int) { return s.W, s.H }
+
+// FPS implements Source.
+func (s *SunRise) FPS() float64 { return s.Rate }
+
+// Noise is an i.i.d. uniform noise video: the worst case for the chessboard
+// detector, used in robustness tests.
+type Noise struct {
+	W, H int
+	Rate float64
+	Lo   float32
+	Hi   float32
+	seed int64
+}
+
+// NewNoise returns a noise source with pixel values uniform in [lo, hi].
+func NewNoise(w, h int, lo, hi float32, seed int64) *Noise {
+	return &Noise{W: w, H: h, Rate: 30, Lo: lo, Hi: hi, seed: seed}
+}
+
+// Frame implements Source. Each index yields a deterministic frame derived
+// from the source seed and the index.
+func (n *Noise) Frame(i int) *frame.Frame {
+	rng := rand.New(rand.NewSource(n.seed ^ int64(i)*0x9e3779b97f4a7c))
+	f := frame.New(n.W, n.H)
+	span := n.Hi - n.Lo
+	for j := range f.Pix {
+		f.Pix[j] = n.Lo + rng.Float32()*span
+	}
+	return f
+}
+
+// Size implements Source.
+func (n *Noise) Size() (int, int) { return n.W, n.H }
+
+// FPS implements Source.
+func (n *Noise) FPS() float64 { return n.Rate }
+
+// MovingBars renders vertical bars drifting horizontally: sustained motion
+// content exercising the phantom-array interaction and mid-level texture.
+type MovingBars struct {
+	W, H   int
+	Rate   float64
+	Period int     // bar period in pixels
+	Speed  float64 // pixels per frame
+	Lo, Hi float32
+}
+
+// NewMovingBars returns a drifting-bars source.
+func NewMovingBars(w, h int, period int, speed float64) *MovingBars {
+	return &MovingBars{W: w, H: h, Rate: 30, Period: period, Speed: speed, Lo: 60, Hi: 190}
+}
+
+// Frame implements Source.
+func (m *MovingBars) Frame(i int) *frame.Frame {
+	f := frame.New(m.W, m.H)
+	off := m.Speed * float64(i)
+	p := float64(m.Period)
+	for x := 0; x < m.W; x++ {
+		phase := math.Mod(float64(x)+off, p) / p
+		v := m.Lo
+		if phase >= 0.5 {
+			v = m.Hi
+		}
+		for y := 0; y < m.H; y++ {
+			f.Pix[y*m.W+x] = v
+		}
+	}
+	return f
+}
+
+// Size implements Source.
+func (m *MovingBars) Size() (int, int) { return m.W, m.H }
+
+// FPS implements Source.
+func (m *MovingBars) FPS() float64 { return m.Rate }
+
+// Gradient renders a static diagonal luminance ramp covering the full 0..255
+// range, exercising the clipping-aware amplitude adjustment at both ends.
+type Gradient struct {
+	W, H int
+	Rate float64
+}
+
+// NewGradient returns a static full-range gradient source.
+func NewGradient(w, h int) *Gradient { return &Gradient{W: w, H: h, Rate: 30} }
+
+// Frame implements Source.
+func (g *Gradient) Frame(int) *frame.Frame {
+	f := frame.New(g.W, g.H)
+	den := float64(g.W + g.H - 2)
+	if den == 0 {
+		den = 1
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			f.Pix[y*g.W+x] = float32(255 * float64(x+y) / den)
+		}
+	}
+	return f
+}
+
+// Size implements Source.
+func (g *Gradient) Size() (int, int) { return g.W, g.H }
+
+// FPS implements Source.
+func (g *Gradient) FPS() float64 { return g.Rate }
+
+// Clip is a fixed, pre-rendered sequence of frames that loops; it adapts any
+// recorded material to the Source interface.
+type Clip struct {
+	Frames []*frame.Frame
+	Rate   float64
+}
+
+// NewClip wraps pre-rendered frames as a looping 30 FPS source. It panics if
+// frames is empty or sizes are inconsistent, since that is a programming
+// error at construction time.
+func NewClip(frames []*frame.Frame) *Clip {
+	if len(frames) == 0 {
+		panic("video.NewClip: no frames")
+	}
+	w, h := frames[0].W, frames[0].H
+	for i, f := range frames {
+		if f.W != w || f.H != h {
+			panic(fmt.Sprintf("video.NewClip: frame %d is %dx%d, want %dx%d", i, f.W, f.H, w, h))
+		}
+	}
+	return &Clip{Frames: frames, Rate: 30}
+}
+
+// Frame implements Source, looping over the recorded frames.
+func (c *Clip) Frame(i int) *frame.Frame {
+	n := len(c.Frames)
+	return c.Frames[((i%n)+n)%n].Clone()
+}
+
+// Size implements Source.
+func (c *Clip) Size() (int, int) { return c.Frames[0].W, c.Frames[0].H }
+
+// FPS implements Source.
+func (c *Clip) FPS() float64 { return c.Rate }
+
+// Record renders n frames of src into a Clip, freezing procedural content so
+// repeated passes (e.g. encoder calibration then measurement) see identical
+// input.
+func Record(src Source, n int) *Clip {
+	frames := make([]*frame.Frame, n)
+	for i := range frames {
+		frames[i] = src.Frame(i)
+	}
+	c := NewClip(frames)
+	c.Rate = src.FPS()
+	return c
+}

@@ -1,0 +1,198 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"inframe/internal/frame"
+)
+
+func checkSource(t *testing.T, s Source, wantW, wantH int) {
+	t.Helper()
+	w, h := s.Size()
+	if w != wantW || h != wantH {
+		t.Fatalf("Size = %dx%d, want %dx%d", w, h, wantW, wantH)
+	}
+	if s.FPS() <= 0 {
+		t.Fatalf("FPS = %v, want > 0", s.FPS())
+	}
+	f := s.Frame(0)
+	if f.W != w || f.H != h {
+		t.Fatalf("Frame size %dx%d mismatches Size %dx%d", f.W, f.H, w, h)
+	}
+	min, max := f.MinMax()
+	if min < 0 || max > 255 {
+		t.Fatalf("frame values out of range: [%v,%v]", min, max)
+	}
+}
+
+func TestSolidLevels(t *testing.T) {
+	g := Gray(32, 24)
+	checkSource(t, g, 32, 24)
+	if v := g.Frame(5).At(3, 3); v != 180 {
+		t.Fatalf("Gray level = %v, want 180", v)
+	}
+	d := DarkGray(32, 24)
+	if v := d.Frame(0).At(0, 0); v != 127 {
+		t.Fatalf("DarkGray level = %v, want 127", v)
+	}
+}
+
+func TestSolidFramesAreIndependent(t *testing.T) {
+	s := Gray(8, 8)
+	a := s.Frame(0)
+	a.Fill(0)
+	if s.Frame(0).At(0, 0) != 180 {
+		t.Fatal("mutating a returned frame corrupted the source")
+	}
+}
+
+func TestSunRiseDeterministic(t *testing.T) {
+	a := NewSunRise(48, 32, 7)
+	b := NewSunRise(48, 32, 7)
+	checkSource(t, a, 48, 32)
+	for _, i := range []int{0, 10, 100} {
+		if !a.Frame(i).Equal(b.Frame(i)) {
+			t.Fatalf("frame %d differs between identically seeded sources", i)
+		}
+	}
+}
+
+func TestSunRiseEvolves(t *testing.T) {
+	s := NewSunRise(48, 32, 7)
+	if s.Frame(0).Equal(s.Frame(60)) {
+		t.Fatal("sun-rise clip is static; expected temporal evolution")
+	}
+	// Sky should brighten over the first half of the clip.
+	early := s.Frame(0).Region(0, 0, 48, 8).Mean()
+	late := s.Frame(250).Region(0, 0, 48, 8).Mean()
+	if late <= early {
+		t.Fatalf("sky did not brighten: %.1f -> %.1f", early, late)
+	}
+}
+
+func TestSunRiseHasTexture(t *testing.T) {
+	s := NewSunRise(64, 64, 3)
+	f := s.Frame(0)
+	ground := f.Region(0, 48, 64, 16)
+	if e := frame.HighFreqEnergy(ground, 1); e < 3 {
+		t.Fatalf("ground texture energy = %v, want >= 3", e)
+	}
+}
+
+func TestNoiseRangeAndDeterminism(t *testing.T) {
+	n := NewNoise(16, 16, 50, 200, 42)
+	checkSource(t, n, 16, 16)
+	f := n.Frame(3)
+	min, max := f.MinMax()
+	if min < 50 || max > 200 {
+		t.Fatalf("noise out of [50,200]: [%v,%v]", min, max)
+	}
+	if !f.Equal(NewNoise(16, 16, 50, 200, 42).Frame(3)) {
+		t.Fatal("noise frames not reproducible for equal seeds")
+	}
+	if f.Equal(n.Frame(4)) {
+		t.Fatal("consecutive noise frames identical")
+	}
+}
+
+func TestMovingBarsMove(t *testing.T) {
+	m := NewMovingBars(40, 20, 10, 2)
+	checkSource(t, m, 40, 20)
+	if m.Frame(0).Equal(m.Frame(1)) {
+		t.Fatal("bars did not move between frames")
+	}
+	// Bars drifting at 2 px/frame repeat exactly every period/speed frames.
+	if !m.Frame(0).Equal(m.Frame(5)) {
+		t.Fatal("bars did not wrap after one full period")
+	}
+}
+
+func TestGradientCoversRange(t *testing.T) {
+	g := NewGradient(32, 32)
+	checkSource(t, g, 32, 32)
+	f := g.Frame(0)
+	min, max := f.MinMax()
+	if min != 0 || math.Abs(float64(max)-255) > 1e-3 {
+		t.Fatalf("gradient range [%v,%v], want [0,255]", min, max)
+	}
+	if f.At(0, 0) >= f.At(31, 31) {
+		t.Fatal("gradient not increasing along diagonal")
+	}
+}
+
+func TestClipLoops(t *testing.T) {
+	frames := []*frame.Frame{
+		frame.NewFilled(4, 4, 1),
+		frame.NewFilled(4, 4, 2),
+		frame.NewFilled(4, 4, 3),
+	}
+	c := NewClip(frames)
+	checkSource(t, c, 4, 4)
+	if c.Frame(4).At(0, 0) != 2 {
+		t.Fatalf("Frame(4) = %v, want 2 (looped)", c.Frame(4).At(0, 0))
+	}
+	if c.Frame(-1).At(0, 0) != 3 {
+		t.Fatalf("Frame(-1) = %v, want 3 (wrapped)", c.Frame(-1).At(0, 0))
+	}
+}
+
+func TestClipFramesAreCopies(t *testing.T) {
+	c := NewClip([]*frame.Frame{frame.NewFilled(2, 2, 9)})
+	f := c.Frame(0)
+	f.Fill(0)
+	if c.Frame(0).At(0, 0) != 9 {
+		t.Fatal("Clip handed out its backing frame")
+	}
+}
+
+func TestNewClipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClip(nil) did not panic")
+		}
+	}()
+	NewClip(nil)
+}
+
+func TestNewClipPanicsOnMixedSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClip with mixed sizes did not panic")
+		}
+	}()
+	NewClip([]*frame.Frame{frame.New(2, 2), frame.New(3, 3)})
+}
+
+func TestRecordFreezesSource(t *testing.T) {
+	src := NewSunRise(24, 16, 5)
+	clip := Record(src, 4)
+	if len(clip.Frames) != 4 {
+		t.Fatalf("Record kept %d frames, want 4", len(clip.Frames))
+	}
+	if clip.FPS() != src.FPS() {
+		t.Fatalf("Record FPS = %v, want %v", clip.FPS(), src.FPS())
+	}
+	if !clip.Frame(2).Equal(src.Frame(2)) {
+		t.Fatal("recorded frame differs from source frame")
+	}
+}
+
+func TestTextCard(t *testing.T) {
+	c := NewTextCard(64, 48, 1)
+	checkSource(t, c, 64, 48)
+	f := c.Frame(0)
+	// Banner darker than body background.
+	banner := f.Region(0, 0, 64, 8).Mean()
+	body := f.Region(0, 40, 64, 8).Mean()
+	if banner >= body {
+		t.Fatalf("banner %.0f not darker than body %.0f", banner, body)
+	}
+	// Deterministic per seed, static over time.
+	if !f.Equal(NewTextCard(64, 48, 1).Frame(9)) {
+		t.Fatal("text card not deterministic")
+	}
+	if NewTextCard(64, 48, 2).Frame(0).Equal(f) {
+		t.Fatal("different seeds produced identical cards")
+	}
+}

@@ -1,0 +1,36 @@
+package video
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"inframe/internal/y4m"
+)
+
+// FromY4M drains a YUV4MPEG2 stream into a looping color source — the
+// ingestion path for real footage as primary-channel content.
+func FromY4M(r io.Reader) (*RGBClip, error) {
+	rd, err := y4m.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := rd.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("video: y4m stream has no frames")
+	}
+	return NewRGBClip(frames, rd.Header.FPS()), nil
+}
+
+// OpenY4M loads the .y4m file at path as a looping color source.
+func OpenY4M(path string) (*RGBClip, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("video: opening %s: %w", path, err)
+	}
+	defer fh.Close()
+	return FromY4M(fh)
+}

@@ -1,0 +1,88 @@
+package video
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inframe/internal/frame"
+	"inframe/internal/y4m"
+)
+
+func writeY4M(t *testing.T, frames []*frame.RGB, fps int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	wr, err := y4m.NewWriter(&buf, y4m.Header{
+		W: frames[0].W, H: frames[0].H, FPSNum: fps, FPSDen: 1, ColorSpace: y4m.C444,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := wr.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestFromY4M(t *testing.T) {
+	frames := []*frame.RGB{
+		frame.NewRGBFilled(16, 12, 50, 60, 70),
+		frame.NewRGBFilled(16, 12, 150, 140, 130),
+	}
+	clip, err := FromY4M(writeY4M(t, frames, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.FPS() != 24 {
+		t.Fatalf("FPS = %v", clip.FPS())
+	}
+	w, h := clip.Size()
+	if w != 16 || h != 12 {
+		t.Fatalf("size %dx%d", w, h)
+	}
+	r, _, _ := clip.FrameRGB(0).At(8, 6)
+	if math.Abs(float64(r)-50) > 2 {
+		t.Fatalf("frame 0 red = %v, want ~50", r)
+	}
+	// Loops.
+	r2, _, _ := clip.FrameRGB(2).At(8, 6)
+	if math.Abs(float64(r2)-50) > 2 {
+		t.Fatalf("frame 2 (looped) red = %v, want ~50", r2)
+	}
+}
+
+func TestFromY4MErrors(t *testing.T) {
+	if _, err := FromY4M(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Header-only stream: no frames.
+	if _, err := FromY4M(strings.NewReader("YUV4MPEG2 W4 H4 F30:1 C444\n")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestOpenY4M(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.y4m")
+	buf := writeY4M(t, []*frame.RGB{frame.NewRGBFilled(8, 8, 10, 20, 30)}, 30)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clip, err := OpenY4M(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.FPS() != 30 {
+		t.Fatalf("FPS = %v", clip.FPS())
+	}
+	if _, err := OpenY4M(filepath.Join(t.TempDir(), "missing.y4m")); err == nil {
+		t.Fatal("missing file opened")
+	}
+}

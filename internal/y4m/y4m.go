@@ -1,0 +1,290 @@
+// Package y4m reads and writes the YUV4MPEG2 (.y4m) uncompressed video
+// format, the lingua franca of video tooling (ffmpeg, mpv, x264 all speak
+// it). It lets the InFrame pipeline ingest real clips as primary-channel
+// content and emit multiplexed sequences that standard players render at a
+// controlled frame rate — the role DirectX playback serves in the paper's
+// C# prototype.
+//
+// Supported colorspaces: C444 (full chroma) and C420 (2×2 subsampled,
+// JPEG-style siting), 8-bit.
+package y4m
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"inframe/internal/frame"
+)
+
+// ColorSpace enumerates the supported chroma layouts.
+type ColorSpace int
+
+const (
+	// C444 stores full-resolution chroma planes.
+	C444 ColorSpace = iota
+	// C420 stores 2×2-subsampled chroma planes (C420jpeg siting).
+	C420
+)
+
+// String implements fmt.Stringer with the Y4M header tag.
+func (c ColorSpace) String() string {
+	switch c {
+	case C444:
+		return "C444"
+	case C420:
+		return "C420jpeg"
+	default:
+		return fmt.Sprintf("ColorSpace(%d)", int(c))
+	}
+}
+
+// Header describes a Y4M stream.
+type Header struct {
+	W, H       int
+	FPSNum     int
+	FPSDen     int
+	ColorSpace ColorSpace
+}
+
+// FPS returns the frame rate as a float.
+func (h Header) FPS() float64 { return float64(h.FPSNum) / float64(h.FPSDen) }
+
+// Validate reports whether the header is usable.
+func (h Header) Validate() error {
+	if h.W <= 0 || h.H <= 0 {
+		return fmt.Errorf("y4m: invalid size %dx%d", h.W, h.H)
+	}
+	if h.FPSNum <= 0 || h.FPSDen <= 0 {
+		return fmt.Errorf("y4m: invalid frame rate %d:%d", h.FPSNum, h.FPSDen)
+	}
+	if h.ColorSpace == C420 && (h.W%2 != 0 || h.H%2 != 0) {
+		return fmt.Errorf("y4m: C420 requires even dimensions, got %dx%d", h.W, h.H)
+	}
+	return nil
+}
+
+// ErrNoMoreFrames is returned by Reader.ReadFrame at end of stream.
+var ErrNoMoreFrames = errors.New("y4m: no more frames")
+
+// Writer emits a Y4M stream.
+type Writer struct {
+	w      *bufio.Writer
+	header Header
+	wrote  bool
+}
+
+// NewWriter prepares a writer; the header goes out with the first frame.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bufio.NewWriter(w), header: h}, nil
+}
+
+// WriteFrame appends one color frame, converting to Y'CbCr.
+func (wr *Writer) WriteFrame(f *frame.RGB) error {
+	if f.W != wr.header.W || f.H != wr.header.H {
+		return fmt.Errorf("y4m: frame %dx%d does not match header %dx%d",
+			f.W, f.H, wr.header.W, wr.header.H)
+	}
+	if !wr.wrote {
+		fmt.Fprintf(wr.w, "YUV4MPEG2 W%d H%d F%d:%d Ip A1:1 %s\n",
+			wr.header.W, wr.header.H, wr.header.FPSNum, wr.header.FPSDen, wr.header.ColorSpace)
+		wr.wrote = true
+	}
+	if _, err := wr.w.WriteString("FRAME\n"); err != nil {
+		return err
+	}
+	y, cb, cr := f.YCbCr()
+	if err := writePlane(wr.w, y, 1); err != nil {
+		return err
+	}
+	sub := 1
+	if wr.header.ColorSpace == C420 {
+		sub = 2
+	}
+	if err := writePlane(wr.w, cb, sub); err != nil {
+		return err
+	}
+	return writePlane(wr.w, cr, sub)
+}
+
+// WriteLumaFrame appends a grayscale frame (neutral chroma).
+func (wr *Writer) WriteLumaFrame(y *frame.Frame) error {
+	return wr.WriteFrame(frame.FromLuma(y))
+}
+
+// Flush finishes the stream.
+func (wr *Writer) Flush() error { return wr.w.Flush() }
+
+// writePlane emits a plane quantized to bytes, optionally box-subsampled.
+func writePlane(w *bufio.Writer, p *frame.Frame, sub int) error {
+	if sub == 1 {
+		for _, v := range p.Pix {
+			if err := w.WriteByte(quantByte(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for y := 0; y < p.H; y += sub {
+		for x := 0; x < p.W; x += sub {
+			var sum float32
+			for dy := 0; dy < sub; dy++ {
+				for dx := 0; dx < sub; dx++ {
+					sum += p.Pix[(y+dy)*p.W+x+dx]
+				}
+			}
+			if err := w.WriteByte(quantByte(sum / float32(sub*sub))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func quantByte(v float32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}
+
+// Reader consumes a Y4M stream.
+type Reader struct {
+	r      *bufio.Reader
+	Header Header
+}
+
+// NewReader parses the stream header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("y4m: reading header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSuffix(line, "\n"))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("y4m: not a YUV4MPEG2 stream")
+	}
+	h := Header{FPSNum: 30, FPSDen: 1, ColorSpace: C420}
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		switch f[0] {
+		case 'W':
+			h.W, err = strconv.Atoi(f[1:])
+		case 'H':
+			h.H, err = strconv.Atoi(f[1:])
+		case 'F':
+			parts := strings.SplitN(f[1:], ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("y4m: bad frame rate %q", f)
+			}
+			if h.FPSNum, err = strconv.Atoi(parts[0]); err == nil {
+				h.FPSDen, err = strconv.Atoi(parts[1])
+			}
+		case 'C':
+			switch f[1:] {
+			case "444":
+				h.ColorSpace = C444
+			case "420", "420jpeg", "420mpeg2", "420paldv":
+				h.ColorSpace = C420
+			default:
+				return nil, fmt.Errorf("y4m: unsupported colorspace %q", f)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("y4m: parsing %q: %w", f, err)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, Header: h}, nil
+}
+
+// ReadFrameYCbCr returns the next frame's planes at full resolution
+// (chroma upsampled for C420), or ErrNoMoreFrames at end of stream. The Y
+// plane is bit-exact with the stream — the property InFrame's luma-domain
+// decoding relies on.
+func (rd *Reader) ReadFrameYCbCr() (y, cb, cr *frame.Frame, err error) {
+	line, err := rd.r.ReadString('\n')
+	if err == io.EOF && line == "" {
+		return nil, nil, nil, ErrNoMoreFrames
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("y4m: reading frame marker: %w", err)
+	}
+	if !strings.HasPrefix(line, "FRAME") {
+		return nil, nil, nil, fmt.Errorf("y4m: expected FRAME marker, got %q", strings.TrimSpace(line))
+	}
+	w, h := rd.Header.W, rd.Header.H
+	y, err = readPlane(rd.r, w, h)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cw, ch := w, h
+	if rd.Header.ColorSpace == C420 {
+		cw, ch = w/2, h/2
+	}
+	cb, err = readPlane(rd.r, cw, ch)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cr, err = readPlane(rd.r, cw, ch)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if rd.Header.ColorSpace == C420 {
+		cb = frame.Resample(cb, w, h)
+		cr = frame.Resample(cr, w, h)
+	}
+	return y, cb, cr, nil
+}
+
+// ReadFrame returns the next frame as RGB, or ErrNoMoreFrames at end of
+// stream. Saturated colors may clamp slightly under C420 chroma
+// upsampling; use ReadFrameYCbCr for bit-exact luma.
+func (rd *Reader) ReadFrame() (*frame.RGB, error) {
+	y, cb, cr, err := rd.ReadFrameYCbCr()
+	if err != nil {
+		return nil, err
+	}
+	return frame.RGBFromYCbCr(y, cb, cr)
+}
+
+// ReadAll drains the stream into a slice of frames.
+func (rd *Reader) ReadAll() ([]*frame.RGB, error) {
+	var out []*frame.RGB
+	for {
+		f, err := rd.ReadFrame()
+		if errors.Is(err, ErrNoMoreFrames) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+}
+
+func readPlane(r *bufio.Reader, w, h int) (*frame.Frame, error) {
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("y4m: reading plane: %w", err)
+	}
+	p := frame.New(w, h)
+	for i, b := range buf {
+		p.Pix[i] = float32(b)
+	}
+	return p, nil
+}

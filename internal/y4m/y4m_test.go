@@ -1,0 +1,199 @@
+package y4m
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"inframe/internal/frame"
+)
+
+func testFrames(n int) []*frame.RGB {
+	out := make([]*frame.RGB, n)
+	for i := range out {
+		f := frame.NewRGB(16, 12)
+		for y := 0; y < 12; y++ {
+			for x := 0; x < 16; x++ {
+				f.Set(x, y, float32((x*16+i*30)%256), float32((y*20)%256), float32((x*y+i)%256))
+			}
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func TestHeaderValidate(t *testing.T) {
+	good := Header{W: 16, H: 12, FPSNum: 30, FPSDen: 1, ColorSpace: C444}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Header{
+		{W: 0, H: 12, FPSNum: 30, FPSDen: 1},
+		{W: 16, H: 12, FPSNum: 0, FPSDen: 1},
+		{W: 16, H: 12, FPSNum: 30, FPSDen: 0},
+		{W: 15, H: 12, FPSNum: 30, FPSDen: 1, ColorSpace: C420}, // odd width
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad header %d validated", i)
+		}
+	}
+	if math.Abs(good.FPS()-30) > 1e-12 {
+		t.Fatalf("FPS = %v", good.FPS())
+	}
+}
+
+func TestRoundTripC444(t *testing.T) {
+	frames := testFrames(3)
+	var buf bytes.Buffer
+	wr, err := NewWriter(&buf, Header{W: 16, H: 12, FPSNum: 120, FPSDen: 1, ColorSpace: C444})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := wr.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "YUV4MPEG2 W16 H12 F120:1 Ip A1:1 C444\n") {
+		t.Fatalf("header line wrong: %q", buf.String()[:40])
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Header.W != 16 || rd.Header.H != 12 || rd.Header.FPS() != 120 {
+		t.Fatalf("parsed header %+v", rd.Header)
+	}
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d frames", len(got))
+	}
+	// 8-bit YCbCr quantization costs a little; stay within 2 levels.
+	for i := range frames {
+		for j := range frames[i].R {
+			if math.Abs(float64(frames[i].R[j]-got[i].R[j])) > 2.5 ||
+				math.Abs(float64(frames[i].G[j]-got[i].G[j])) > 2.5 ||
+				math.Abs(float64(frames[i].B[j]-got[i].B[j])) > 2.5 {
+				t.Fatalf("frame %d pixel %d drifted: (%v,%v,%v) -> (%v,%v,%v)",
+					i, j, frames[i].R[j], frames[i].G[j], frames[i].B[j],
+					got[i].R[j], got[i].G[j], got[i].B[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripC420LumaExact(t *testing.T) {
+	// C420 subsamples chroma but the luma plane must survive exactly
+	// (within quantization) — it is the plane InFrame's data lives on.
+	frames := testFrames(2)
+	var buf bytes.Buffer
+	wr, err := NewWriter(&buf, Header{W: 16, H: 12, FPSNum: 30, FPSDen: 1, ColorSpace: C420})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := wr.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wr.Flush()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		y, _, _, err := rd.ReadFrameYCbCr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := frames[i].Luma()
+		for j := range want.Pix {
+			if math.Abs(float64(want.Pix[j]-y.Pix[j])) > 1.0 {
+				t.Fatalf("frame %d luma pixel %d drifted %v -> %v",
+					i, j, want.Pix[j], y.Pix[j])
+			}
+		}
+	}
+}
+
+func TestWriteLumaFrame(t *testing.T) {
+	var buf bytes.Buffer
+	wr, _ := NewWriter(&buf, Header{W: 8, H: 8, FPSNum: 30, FPSDen: 1, ColorSpace: C444})
+	if err := wr.WriteLumaFrame(frame.NewFilled(8, 8, 127)); err != nil {
+		t.Fatal(err)
+	}
+	wr.Flush()
+	rd, _ := NewReader(&buf)
+	got, err := rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b := got.At(4, 4)
+	if math.Abs(float64(r)-127) > 1.5 || math.Abs(float64(g)-127) > 1.5 || math.Abs(float64(b)-127) > 1.5 {
+		t.Fatalf("gray frame came back (%v,%v,%v)", r, g, b)
+	}
+}
+
+func TestWriterSizeCheck(t *testing.T) {
+	var buf bytes.Buffer
+	wr, _ := NewWriter(&buf, Header{W: 8, H: 8, FPSNum: 30, FPSDen: 1, ColorSpace: C444})
+	if err := wr.WriteFrame(frame.NewRGB(4, 4)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("not a y4m\n")); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := NewReader(strings.NewReader("YUV4MPEG2 W16 H12 F30:1 C999\n")); err == nil {
+		t.Fatal("unknown colorspace accepted")
+	}
+	if _, err := NewReader(strings.NewReader("YUV4MPEG2 W16 H12 Fbogus\n")); err == nil {
+		t.Fatal("bad frame rate accepted")
+	}
+	// Truncated frame payload.
+	rd, err := NewReader(strings.NewReader("YUV4MPEG2 W4 H4 F30:1 C444\nFRAME\nshort"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadFrame(); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	var buf bytes.Buffer
+	wr, _ := NewWriter(&buf, Header{W: 8, H: 8, FPSNum: 30, FPSDen: 1, ColorSpace: C444})
+	wr.WriteLumaFrame(frame.NewFilled(8, 8, 10))
+	wr.Flush()
+	rd, _ := NewReader(&buf)
+	if _, err := rd.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadFrame(); !errors.Is(err, ErrNoMoreFrames) {
+		t.Fatalf("err = %v, want ErrNoMoreFrames", err)
+	}
+}
+
+func TestDefaultColorspaceIs420(t *testing.T) {
+	rd, err := NewReader(strings.NewReader("YUV4MPEG2 W4 H4 F25:1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Header.ColorSpace != C420 {
+		t.Fatalf("default colorspace = %v", rd.Header.ColorSpace)
+	}
+	if rd.Header.FPS() != 25 {
+		t.Fatalf("FPS = %v", rd.Header.FPS())
+	}
+}
