@@ -8,9 +8,12 @@ package inframe
 // cmd/inframe-bench for the full-duration tables.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"inframe/internal/camera"
+	"inframe/internal/channel"
 	"inframe/internal/core"
 	"inframe/internal/display"
 	"inframe/internal/experiments"
@@ -201,6 +204,78 @@ func BenchmarkBoxBlur(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		frame.BoxBlur(f, 1)
+	}
+}
+
+// benchWorkerCounts are the pool sizes the sequential-vs-parallel benchmarks
+// compare: 1 (the differential-testing baseline) and GOMAXPROCS.
+func benchWorkerCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// benchPipeline builds the half-scale paper pipeline (960×540 display,
+// 640×360 capture) with every stage's worker pool set to w.
+func benchPipeline(b *testing.B, w int) (*core.Multiplexer, channel.Config, *core.Receiver, int) {
+	b.Helper()
+	l := benchLayout()
+	p := core.DefaultParams(l)
+	p.Workers = w
+	m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), core.NewRandomStream(l, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := channel.DefaultConfig(640, 360)
+	cfg.Workers = w
+	cfg.Camera.Workers = w
+	rcfg := core.DefaultReceiverConfig(p, 640, 360)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rcfg.Workers = w
+	rcv, err := core.NewReceiver(rcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, cfg, rcv, 4 * p.Tau
+}
+
+// BenchmarkEndToEnd measures render + channel simulation + decode at the
+// half-scale paper geometry, once sequentially (workers=1) and once with the
+// full worker pool — the ratio is the pipeline's parallel speedup.
+func BenchmarkEndToEnd(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m, cfg, rcv, nDisplay := benchPipeline(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := channel.Simulate(m, nDisplay, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeCaptures isolates the receive side: per-capture energy
+// measurement plus the adaptive per-Block decode, sequential vs parallel.
+func BenchmarkDecodeCaptures(b *testing.B) {
+	m, cfg, _, nDisplay := benchPipeline(b, 0)
+	res, err := channel.Simulate(m, nDisplay, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			_, _, rcv, _ := benchPipeline(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
+			}
+		})
 	}
 }
 

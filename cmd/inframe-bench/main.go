@@ -3,8 +3,14 @@
 //
 // Usage:
 //
-//	inframe-bench [-exp all|fig3|fig5|fig6a|fig6b|fig7|ablations] \
-//	              [-seconds 2.0] [-flicker-seconds 1.0] [-seed 1] [-scale 2]
+//	inframe-bench [-exp all|fig3|fig5|fig6a|fig6b|fig7|ablations|speedup] \
+//	              [-seconds 2.0] [-flicker-seconds 1.0] [-seed 1] [-scale 2] \
+//	              [-workers 0]
+//
+// -workers bounds every simulation worker pool (0 = GOMAXPROCS, 1 =
+// sequential); outputs are bit-identical at any value. -exp speedup times the
+// end-to-end pipeline sequentially and with the full pool and reports the
+// ratio, verifying on the way that both runs produced identical captures.
 //
 // The output is the source of the measured columns in EXPERIMENTS.md.
 package main
@@ -13,17 +19,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"inframe/internal/channel"
+	"inframe/internal/core"
 	"inframe/internal/experiments"
+	"inframe/internal/video"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations, speedup")
 	seconds := flag.Float64("seconds", 2.0, "simulated seconds per throughput setting")
 	flickerSeconds := flag.Float64("flicker-seconds", 1.0, "simulated seconds per flicker rating")
 	seed := flag.Int64("seed", 1, "global random seed")
 	scale := flag.Int("scale", 2, "paper-geometry divisor (1 = full 1080p, 2 = half)")
+	workers := flag.Int("workers", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	s := experiments.DefaultSetup()
@@ -31,8 +42,16 @@ func main() {
 	s.FlickerSeconds = *flickerSeconds
 	s.Seed = *seed
 	s.ScaleDiv = *scale
+	s.Workers = *workers
 	if err := s.Validate(); err != nil {
 		fatal(err)
+	}
+
+	if *exp == "speedup" {
+		if err := speedupReport(os.Stdout, *scale, *seconds); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	run := func(name string, fn func() error) {
@@ -44,7 +63,12 @@ func main() {
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	matched := false
+	want := func(name string) bool {
+		ok := *exp == "all" || *exp == name
+		matched = matched || ok
+		return ok
+	}
 
 	if want("fig3") {
 		run("Fig. 3 — naive designs vs complementary frames (flicker 0-4)", func() error {
@@ -195,6 +219,80 @@ func main() {
 			return nil
 		})
 	}
+	if !matched {
+		fatal(fmt.Errorf("unknown experiment %q (use all, fig3, fig5, fig6a, fig6b, fig7, ablations or speedup)", *exp))
+	}
+}
+
+// speedupReport times the end-to-end pipeline (render → display → camera →
+// decode) at workers=1 and workers=GOMAXPROCS on the scaled paper geometry
+// and prints the ratio, cross-checking that both runs were bit-identical.
+func speedupReport(w *os.File, scale int, seconds float64) error {
+	l, err := core.ScaledPaperLayout(scale)
+	if err != nil {
+		return err
+	}
+	nDisplay := int(seconds * 120)
+	runOnce := func(workers int) (*channel.Result, []*core.FrameDecode, time.Duration, error) {
+		p := core.DefaultParams(l)
+		p.Workers = workers
+		m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), core.NewRandomStream(l, 1))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		cfg := channel.DefaultConfig(1280/scale, 720/scale)
+		cfg.Workers = workers
+		cfg.Camera.Workers = workers
+		rcfg := core.DefaultReceiverConfig(p, 1280/scale, 720/scale)
+		rcfg.Exposure = cfg.Camera.Exposure
+		rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+		rcfg.Workers = workers
+		rcv, err := core.NewReceiver(rcfg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		start := time.Now()
+		res, err := channel.Simulate(m, nDisplay, cfg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		dec := rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/p.Tau)
+		return res, dec, time.Since(start), nil
+	}
+
+	maxW := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(w, "=== sequential vs parallel pipeline (scale 1/%d, %d display frames, %d cores) ===\n",
+		scale, nDisplay, maxW)
+	seqRes, seqDec, seqDur, err := runOnce(1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workers=1:  %8.2fs\n", seqDur.Seconds())
+	parRes, parDec, parDur, err := runOnce(maxW)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workers=%d:  %8.2fs\n", maxW, parDur.Seconds())
+	fmt.Fprintf(w, "speedup: %.2fx\n", seqDur.Seconds()/parDur.Seconds())
+
+	if len(seqRes.Captures) != len(parRes.Captures) || len(seqDec) != len(parDec) {
+		return fmt.Errorf("sequential and parallel runs diverged in shape")
+	}
+	for i := range seqRes.Captures {
+		a, b := seqRes.Captures[i].Pix, parRes.Captures[i].Pix
+		for j := range a {
+			if a[j] != b[j] {
+				return fmt.Errorf("capture %d diverges at pixel %d", i, j)
+			}
+		}
+	}
+	for i := range seqDec {
+		if !seqDec[i].Bits.Equal(parDec[i].Bits) {
+			return fmt.Errorf("decoded frame %d diverges", i)
+		}
+	}
+	fmt.Fprintln(w, "outputs bit-identical: yes")
+	return nil
 }
 
 func fatal(err error) {

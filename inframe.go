@@ -145,13 +145,24 @@ const scrambleSeed = 0x1f7a
 // linkParityBytes returns the per-frame Reed–Solomon parity budget for a
 // layout: a quarter of the frame's byte capacity (mirroring the 25% the XOR
 // scheme spends on parity Blocks), floored so tiny layouts still correct
-// something.
-func linkParityBytes(l Layout) int {
-	parity := l.DataBitsPerFrame() / 8 / 4
+// something. On layouts too small for the 4-byte floor the budget is clamped
+// to what the segmenter can fit next to a packet; layouts that cannot hold
+// even the 2-byte RS minimum are rejected here with a clear error rather than
+// deep inside link.NewSegmenterRS.
+func linkParityBytes(l Layout) (int, error) {
+	frameBits := l.DataBitsPerFrame()
+	parity := frameBits / 8 / 4
 	if parity < 4 {
 		parity = 4
 	}
-	return parity
+	if max := link.MaxParityBytes(frameBits); parity > max {
+		parity = max
+	}
+	if parity < 2 {
+		return 0, fmt.Errorf("inframe: layout carries %d data bits per frame, too few for a packet header plus RS parity (needs %d)",
+			frameBits, (link.HeaderSize+1+2)*8)
+	}
+	return parity, nil
 }
 
 // Transmitter sends a byte message over the secondary channel: the message
@@ -169,7 +180,11 @@ type Transmitter struct {
 // The message must be non-empty; it is repeated cyclically so receivers can
 // join at any time (data frame i carries packet i mod packets).
 func NewTransmitter(p Params, src VideoSource, msg []byte) (*Transmitter, error) {
-	return NewTransmitterParity(p, src, msg, linkParityBytes(p.Layout))
+	parity, err := linkParityBytes(p.Layout)
+	if err != nil {
+		return nil, err
+	}
+	return NewTransmitterParity(p, src, msg, parity)
 }
 
 // NewTransmitterParity is NewTransmitter with an explicit per-frame RS
@@ -236,7 +251,11 @@ type MessageReceiver struct {
 // NewMessageReceiver builds the receive side for the given configuration,
 // using the default parity budget (see NewTransmitter).
 func NewMessageReceiver(cfg ReceiverConfig) (*MessageReceiver, error) {
-	return NewMessageReceiverParity(cfg, linkParityBytes(cfg.Layout))
+	parity, err := linkParityBytes(cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	return NewMessageReceiverParity(cfg, parity)
 }
 
 // NewMessageReceiverParity builds the receive side with an explicit RS

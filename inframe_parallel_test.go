@@ -1,0 +1,185 @@
+package inframe
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"inframe/internal/core"
+)
+
+// TestByteErasuresMatchDataBitsOrdering corrupts exactly one GOB at a time
+// and checks that byteErasures flags exactly the codeword bytes whose bits
+// that GOB carries. The bit ownership is derived independently from
+// DataFrame.DataBits (flip a GOB's data Blocks, diff the extracted bits), so
+// the test locks the two orderings — gy-outer/gx-inner, m²−1 bits per GOB —
+// to each other.
+func TestByteErasuresMatchDataBitsOrdering(t *testing.T) {
+	l := testLayout()
+	per := l.BlocksPerGOB() - 1
+	nBytes := l.DataBitsPerFrame() / 8
+	base := core.NewDataFrame(l).DataBits()
+	for g := 0; g < l.NumGOBs(); g++ {
+		gx, gy := g%l.GOBsX(), g/l.GOBsX()
+
+		// Independent ground truth: which DataBits positions does GOB g own?
+		mod := core.NewDataFrame(l)
+		for _, blk := range l.GOBBlocks(gx, gy)[:per] {
+			mod.SetBit(blk[0], blk[1], true)
+		}
+		bits := mod.DataBits()
+		var owned []int
+		for i := range bits {
+			if bits[i] != base[i] {
+				owned = append(owned, i)
+			}
+		}
+		if len(owned) != per || owned[0] != g*per || owned[len(owned)-1] != (g+1)*per-1 {
+			t.Fatalf("GOB %d owns bits %v, want contiguous [%d,%d)", g, owned, g*per, (g+1)*per)
+		}
+
+		// Expected erasures: every byte overlapping an owned bit.
+		wantSet := map[int]bool{}
+		for _, bit := range owned {
+			if b := bit / 8; b < nBytes {
+				wantSet[b] = true
+			}
+		}
+
+		// Decode outcome with only GOB g corrupted.
+		fd := &core.FrameDecode{Bits: core.NewDataFrame(l)}
+		for y := 0; y < l.GOBsY(); y++ {
+			for x := 0; x < l.GOBsX(); x++ {
+				fd.GOBs = append(fd.GOBs, core.GOBResult{GX: x, GY: y, Available: true, ParityOK: true})
+			}
+		}
+		fd.GOBs[g].Available = false
+
+		got := byteErasures(fd)
+		gotSet := map[int]bool{}
+		for _, b := range got {
+			gotSet[b] = true
+		}
+		if !reflect.DeepEqual(gotSet, wantSet) {
+			t.Fatalf("GOB %d: erased bytes %v, want %v", g, got, keys(wantSet))
+		}
+	}
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestLinkParityClampSmallLayout covers the parity-floor edge case: 44 GOBs
+// carry 132 data bits → a 16-byte codeword, where the old unconditional
+// 4-byte parity floor left only 12 data bytes — one short of header+payload —
+// and the construction failed deep inside the segmenter. The budget must
+// clamp to the 3 bytes that fit and the transmitter must come up.
+func TestLinkParityClampSmallLayout(t *testing.T) {
+	l := Layout{
+		FrameW: 8, FrameH: 88,
+		PixelSize: 1, BlockSize: 2, GOBSize: 2,
+		BlocksX: 4, BlocksY: 44,
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parity, err := linkParityBytes(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parity != 3 {
+		t.Fatalf("parity budget = %d, want 3 (clamped from the 4-byte floor)", parity)
+	}
+	if _, err := NewTransmitter(DefaultParams(l), GrayVideo(l.FrameW, l.FrameH), []byte("x")); err != nil {
+		t.Fatalf("clamped layout rejected: %v", err)
+	}
+}
+
+// TestLinkParityRejectsImpossibleLayout checks that layouts too small for any
+// packet fail up front with the facade's clear message instead of a segmenter
+// internality.
+func TestLinkParityRejectsImpossibleLayout(t *testing.T) {
+	tiny := Layout{
+		FrameW: 48, FrameH: 32,
+		PixelSize: 2, BlockSize: 4, GOBSize: 2,
+		BlocksX: 6, BlocksY: 4, // 18 data bits
+	}
+	_, err := linkParityBytes(tiny)
+	if err == nil {
+		t.Fatal("impossible layout accepted")
+	}
+	if !strings.Contains(err.Error(), "data bits") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// runPipeline is the differential-test harness: render, simulate and decode
+// the paper pipeline (half-scale paper geometry, 640×360 capture) with every
+// stage's worker pool set to w, returning the captures and decoded frames.
+func runPipeline(t *testing.T, workers int, noise float64) (*ChannelResult, []*FrameDecode) {
+	t.Helper()
+	l, err := ScaledPaperLayout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(l)
+	p.Workers = workers
+	m, err := NewMultiplexer(p, GrayVideo(l.FrameW, l.FrameH), NewRandomStream(l, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nDisplay = 60
+	cfg := DefaultChannelConfig(640, 360)
+	cfg.Workers = workers
+	cfg.Camera.Workers = workers
+	cfg.Camera.NoiseSigma = noise
+	cfg.Camera.Seed = 7
+	cfg.Camera.BlurRadius = 0
+	res, err := Simulate(m, nDisplay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := DefaultReceiverConfig(p, 640, 360)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rcfg.Workers = workers
+	rx, err := NewReceiver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rx.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/p.Tau)
+}
+
+// TestWorkerCountInvariance is the determinism differential test: the whole
+// pipeline — multiplexer rendering, pipelined channel simulation, capture
+// measurement, adaptive decode — must be byte-identical for any worker count,
+// both on a quiet channel and with seeded sensor noise.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, noise := range []float64{0, 2.5} {
+		wantRes, wantDec := runPipeline(t, 1, noise)
+		for _, w := range []int{2, 8} {
+			res, dec := runPipeline(t, w, noise)
+			if len(res.Captures) != len(wantRes.Captures) {
+				t.Fatalf("noise=%v workers=%d: %d captures, want %d",
+					noise, w, len(res.Captures), len(wantRes.Captures))
+			}
+			if !reflect.DeepEqual(res.Times, wantRes.Times) {
+				t.Fatalf("noise=%v workers=%d: capture times diverge", noise, w)
+			}
+			for i, c := range res.Captures {
+				want := wantRes.Captures[i]
+				if c.W != want.W || c.H != want.H || !reflect.DeepEqual(c.Pix, want.Pix) {
+					t.Fatalf("noise=%v workers=%d: capture %d not bit-identical", noise, w, i)
+				}
+			}
+			if !reflect.DeepEqual(dec, wantDec) {
+				t.Fatalf("noise=%v workers=%d: decoded frames diverge", noise, w)
+			}
+		}
+	}
+}

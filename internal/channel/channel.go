@@ -6,11 +6,13 @@ package channel
 
 import (
 	"fmt"
+	"math"
 
 	"inframe/internal/camera"
 	"inframe/internal/core"
 	"inframe/internal/display"
 	"inframe/internal/frame"
+	"inframe/internal/parallel"
 )
 
 // Config describes one end-to-end link.
@@ -22,6 +24,13 @@ type Config struct {
 	// CameraStart offsets the first exposure relative to the first
 	// displayed frame, modelling free-running clocks (0 = aligned).
 	CameraStart float64
+	// Workers bounds Simulate's pipeline pool: display frame k+1 renders
+	// while captures whose exposure windows are already covered run behind
+	// it. 0 means GOMAXPROCS; 1 forces the sequential render-then-capture
+	// path. Results are bit-identical at any worker count — a capture is
+	// dispatched only once every display frame its exposure window touches
+	// has been pushed, and captures merge by index.
+	Workers int
 }
 
 // DefaultConfig returns the paper's setup scaled to a capture resolution:
@@ -95,17 +104,80 @@ type Result struct {
 
 // Simulate runs a multiplexer for nDisplayFrames through the link and
 // captures the whole sequence: the standard experiment entry point.
+//
+// With Workers resolving above 1 the stages pipeline: the renderer keeps
+// pushing display frames while capture workers integrate the frames already
+// pushed (capture i is dispatched the moment the last display frame its
+// exposure + readout window touches is on the monitor). The captured
+// sequence is bit-identical to the sequential path — see Config.Workers.
 func Simulate(m *core.Multiplexer, nDisplayFrames int, cfg Config) (*Result, error) {
 	link, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.PushTo(link.Display, nDisplayFrames); err != nil {
-		return nil, err
+	if parallel.Resolve(cfg.Workers) <= 1 {
+		if err := m.PushTo(link.Display, nDisplayFrames); err != nil {
+			return nil, err
+		}
+		caps, times := link.CaptureAll()
+		if len(caps) == 0 {
+			return nil, fmt.Errorf("channel: displayed duration too short for any capture")
+		}
+		return &Result{Captures: caps, Times: times, Exposure: cfg.Camera.Exposure}, nil
 	}
-	caps, times := link.CaptureAll()
-	if len(caps) == 0 {
+	return simulatePipelined(m, nDisplayFrames, cfg, link)
+}
+
+// simulatePipelined overlaps display rendering with camera capture. The
+// capture count and exposure times replicate CaptureAll's arithmetic
+// exactly (same expressions, same float order) so both paths agree to the
+// last bit.
+func simulatePipelined(m *core.Multiplexer, nDisplayFrames int, cfg Config, link *Link) (*Result, error) {
+	dur := float64(nDisplayFrames) / cfg.Display.RefreshHz
+	period := link.Camera.FramePeriod()
+	exposureSpan := cfg.Camera.Exposure + cfg.Camera.ReadoutTime
+	nCaps := int((dur - cfg.CameraStart - exposureSpan) / period)
+	if nCaps <= 0 {
+		// Render anyway so the error mirrors the sequential path's state.
+		if err := m.PushTo(link.Display, nDisplayFrames); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("channel: displayed duration too short for any capture")
 	}
+	caps := make([]*frame.Frame, nCaps)
+	times := make([]float64, nCaps)
+	pool := parallel.NewPool(cfg.Workers)
+	frameT := 1 / cfg.Display.RefreshHz
+	next := 0
+	dispatch := func(i int) {
+		t := cfg.CameraStart + float64(i)*period
+		times[i] = t
+		pool.Go(func() {
+			caps[i] = link.Camera.Capture(link.Display, t, i)
+		})
+	}
+	for k := 0; k < nDisplayFrames; k++ {
+		if err := link.Display.Push(m.Frame(k)); err != nil {
+			pool.Wait()
+			return nil, fmt.Errorf("channel: frame %d: %w", k, err)
+		}
+		for next < nCaps {
+			t := cfg.CameraStart + float64(next)*period
+			// Capture windows integrate display rows over
+			// [t, t+exposure+readout); frames 0..ceil(end/T)-1 must be on
+			// the monitor before the capture may run.
+			if need := int(math.Ceil((t + exposureSpan) / frameT)); need > k+1 {
+				break
+			}
+			dispatch(next)
+			next++
+		}
+	}
+	// Float-boundary stragglers: everything is pushed now, so any capture
+	// still pending is safe to run.
+	for ; next < nCaps; next++ {
+		dispatch(next)
+	}
+	pool.Wait()
 	return &Result{Captures: caps, Times: times, Exposure: cfg.Camera.Exposure}, nil
 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// degenerateReceiver builds an adaptive receiver with the confidence floors
+// zeroed, so the only thing standing between an all-equal score distribution
+// and a zero-width "confident" threshold is the !(gap > 0) guard under test.
+func degenerateReceiver(t *testing.T) *Receiver {
+	t.Helper()
+	p := DefaultParams(smallLayout())
+	cfg := DefaultReceiverConfig(p, 48, 32)
+	cfg.MinGap = 0
+	cfg.MinConfidence = 0
+	r, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCluster2DegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float64
+	}{
+		{"empty", nil},
+		{"all-NaN", []float64{math.NaN(), math.NaN()}},
+		{"all-Inf", []float64{math.Inf(1), math.Inf(-1)}},
+		{"mixed", []float64{math.Inf(1), 1, 1, math.Inf(-1), math.NaN()}},
+		{"all-equal", []float64{2, 2, 2, 2}},
+	}
+	for _, tc := range cases {
+		c0, c1 := cluster2(tc.scores)
+		if math.IsNaN(c0) || math.IsNaN(c1) || math.IsInf(c0, 0) || math.IsInf(c1, 0) {
+			t.Errorf("%s: cluster2 = (%v, %v), want finite", tc.name, c0, c1)
+		}
+		if c1-c0 > 0 {
+			t.Errorf("%s: positive gap %v from degenerate input", tc.name, c1-c0)
+		}
+	}
+}
+
+// TestDecodeScoresDegenerate feeds the adaptive decision stage score
+// distributions with no usable swing. Every Block must come back undecided
+// and every GOB unavailable — never "confidently" decoded against a
+// zero-width or NaN threshold.
+func TestDecodeScoresDegenerate(t *testing.T) {
+	r := degenerateReceiver(t)
+	n := r.Config().Layout.NumBlocks()
+	fill := func(v float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		scores []float64
+	}{
+		{"all-equal", fill(1.5)},
+		{"all-zero", fill(0)},
+		{"all-NaN", fill(math.NaN())},
+	}
+	for _, tc := range cases {
+		fd := r.DecodeScores(0, tc.scores, nil, 1)
+		for i, dec := range fd.Decided {
+			if dec {
+				t.Fatalf("%s: block %d decided", tc.name, i)
+			}
+		}
+		if got := fd.AvailableGOBs(); got != 0 {
+			t.Fatalf("%s: %d GOBs available, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestDecodePerBlockDegenerate covers the per-Block calibration path: a run
+// whose every frame shows the identical energy in every Block (e.g. black
+// video whose δ the clipping adjustment crushed to nothing) has no swing to
+// calibrate from, so every frame must decode all-unavailable.
+func TestDecodePerBlockDegenerate(t *testing.T) {
+	r := degenerateReceiver(t)
+	n := r.Config().Layout.NumBlocks()
+	row := func(v float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	}
+	agg := [][]float64{row(0.7), row(0.7), row(0.7)}
+	qual := make([][]float64, len(agg))
+	counts := []int{1, 1, 1}
+	for _, fd := range r.decodePerBlock(agg, qual, counts) {
+		for i, dec := range fd.Decided {
+			if dec {
+				t.Fatalf("frame %d block %d decided from all-equal series", fd.Index, i)
+			}
+		}
+		if got := fd.AvailableGOBs(); got != 0 {
+			t.Fatalf("frame %d: %d GOBs available, want 0", fd.Index, got)
+		}
+	}
+}

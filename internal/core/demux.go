@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"inframe/internal/frame"
+	"inframe/internal/parallel"
 )
 
 // Detector selects the per-Block bit detector.
@@ -125,6 +126,12 @@ type ReceiverConfig struct {
 	// setup); a registration pass (internal/register) supplies a mapping
 	// when the camera is offset or zoomed.
 	Calib *CaptureMapping
+	// Workers bounds the decode worker pool: per-capture energy
+	// measurement, per-Block calibration and per-frame decision stages fan
+	// out across this many goroutines. 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Decodes are bit-identical at any worker count (work
+	// is partitioned by capture/Block/frame index and merged by position).
+	Workers int
 }
 
 // CaptureMapping is an axis-aligned affine map from display pixel
@@ -206,6 +213,9 @@ func (c ReceiverConfig) Validate() error {
 	}
 	if c.SmoothRadius < 1 {
 		return fmt.Errorf("core: SmoothRadius must be >= 1")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -484,14 +494,16 @@ func (fd *FrameDecode) ErroneousGOBs() int {
 }
 
 // cluster2 estimates the bit-0 and bit-1 score levels robustly as the 20th
-// and 80th percentiles of the (NaN-free) score distribution. With roughly
+// and 80th percentiles of the finite score distribution. With roughly
 // balanced random payloads the percentiles land inside the two clusters,
 // and — unlike k-means — the estimate is immune to a minority tail of
-// strongly textured outlier blocks.
+// strongly textured outlier blocks. Degenerate inputs (no finite scores,
+// all-equal scores) return equal levels; callers must treat a non-positive
+// gap as "nothing decodable", never as a usable threshold.
 func cluster2(scores []float64) (c0, c1 float64) {
 	clean := make([]float64, 0, len(scores))
 	for _, s := range scores {
-		if !math.IsNaN(s) {
+		if !math.IsNaN(s) && !math.IsInf(s, 0) {
 			clean = append(clean, s)
 		}
 	}
@@ -529,8 +541,16 @@ func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, 
 		if band < r.cfg.MinConfidence {
 			band = r.cfg.MinConfidence
 		}
-		if gap <= 0 || gap < r.cfg.MinGap {
+		// !(gap > 0) also catches NaN: a degenerate frame (all-equal or
+		// all-unusable scores — e.g. a black video whose δ the clipping
+		// adjustment crushed to nothing) must come back all-unavailable,
+		// not as a zero-width threshold that "confidently" decodes noise.
+		if !(gap > 0) || gap < r.cfg.MinGap {
 			band = math.Inf(1) // degenerate frame: nothing decodable
+		}
+		if math.IsNaN(threshold) {
+			threshold = 0
+			band = math.Inf(1)
 		}
 	}
 	for i, s := range scores {
@@ -592,31 +612,57 @@ func (r *Receiver) steadyWindow(d int, exposure float64) (t0, t1 float64) {
 // Decoding is two-pass: raw per-Block energies are first aggregated per
 // data frame, then normalized across frames (per-Block temporal baseline or
 // frame mean, per the configuration) before the per-frame decision stage.
+//
+// The expensive stages fan out across the configured workers — energy
+// measurement per capture, then decision per data frame — with every
+// intermediate merged by index, so the result is bit-identical to a
+// sequential decode.
 func (r *Receiver) DecodeCaptures(caps []*frame.Frame, times []float64, exposure float64, nFrames int) []*FrameDecode {
 	if len(caps) != len(times) {
 		panic("core: captures and times length mismatch")
 	}
 	nBlocks := r.cfg.Layout.NumBlocks()
-	measured := make([][]float64, len(caps))
-	qualities := make([][]float64, len(caps))
-	agg := make([][]float64, nFrames)
-	qual := make([][]float64, nFrames)
-	counts := make([]int, nFrames)
-	blockN := make([]float64, nBlocks)
+	// Selection pass (cheap, pure timing): which captures contribute to
+	// which data frame.
+	selected := make([][]int, nFrames)
+	neededSet := make([]bool, len(caps))
 	for d := 0; d < nFrames; d++ {
 		t0, t1 := r.steadyWindow(d, exposure)
-		var acc []float64
-		for j := range blockN {
-			blockN[j] = 0
-		}
 		for i, t := range times {
 			mid := t + exposure/2
 			if mid < t0 || mid > t1 {
 				continue
 			}
-			if measured[i] == nil {
-				measured[i], qualities[i] = r.MeasureCaptureAt(caps[i], t)
-			}
+			selected[d] = append(selected[d], i)
+			neededSet[i] = true
+		}
+	}
+	needed := make([]int, 0, len(caps))
+	for i, n := range neededSet {
+		if n {
+			needed = append(needed, i)
+		}
+	}
+	// Measurement pass: per-capture Block energy scans are independent, so
+	// they fan out; each worker writes only its capture's slot.
+	measured := make([][]float64, len(caps))
+	qualities := make([][]float64, len(caps))
+	parallel.For(r.cfg.Workers, len(needed), func(j int) {
+		i := needed[j]
+		measured[i], qualities[i] = r.MeasureCaptureAt(caps[i], times[i])
+	})
+	// Aggregation pass: same capture order per frame as the sequential
+	// code, so float accumulation is bit-identical.
+	agg := make([][]float64, nFrames)
+	qual := make([][]float64, nFrames)
+	counts := make([]int, nFrames)
+	blockN := make([]float64, nBlocks)
+	for d := 0; d < nFrames; d++ {
+		var acc []float64
+		for j := range blockN {
+			blockN[j] = 0
+		}
+		for _, i := range selected[d] {
 			if acc == nil {
 				acc = make([]float64, nBlocks)
 				qual[d] = make([]float64, nBlocks)
@@ -650,13 +696,13 @@ func (r *Receiver) DecodeCaptures(caps []*frame.Frame, times []float64, exposure
 	r.normalize(agg)
 
 	out := make([]*FrameDecode, nFrames)
-	for d := 0; d < nFrames; d++ {
+	parallel.For(r.cfg.Workers, nFrames, func(d int) {
 		if counts[d] == 0 {
 			out[d] = r.emptyDecode(d)
-			continue
+			return
 		}
 		out[d] = r.DecodeScores(d, agg[d], qual[d], counts[d])
-	}
+	})
 	return out
 }
 
@@ -700,23 +746,29 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			}
 		}
 	}
+	// Per-Block percentile calibration is independent across Blocks and each
+	// slot is written exactly once, so the fan-out merges by index.
 	lo := make([]float64, nBlocks)
 	hi := make([]float64, nBlocks)
-	for j, sv := range series {
-		if len(sv) == 0 {
-			lo[j] = math.Inf(1)
-			hi[j] = math.Inf(-1)
-			continue
+	parallel.ForChunked(r.cfg.Workers, nBlocks, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			sv := series[j]
+			if len(sv) == 0 {
+				lo[j] = math.Inf(1)
+				hi[j] = math.Inf(-1)
+				continue
+			}
+			sort.Float64s(sv)
+			lo[j] = sv[int(0.1*float64(len(sv)-1))]
+			hi[j] = sv[int(math.Ceil(0.9*float64(len(sv)-1)))]
 		}
-		sort.Float64s(sv)
-		lo[j] = sv[int(0.1*float64(len(sv)-1))]
-		hi[j] = sv[int(math.Ceil(0.9*float64(len(sv)-1)))]
-	}
+	})
 	out := make([]*FrameDecode, len(agg))
-	for d, row := range agg {
+	parallel.For(r.cfg.Workers, len(agg), func(d int) {
+		row := agg[d]
 		if counts[d] == 0 || row == nil {
 			out[d] = r.emptyDecode(d)
-			continue
+			return
 		}
 		fd := &FrameDecode{
 			Index:    d,
@@ -729,7 +781,9 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 				continue
 			}
 			gap := hi[j] - lo[j]
-			if gap < r.cfg.MinGap {
+			// !(gap > 0) also catches NaN levels: an all-equal or unusable
+			// series means no swing, never a zero-width "confident" band.
+			if !(gap > 0) || gap < r.cfg.MinGap {
 				continue // no usable swing: saturated or constant payload
 			}
 			thr := (lo[j] + hi[j]) / 2
@@ -759,7 +813,7 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			}
 		}
 		out[d] = fd
-	}
+	})
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"inframe/internal/display"
 	"inframe/internal/frame"
+	"inframe/internal/parallel"
 	"inframe/internal/video"
 	"inframe/internal/waveform"
 )
@@ -25,6 +26,11 @@ type Params struct {
 	// VideoFrameRatio is how many display frames repeat each video frame
 	// (paper: 120 Hz display / 30 FPS video = 4).
 	VideoFrameRatio int
+	// Workers bounds the render worker pool: per-Block-row chessboard
+	// application and headroom computation fan out across this many
+	// goroutines. 0 means GOMAXPROCS; 1 forces the sequential path. Output
+	// is bit-identical at any worker count (see internal/parallel).
+	Workers int
 }
 
 // DefaultParams returns the paper's recommended operating point
@@ -46,6 +52,9 @@ func (p Params) Validate() error {
 	}
 	if p.VideoFrameRatio < 1 {
 		return fmt.Errorf("core: VideoFrameRatio must be >= 1, got %d", p.VideoFrameRatio)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: Workers must be non-negative, got %d", p.Workers)
 	}
 	return nil
 }
@@ -90,34 +99,37 @@ func (m *Multiplexer) DataFrameIndex(k int) int { return k / m.p.Tau }
 // the data period, transitioning toward the next data frame's level
 // afterwards. Shared by the grayscale and color multiplexers.
 func envelopeAmplitude(p Params, data Stream, bx, by, k int) float64 {
+	d := k / p.Tau
+	return envelopeBetween(p, data.DataFrame(d), data.DataFrame(d+1), bx, by, k)
+}
+
+// envelopeBetween is envelopeAmplitude over pre-resolved current/next data
+// frames. Resolving the frames once per rendered frame (instead of once per
+// Block) keeps Stream implementations with per-call work (whitening, cache
+// fills) off the per-Block path, and makes the Block fan-out safe: workers
+// read the two frames but never touch the Stream.
+func envelopeBetween(p Params, cur, next *DataFrame, bx, by, k int) float64 {
 	tau := p.Tau
-	d := k / tau
 	j := k % tau
-	cur := data.DataFrame(d).Bit(bx, by)
+	c := cur.Bit(bx, by)
 	a0 := 0.0
-	if cur {
+	if c {
 		a0 = p.Delta
 	}
 	half := tau / 2
 	if j < half {
 		return a0
 	}
-	next := data.DataFrame(d+1).Bit(bx, by)
-	if next == cur {
+	n := next.Bit(bx, by)
+	if n == c {
 		return a0
 	}
 	a1 := 0.0
-	if next {
+	if n {
 		a1 = p.Delta
 	}
 	u := float64(j-half+1) / float64(half)
 	return p.Shape.Between(a0, a1, u)
-}
-
-// amplitude returns the pre-clipping envelope amplitude of Block (bx, by)
-// at display frame k.
-func (m *Multiplexer) amplitude(bx, by, k int) float64 {
-	return envelopeAmplitude(m.p, m.data, bx, by, k)
 }
 
 // refreshVideo loads the video frame for display frame k and recomputes the
@@ -136,7 +148,9 @@ func (m *Multiplexer) refreshVideo(k int) {
 		m.headroom = make([]float32, l.NumBlocks())
 	}
 	ps := l.PixelSize
-	for by := 0; by < l.BlocksY; by++ {
+	// Each Block row writes a disjoint headroom span, so the fan-out is an
+	// ordered merge: bit-identical at any worker count.
+	parallel.For(m.p.Workers, l.BlocksY, func(by int) {
 		for bx := 0; bx < l.BlocksX; bx++ {
 			x0, y0, w, h := l.BlockRect(bx, by)
 			head := float32(255)
@@ -161,7 +175,7 @@ func (m *Multiplexer) refreshVideo(k int) {
 			}
 			m.headroom[by*l.BlocksX+bx] = head
 		}
-	}
+	})
 }
 
 // Frame renders display frame k: the current video frame plus the signed,
@@ -178,9 +192,16 @@ func (m *Multiplexer) Frame(k int) *frame.Frame {
 		sign = -1
 	}
 	ps := l.PixelSize
-	for by := 0; by < l.BlocksY; by++ {
+	// Resolve the two data frames once: workers must not touch the Stream
+	// (implementations may cache or whiten per call).
+	cur := m.data.DataFrame(k / m.p.Tau)
+	next := m.data.DataFrame(k/m.p.Tau + 1)
+	// A Block row covers a disjoint band of output pixel rows, so rows fan
+	// out with no overlap and the result is bit-identical at any worker
+	// count.
+	parallel.For(m.p.Workers, l.BlocksY, func(by int) {
 		for bx := 0; bx < l.BlocksX; bx++ {
-			a := m.amplitude(bx, by, k)
+			a := envelopeBetween(m.p, cur, next, bx, by, k)
 			if a <= 0 {
 				continue
 			}
@@ -202,7 +223,7 @@ func (m *Multiplexer) Frame(k int) *frame.Frame {
 				}
 			}
 		}
-	}
+	})
 	out.Clamp(0, 255)
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"inframe/internal/frame"
+	"inframe/internal/parallel"
 	"inframe/internal/video"
 )
 
@@ -55,7 +56,9 @@ func (m *RGBMultiplexer) refreshVideo(k int) {
 		m.headroom = make([]float32, l.NumBlocks())
 	}
 	ps := l.PixelSize
-	for by := 0; by < l.BlocksY; by++ {
+	// Disjoint per-Block-row headroom writes: ordered merge, bit-identical
+	// at any worker count.
+	parallel.For(m.p.Workers, l.BlocksY, func(by int) {
 		for bx := 0; bx < l.BlocksX; bx++ {
 			x0, y0, w, h := l.BlockRect(bx, by)
 			head := float32(255)
@@ -82,7 +85,7 @@ func (m *RGBMultiplexer) refreshVideo(k int) {
 			}
 			m.headroom[by*l.BlocksX+bx] = head
 		}
-	}
+	})
 }
 
 // DeltaFrame renders the signed chessboard-only delta of display frame k,
@@ -99,9 +102,11 @@ func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
 		sign = -1
 	}
 	ps := l.PixelSize
-	for by := 0; by < l.BlocksY; by++ {
+	cur := m.data.DataFrame(k / m.p.Tau)
+	next := m.data.DataFrame(k/m.p.Tau + 1)
+	parallel.For(m.p.Workers, l.BlocksY, func(by int) {
 		for bx := 0; bx < l.BlocksX; bx++ {
-			a := envelopeAmplitude(m.p, m.data, bx, by, k)
+			a := envelopeBetween(m.p, cur, next, bx, by, k)
 			if a <= 0 {
 				continue
 			}
@@ -123,7 +128,7 @@ func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -26,6 +26,7 @@ package display
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"inframe/internal/frame"
 )
@@ -80,17 +81,25 @@ func (c Config) Validate() error {
 // Display holds the pushed drive frames and the derived light field state.
 // Luminance is expressed on a 0..255 linear scale (255 = peak white at
 // Brightness 1.0) so it composes naturally with 8-bit pixel arithmetic.
+//
+// A Display is safe for concurrent use by one pusher and any number of
+// readers: Push takes the write lock, every light-field query takes the
+// read lock. That is exactly the shape of the pipelined channel simulator,
+// where capture workers integrate frames the renderer has already pushed
+// while it keeps pushing new ones.
 type Display struct {
 	cfg  Config
 	w, h int
 
+	// mu orders Push (writer) against the light-field readers.
+	mu sync.RWMutex
 	// drive[k] is the quantized 8-bit drive frame of interval k.
 	drive [][]uint8
 	// lut maps a drive value to linear luminance.
 	lut [256]float32
 	// state[k] is the actual luminance at the *start* of interval k when
 	// ResponseTime > 0, accounting for the exponential response; extended
-	// lazily.
+	// eagerly at Push so readers never mutate.
 	state []*frame.Frame
 }
 
@@ -114,17 +123,31 @@ func (d *Display) Config() Config { return d.cfg }
 func (d *Display) FrameDuration() float64 { return 1 / d.cfg.RefreshHz }
 
 // NumFrames returns how many drive frames have been pushed.
-func (d *Display) NumFrames() int { return len(d.drive) }
+func (d *Display) NumFrames() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.drive)
+}
 
 // Duration returns the total displayed time in seconds.
-func (d *Display) Duration() float64 { return float64(len(d.drive)) / d.cfg.RefreshHz }
+func (d *Display) Duration() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return float64(len(d.drive)) / d.cfg.RefreshHz
+}
 
 // Size returns the panel resolution (0,0 before the first Push).
-func (d *Display) Size() (int, int) { return d.w, d.h }
+func (d *Display) Size() (int, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.w, d.h
+}
 
 // Push appends one drive frame for the next refresh interval. Drive values
 // are clamped to [0,255] and quantized (the cable carries 8-bit values).
 func (d *Display) Push(f *frame.Frame) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.w == 0 {
 		d.w, d.h = f.W, f.H
 	} else if f.W != d.w || f.H != d.h {
@@ -141,6 +164,9 @@ func (d *Display) Push(f *frame.Frame) error {
 		dr[i] = uint8(q)
 	}
 	d.drive = append(d.drive, dr)
+	if d.cfg.ResponseTime > 0 {
+		d.extendState()
+	}
 	return nil
 }
 
@@ -159,6 +185,13 @@ func (d *Display) clampFrame(k int) int {
 // Luminance returns the steady-state linear luminance frame of drive frame
 // k (clamped to the pushed range) as a freshly materialized frame.
 func (d *Display) Luminance(k int) *frame.Frame {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.luminance(k)
+}
+
+// luminance is Luminance without locking; callers hold mu.
+func (d *Display) luminance(k int) *frame.Frame {
 	if len(d.drive) == 0 {
 		panic("display: no frames pushed")
 	}
@@ -170,17 +203,16 @@ func (d *Display) Luminance(k int) *frame.Frame {
 	return out
 }
 
-// ensureState extends the response-state chain so state[k] exists.
-// state[0] assumes the panel settled on frame 0 before t=0.
-func (d *Display) ensureState(k int) {
-	if d.cfg.ResponseTime == 0 {
-		return
-	}
+// extendState advances the response-state chain to cover every pushed frame
+// (state[k] exists for k ≤ len(drive)), so the read paths never mutate.
+// state[0] assumes the panel settled on frame 0 before t=0. Called from Push
+// with the write lock held.
+func (d *Display) extendState() {
 	if len(d.state) == 0 {
-		d.state = append(d.state, d.Luminance(0))
+		d.state = append(d.state, d.luminance(0))
 	}
 	alpha := float32(math.Exp(-d.FrameDuration() / d.cfg.ResponseTime))
-	for len(d.state) <= k {
+	for len(d.state) <= len(d.drive) {
 		j := len(d.state) - 1 // completed interval
 		prev := d.state[j]
 		target := d.drive[d.clampFrame(j)]
@@ -198,6 +230,8 @@ func (d *Display) ensureState(k int) {
 // width). Windows extending before 0 or past the last frame see the first /
 // last frame held steady.
 func (d *Display) RowAverage(y int, t0, t1 float64, dst []float32) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if len(d.drive) == 0 {
 		panic("display: no frames pushed")
 	}
@@ -238,14 +272,9 @@ func (d *Display) RowAverage(y int, t0, t1 float64, dst []float32) {
 		}
 		return
 	}
+	// The response-state chain is maintained at Push time, so the read path
+	// needs no mutation: state[k] exists for every k < len(drive).
 	useResp := d.cfg.ResponseTime > 0
-	if useResp {
-		kLast := k1
-		if kLast > len(d.drive) {
-			kLast = len(d.drive)
-		}
-		d.ensureState(kLast)
-	}
 	tauR := d.cfg.ResponseTime
 	for k := k0; k < k1; k++ {
 		a := math.Max(t0, float64(k)*T)
@@ -279,11 +308,12 @@ func (d *Display) RowAverage(y int, t0, t1 float64, dst []float32) {
 
 // WindowAverage returns a full frame of mean linear luminance over [t0, t1).
 func (d *Display) WindowAverage(t0, t1 float64) *frame.Frame {
-	out := frame.New(d.w, d.h)
-	row := make([]float32, d.w)
-	for y := 0; y < d.h; y++ {
+	w, h := d.Size()
+	out := frame.New(w, h)
+	row := make([]float32, w)
+	for y := 0; y < h; y++ {
 		d.RowAverage(y, t0, t1, row)
-		copy(out.Pix[y*d.w:(y+1)*d.w], row)
+		copy(out.Pix[y*w:(y+1)*w], row)
 	}
 	return out
 }
@@ -296,7 +326,8 @@ func (d *Display) PixelWaveform(x, y int, t0, t1 float64, n int) []float64 {
 		panic("display: non-positive sample count")
 	}
 	out := make([]float64, n)
-	row := make([]float32, d.w)
+	w, _ := d.Size()
+	row := make([]float32, w)
 	dt := (t1 - t0) / float64(n)
 	for i := 0; i < n; i++ {
 		a := t0 + float64(i)*dt

@@ -28,6 +28,9 @@ type Setup struct {
 	FlickerSeconds float64
 	// PanelSize is the number of simulated study participants (paper: 8).
 	PanelSize int
+	// Workers bounds the channel simulation's worker pools (0 = GOMAXPROCS,
+	// 1 = sequential). Results are bit-identical at any value.
+	Workers int
 }
 
 // DefaultSetup returns the standard configuration.
@@ -51,6 +54,9 @@ func (s Setup) Validate() error {
 	}
 	if s.PanelSize <= 0 {
 		return fmt.Errorf("experiments: PanelSize must be positive")
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be non-negative")
 	}
 	return nil
 }
@@ -76,7 +82,8 @@ func (s Setup) channelConfig() channel.Config {
 	ccfg := camera.DefaultConfig(capW, capH)
 	ccfg.BlurRadius = 0
 	ccfg.Seed = s.Seed
-	return channel.Config{Display: dcfg, Camera: ccfg}
+	ccfg.Workers = s.Workers
+	return channel.Config{Display: dcfg, Camera: ccfg, Workers: s.Workers}
 }
 
 // flickerLayout is a compact panel for the Fig. 6 perception stimuli: the

@@ -24,6 +24,11 @@ const (
 	magic      = 0x1F7A
 )
 
+// HeaderSize is the packet header length in bytes, exported so budget
+// calculations outside the package (e.g. parity clamping) can reason about
+// the minimum frame capacity.
+const HeaderSize = headerSize
+
 // ErrCorrupt is returned for packets failing CRC or structural checks.
 var ErrCorrupt = errors.New("link: corrupt packet")
 

@@ -18,6 +18,16 @@ type RSSegmenter struct {
 	code       *rs.Code
 }
 
+// MaxParityBytes returns the largest RS parity budget NewSegmenterRS accepts
+// for data frames carrying frameBits payload bits: the frame's byte budget
+// minus the packet header and one payload byte. The result can be below the
+// 2-byte minimum (or negative) for frames too small to carry any packet;
+// callers deciding a budget should clamp to this and reject layouts where it
+// falls under 2.
+func MaxParityBytes(frameBits int) int {
+	return frameBits/8 - headerSize - 1
+}
+
 // NewSegmenterRS builds an RS-protected segmenter for data frames carrying
 // frameBits payload bits, reserving parityBytes of each frame's byte budget
 // for RS parity. The remaining bytes carry one packet (header + payload).

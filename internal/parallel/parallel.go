@@ -1,0 +1,145 @@
+// Package parallel is the deterministic worker-pool engine behind the
+// pipeline's hot paths (multiplexer rendering, channel simulation, capture
+// decoding). Every primitive partitions index space, never result space:
+// workers write only to caller-owned, index-addressed slots, so the merged
+// output is bit-identical to a sequential run at any worker count. The
+// sequential path is simply workers == 1 — the same closures run inline —
+// which keeps differential testing trivial.
+//
+// Determinism contract:
+//
+//   - For/ForChunked: fn(i) (or fn(lo, hi)) must depend only on i and on
+//     state that is read-only for the duration of the call, and must write
+//     only to i-indexed (range-indexed) destinations. Scheduling order is
+//     unspecified; results are position-addressed, so it cannot matter.
+//   - Pool: tasks must be mutually independent the same way; Wait() is the
+//     only ordering point.
+//   - Randomness inside a task must be seeded from the task's index (e.g.
+//     the capture or frame index), never from the worker identity or
+//     submission order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers option to an effective worker count: n itself when
+// positive, otherwise GOMAXPROCS. Use Workers=1 to force the sequential
+// path.
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n), distributing indices across
+// Resolve(workers) goroutines via a shared atomic cursor (dynamic load
+// balancing: iterations of very different cost still pack well). With one
+// worker (or n <= 1) it degenerates to a plain loop on the calling
+// goroutine.
+func For(workers, n int, fn func(i int)) {
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunked runs fn(lo, hi) over contiguous, non-overlapping ranges
+// covering [0, n), one range per worker (static partition: best for loops
+// whose per-index cost is uniform, e.g. per-row pixel work, because it
+// touches the scheduler once per worker rather than once per index).
+func ForChunked(workers, n int, fn func(lo, hi int)) {
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		lo := g * n / w
+		hi := (g + 1) * n / w
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool runs independently submitted tasks on at most Resolve(workers)
+// concurrent goroutines. It is the building block for producer/consumer
+// pipelines (the channel simulator renders frame k while captures whose
+// exposure windows are already covered run behind it). A workers value of 1
+// makes Go run the task inline, preserving an exactly sequential execution.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+	seq bool
+}
+
+// NewPool returns a pool bounded to Resolve(workers) concurrent tasks.
+func NewPool(workers int) *Pool {
+	w := Resolve(workers)
+	if w <= 1 {
+		return &Pool{seq: true}
+	}
+	return &Pool{sem: make(chan struct{}, w)}
+}
+
+// Go submits one task. Sequential pools run it before returning; concurrent
+// pools block only while all workers are busy (bounded submission keeps the
+// producer from racing arbitrarily far ahead of the consumers).
+func (p *Pool) Go(fn func()) {
+	if p.seq {
+		fn()
+		return
+	}
+	p.sem <- struct{}{}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every submitted task has finished.
+func (p *Pool) Wait() {
+	if p.seq {
+		return
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-5) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestForCoversEveryIndexOnce checks the index partition at several worker
+// counts, including more workers than work.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 100} {
+		const n = 137
+		hits := make([]int32, n)
+		For(w, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("For ran a body with n=0")
+	}
+}
+
+// TestForDeterministicMerge: position-addressed writes produce identical
+// results at every worker count.
+func TestForDeterministicMerge(t *testing.T) {
+	const n = 512
+	ref := make([]int, n)
+	For(1, n, func(i int) { ref[i] = i*i + 7 })
+	for _, w := range []int{2, 5, 16} {
+		got := make([]int, n)
+		For(w, n, func(i int) { got[i] = i*i + 7 })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 64} {
+		const n = 100
+		hits := make([]int32, n)
+		ForChunked(w, n, func(lo, hi int) {
+			if lo > hi {
+				t.Errorf("workers=%d: inverted range [%d,%d)", w, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", w, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkedEmpty(t *testing.T) {
+	ran := false
+	ForChunked(4, 0, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("ForChunked ran a body with n=0")
+	}
+}
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		p := NewPool(w)
+		var count atomic.Int64
+		for i := 0; i < 50; i++ {
+			p.Go(func() { count.Add(1) })
+		}
+		p.Wait()
+		if count.Load() != 50 {
+			t.Fatalf("workers=%d: %d of 50 tasks ran", w, count.Load())
+		}
+	}
+}
+
+// TestPoolSequentialRunsInline: a 1-worker pool must execute tasks during
+// Go, exactly like sequential code.
+func TestPoolSequentialRunsInline(t *testing.T) {
+	p := NewPool(1)
+	done := false
+	p.Go(func() { done = true })
+	if !done {
+		t.Fatal("sequential pool deferred the task")
+	}
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see README.md § Testing). Every change must pass
+# this before it lands: static checks, a full build, the complete test suite
+# under the race detector (the worker pools in internal/parallel make data
+# races a correctness class, not a theoretical one), and one iteration of the
+# sequential-vs-parallel benchmarks as a smoke test.
+#
+# Usage: ./verify.sh [-short]
+#   -short  gate the race run on `go test -short` (skips the long
+#           full-pipeline experiment suites; use for quick iteration).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+short=""
+if [[ "${1:-}" == "-short" ]]; then
+	short="-short"
+fi
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+	echo "gofmt needed: $unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race $short ./... =="
+# The experiment suites run the full pipeline repeatedly; under the race
+# detector they need more than the default 10m per-package budget.
+go test -race -timeout 60m $short ./...
+
+echo "== benchmarks (1 iteration smoke) =="
+go test -run '^$' -bench 'EndToEnd|DecodeCaptures' -benchtime=1x .
+
+echo "verify: OK"
