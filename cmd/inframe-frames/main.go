@@ -55,9 +55,16 @@ func main() {
 			fatal(err)
 		}
 		orig := s.src.Frame(0)
-		for name, f := range map[string]*frame.Frame{
-			"plus": plus, "minus": minus, "fused": fused, "original": orig,
-		} {
+		// An ordered slice, not a map: the progress lines below must come
+		// out in a stable order run to run (maprange analyzer).
+		outputs := []struct {
+			name string
+			f    *frame.Frame
+		}{
+			{"plus", plus}, {"minus", minus}, {"fused", fused}, {"original", orig},
+		}
+		for _, o := range outputs {
+			name, f := o.name, o.f
 			path := filepath.Join(*out, fmt.Sprintf("%s-%s.png", s.name, name))
 			if err := frame.WritePNG(path, f); err != nil {
 				fatal(err)

@@ -1,0 +1,54 @@
+// Command inframe-lint runs the repository's custom static-analysis suite
+// (internal/analysis): a registry of analyzers that enforce the pipeline's
+// determinism, clamp and concurrency invariants across every non-test
+// package of the module.
+//
+// Usage:
+//
+//	inframe-lint [-list] [packages]
+//
+// The package pattern is accepted for familiarity (verify.sh invokes
+// `inframe-lint ./...`) but the tool always loads and checks the whole
+// module — the invariants are global, and partial runs would let a
+// violation hide in an unchecked package.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check failure.
+// Suppress a single finding with a trailing or preceding comment:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inframe/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	mod, err := analysis.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inframe-lint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(mod, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "inframe-lint: %d finding(s) across %d analyzer(s)\n", len(diags), len(analyzers))
+		os.Exit(1)
+	}
+}

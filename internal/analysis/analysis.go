@@ -1,0 +1,275 @@
+// Package analysis is a self-contained static-analysis framework for the
+// InFrame tree, built on the standard library only (go/parser, go/ast,
+// go/types, go/importer) so it runs offline with no go.mod dependencies.
+//
+// The framework loads every package in the module, type-checks it, and runs
+// a registry of named analyzers that enforce the pipeline's load-bearing
+// invariants: bit-identical output at any worker count, saturating
+// arithmetic at the [0,255] clipping boundary (InFrame §3.2), and NaN-free
+// threshold decisions in the noise-energy demodulator. Screen–camera
+// decoders live or die on reproducible numeric pipelines (cf. DeepLight,
+// Revelio); the analyzers keep those guarantees as the codebase grows.
+//
+// A diagnostic can be suppressed with a directive comment on the same line
+// or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The directive suppresses only the named analyzer, and the reason is
+// mandatory — a malformed or unknown-analyzer directive is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col reporting and
+// attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the registry key, used in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Path is the package's import path (module-qualified for repo
+	// packages); analyzers use it for path-scoped exemptions.
+	Path string
+	Pkg  *types.Package
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultAnalyzers returns the full registry, sorted by name. Every analyzer
+// shipped here guards an invariant documented in DESIGN.md §Enforced
+// invariants.
+func DefaultAnalyzers() []*Analyzer {
+	as := []*Analyzer{
+		ClampAnalyzer,
+		DetRandAnalyzer,
+		FloatEqAnalyzer,
+		GoroutineAnalyzer,
+		MapRangeAnalyzer,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// Run applies every analyzer to every package of the module, applies
+// //lint:ignore suppression, and returns the surviving diagnostics sorted
+// by position. Malformed or unknown-analyzer directives are reported as
+// diagnostics from the pseudo-analyzer "lint".
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		out = append(out, runPackage(mod.Fset, pkg, analyzers, known)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// RunPackage applies the analyzers to one loaded package, honoring
+// //lint:ignore directives, and returns the diagnostics sorted by position.
+// It is the single-package core of Run, exposed for the fixture-driven
+// analyzer tests.
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	out := runPackage(fset, pkg, analyzers, known)
+	sortDiagnostics(out)
+	return out
+}
+
+func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+	dirs, out := collectDirectives(fset, pkg.Files, known)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			if dirs.suppresses(d) {
+				return
+			}
+			out = append(out, d)
+		}
+		a.Run(pass)
+	}
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// --- //lint:ignore directives ---
+
+const directivePrefix = "//lint:ignore"
+
+// directiveIndex maps file → analyzer name → set of suppressed lines.
+type directiveIndex map[string]map[string]map[int]bool
+
+func (idx directiveIndex) suppresses(d Diagnostic) bool {
+	byName := idx[d.Pos.Filename]
+	if byName == nil {
+		return false
+	}
+	return byName[d.Analyzer][d.Pos.Line]
+}
+
+// collectDirectives scans every comment of the package for //lint:ignore
+// directives. A directive suppresses the named analyzer on its own line and
+// on the following line, so it works both as a trailing comment and as a
+// standalone comment above the offending statement. Directives without a
+// reason, or naming an analyzer that is not registered, are reported.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (directiveIndex, []Diagnostic) {
+	idx := make(directiveIndex)
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", name),
+					})
+					continue
+				}
+				byName := idx[pos.Filename]
+				if byName == nil {
+					byName = make(map[string]map[int]bool)
+					idx[pos.Filename] = byName
+				}
+				lines := byName[name]
+				if lines == nil {
+					lines = make(map[int]bool)
+					byName[name] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return idx, diags
+}
+
+// --- shared analyzer helpers ---
+
+// pathHasElem reports whether the import path contains elem as a whole
+// path element (e.g. pathHasElem("inframe/cmd/x", "cmd")).
+func pathHasElem(path, elem string) bool {
+	for _, e := range strings.Split(path, "/") {
+		if e == elem {
+			return true
+		}
+	}
+	return false
+}
+
+// isPipelinePackage reports whether the package holds deterministic
+// pipeline code: everything except commands and examples, which are
+// allowed to touch wall clocks and ambient randomness at the edges.
+func isPipelinePackage(path string) bool {
+	return !pathHasElem(path, "cmd") && !pathHasElem(path, "examples")
+}
+
+// funcObj resolves a called expression to the function or method object it
+// invokes, or nil.
+func funcObj(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isNamed reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

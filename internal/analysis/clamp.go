@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ClampAnalyzer guards the [0,255] clipping boundary of InFrame §3.2's
+// local amplitude adjustment: every path from the float pixel domain to the
+// 8-bit drive/capture domain must saturate, not wrap. A bare uint8(v)
+// silently wraps (uint8(256.7) == 0, a full-scale error in a pixel), so the
+// analyzer flags narrowing conversions to uint8/byte whose operand is a
+// floating-point expression or a non-constant integer arithmetic
+// expression, anywhere outside a blessed clamp helper.
+//
+// A clamp helper is a function whose name starts with "quant" or "clamp"
+// (frame.Quant8, y4m.quantByte, ...); the saturation guard lives inside it
+// once, and everything else routes through it.
+var ClampAnalyzer = &Analyzer{
+	Name: "clamp",
+	Doc:  "forbid bare narrowing conversions to uint8/byte outside quant*/clamp* helpers",
+	Run:  runClamp,
+}
+
+func runClamp(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isClampHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.Uint8 {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				atv := pass.Info.Types[arg]
+				if atv.Value != nil {
+					return true // constant, checked at compile time
+				}
+				ab, ok := atv.Type.Underlying().(*types.Basic)
+				if !ok {
+					return true
+				}
+				switch {
+				case ab.Info()&types.IsFloat != 0:
+					pass.Reportf(call.Pos(), "bare float→uint8 conversion wraps instead of saturating at the §3.2 clipping boundary; route through a quant*/clamp* helper")
+				case ab.Info()&types.IsInteger != 0 && ab.Kind() != types.Uint8 && isArith(arg):
+					pass.Reportf(call.Pos(), "narrowing integer arithmetic to uint8 can wrap; route through a quant*/clamp* helper or convert a range-checked value")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isClampHelper reports whether name marks a blessed saturating-conversion
+// helper. The convention (documented in DESIGN.md §Enforced invariants) is
+// a quant-/clamp- prefix, case-insensitive on the first rune so both
+// exported and unexported helpers qualify.
+func isClampHelper(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "quant") || strings.HasPrefix(lower, "clamp")
+}
+
+// isArith reports whether e is an arithmetic expression (as opposed to a
+// plain identifier, field access or index whose producer already bounded
+// the value).
+func isArith(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		// & and >> only shrink the operand's magnitude (byte(x&0xff) is a
+		// deliberate mask, not an accident); everything else can grow it.
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.SHL, token.OR, token.XOR:
+			return true
+		}
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB || e.Op == token.XOR
+	}
+	return false
+}

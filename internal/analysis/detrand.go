@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DetRandAnalyzer enforces the determinism contract of the pipeline: the
+// worker pools in internal/parallel guarantee bit-identical output at any
+// worker count only if no stage consults ambient nondeterminism. Inside
+// pipeline packages (everything outside cmd/ and examples/) it bans:
+//
+//   - package-level math/rand and math/rand/v2 functions, which draw from
+//     the unseeded global source (rand.New over an explicit seeded source
+//     is the sanctioned pattern — see internal/hvs and internal/core);
+//   - time.Now / time.Since / time.Until, which leak the wall clock into
+//     results;
+//   - select over multiple channels, whose case choice is
+//     scheduler-dependent.
+var DetRandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid unseeded math/rand, wall-clock reads and multi-channel select in pipeline packages",
+	Run:  runDetRand,
+}
+
+// detrandAllowed lists the package-level functions of math/rand (and v2)
+// that do not touch the global source: constructors taking an explicit
+// seed or source.
+var detrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *Rand
+	"NewPCG":     true, // rand/v2 seeded generator
+	"NewChaCha8": true,
+}
+
+func runDetRand(pass *Pass) {
+	if !isPipelinePackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select over %d channels is scheduler-dependent; route concurrency through internal/parallel", comm)
+				}
+			case *ast.SelectorExpr:
+				obj, ok := pass.Info.Uses[n.Sel]
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					// Methods on *rand.Rand carry their own source and are
+					// fine; only package-level functions hit the global one.
+					if isPackageLevelRef(pass, n) && !detrandAllowed[obj.Name()] {
+						pass.Reportf(n.Pos(), "%s.%s uses the unseeded global source; use rand.New(rand.NewSource(seed)) so worker pools stay bit-identical", obj.Pkg().Name(), obj.Name())
+					}
+				case "time":
+					switch obj.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock in deterministic pipeline code; thread an explicit timestamp instead", obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPackageLevelRef reports whether sel refers to a package-qualified
+// identifier (pkg.Name) rather than a method or field on a value: method
+// and field accesses have a Selections entry, package references do not.
+func isPackageLevelRef(pass *Pass, sel *ast.SelectorExpr) bool {
+	_, isSelection := pass.Info.Selections[sel]
+	return !isSelection
+}

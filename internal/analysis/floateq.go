@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer bans == and != between floating-point operands. The
+// degenerate-score class fixed by hand in PR 1 (all-equal and all-zero
+// noise-energy scores slipping past exact comparisons, NaN poisoning the
+// cluster2 threshold) is exactly what exact float equality produces:
+// decisions that flip with evaluation order, fused multiply-add, or a
+// single NaN. Compare against an explicit epsilon, use math.IsNaN for NaN
+// probes, or restructure the decision so no equality is needed.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info, be.X) && !isFloat(pass.Info, be.Y) {
+				return true
+			}
+			// Both sides constant: folded at compile time, no runtime hazard.
+			if isConst(pass.Info, be.X) && isConst(pass.Info, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				pass.Reportf(be.Pos(), "x %s x float self-comparison; use math.IsNaN", be.Op)
+				return true
+			}
+			pass.Reportf(be.Pos(), "%s on float operands is order- and NaN-sensitive; compare with an epsilon or restructure the decision", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}
+
+// sameExpr reports whether two expressions are the same plain identifier or
+// selector chain — the v != v NaN-test idiom.
+func sameExpr(a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		b, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	}
+	return false
+}

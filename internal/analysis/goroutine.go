@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineAnalyzer enforces the concurrency architecture established in
+// PR 1: all fan-out flows through the deterministic worker-pool engine in
+// internal/parallel, which owns result ordering and is the only place where
+// goroutine scheduling may vary. Outside that package (and outside cmd/ and
+// examples/, which may drive the engine however they like) it bans raw `go`
+// statements and any reference to sync.WaitGroup — hand-rolled fan-out is
+// exactly how ordering nondeterminism re-enters the pipeline.
+var GoroutineAnalyzer = &Analyzer{
+	Name: "goroutine",
+	Doc:  "forbid raw go statements and sync.WaitGroup fan-out outside internal/parallel",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(pass *Pass) {
+	if !isPipelinePackage(pass.Path) || isParallelEnginePackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement outside internal/parallel; use the deterministic engine (parallel.Map / parallel.Pipeline)")
+			case *ast.SelectorExpr:
+				if tn, ok := pass.Info.Uses[n.Sel].(*types.TypeName); ok && isNamed(tn.Type(), "sync", "WaitGroup") {
+					pass.Reportf(n.Pos(), "bare sync.WaitGroup outside internal/parallel; use the deterministic engine (parallel.Map / parallel.Pipeline)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isParallelEnginePackage reports whether path is the blessed concurrency
+// engine package (the module's internal/parallel).
+func isParallelEnginePackage(path string) bool {
+	return path == "internal/parallel" || strings.HasSuffix(path, "/internal/parallel")
+}

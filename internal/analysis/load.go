@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the import path ("inframe", "inframe/internal/core", ...).
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// imports lists the module-internal import paths, for load ordering.
+	imports []string
+}
+
+// Module is the fully loaded repository: every non-test package, parsed
+// with comments and type-checked against the standard library.
+type Module struct {
+	// ModPath is the module path from go.mod.
+	ModPath string
+	// Root is the absolute module root directory.
+	Root string
+	Fset *token.FileSet
+	// Packages is sorted by import path.
+	Packages []*Package
+}
+
+// LoadModule discovers the module rooted at or above dir, parses every
+// non-test package (testdata and hidden directories are skipped, matching
+// the go tool), and type-checks them in dependency order. Standard-library
+// imports are resolved from source (GOROOT/src), so loading works offline;
+// module-internal imports are resolved against the packages being loaded.
+//
+// Test files are excluded deliberately: every analyzer invariant is scoped
+// to non-test code, and tests are free to use wall clocks, raw goroutines
+// and float literals in assertions.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	mod := &Module{ModPath: modPath, Root: root, Fset: fset}
+
+	pkgDirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*Package, len(pkgDirs))
+	for _, d := range pkgDirs {
+		pkg, err := parseDir(fset, d, importPathFor(modPath, root, d))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		byPath[pkg.Path] = pkg
+	}
+
+	order, err := loadOrder(byPath)
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{
+		modPath: modPath,
+		pkgs:    byPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	for _, path := range order {
+		if err := typeCheck(fset, byPath[path], imp); err != nil {
+			return nil, err
+		}
+	}
+	for _, path := range order {
+		mod.Packages = append(mod.Packages, byPath[path])
+	}
+	sort.Slice(mod.Packages, func(i, j int) bool { return mod.Packages[i].Path < mod.Packages[j].Path })
+	return mod, nil
+}
+
+// LoadPackage parses and type-checks the single package in dir under the
+// given import path, resolving imports from the standard library only. It
+// exists for the analyzer test harness, which loads testdata fixture
+// packages that are invisible to the go tool.
+func LoadPackage(fset *token.FileSet, dir, path string) (*Package, error) {
+	pkg, err := parseDir(fset, dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	imp := &moduleImporter{std: importer.ForCompiler(fset, "source", nil)}
+	if err := typeCheck(fset, pkg, imp); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			modPath = parseModulePath(data)
+			if modPath == "" {
+				return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+			}
+			return d, modPath, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+	}
+}
+
+func parseModulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// packageDirs walks root collecting directories that may hold Go packages,
+// skipping hidden directories and testdata (as the go tool does).
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+func importPathFor(modPath, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the non-test Go files of dir as one package. Returns nil
+// if the directory holds no non-test Go files.
+func parseDir(fset *token.FileSet, dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		seen[f.Name.Name] = true
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	if len(seen) > 1 {
+		return nil, fmt.Errorf("analysis: multiple packages in %s", dir)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			pkg.imports = append(pkg.imports, p)
+		}
+	}
+	return pkg, nil
+}
+
+// loadOrder topologically sorts the module packages so every package is
+// type-checked after its module-internal imports.
+func loadOrder(byPath map[string]*Package) ([]string, error) {
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, imp := range byPath[path].imports {
+			if _, ok := byPath[imp]; ok {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	cfg := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := cfg.Check(pkg.Path, fset, pkg.Files, info)
+	if len(errs) > 0 {
+		if len(errs) > 3 {
+			errs = errs[:3]
+		}
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return fmt.Errorf("analysis: type-checking %s failed:\n\t%s", pkg.Path, strings.Join(msgs, "\n\t"))
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// moduleImporter resolves module-internal import paths to the packages
+// being loaded and everything else through the standard library's source
+// importer. The load order guarantees internal dependencies are already
+// type-checked when requested.
+type moduleImporter struct {
+	modPath string
+	pkgs    map[string]*Package
+	std     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if m.modPath != "" && (path == m.modPath || strings.HasPrefix(path, m.modPath+"/")) {
+		pkg, ok := m.pkgs[path]
+		if !ok || pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: internal package %s not loaded", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}

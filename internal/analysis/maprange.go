@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeAnalyzer catches iteration-order nondeterminism: ranging over a
+// map while feeding an order-sensitive sink. Go randomizes map iteration
+// order on purpose, so a loop that appends map values to a slice or prints
+// inside the loop produces a differently-ordered artifact on every run —
+// the exact failure mode the bit-identical-output contract forbids.
+//
+// The analyzer flags a range-over-map whose body
+//
+//   - appends an expression involving the range value variable (or an index
+//     into the ranged map) to a slice, or
+//   - calls an ordered sink: fmt print functions or a Write*/Print* method.
+//
+// The sanctioned idiom — collect the keys, sort, then iterate the sorted
+// slice — appends only the key variable and is deliberately not flagged.
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid map iteration that feeds ordered output (append of values, prints, writers)",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.Types[rs.X].Type
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			valueObj := rangeVarObj(pass.Info, rs.Value)
+			mapObj := exprObj(pass.Info, rs.X)
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if isBuiltinAppend(pass.Info, fun) && appendsUnordered(pass.Info, call, valueObj, mapObj) {
+						pass.Reportf(call.Pos(), "append of map values inside range-over-map leaks iteration order; collect keys, sort, then iterate")
+					}
+				case *ast.SelectorExpr:
+					if isOrderedSink(pass.Info, fun) {
+						pass.Reportf(call.Pos(), "%s inside range-over-map emits in random iteration order; collect keys, sort, then iterate", fun.Sel.Name)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// rangeVarObj returns the object of the range value variable, or nil.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id] // range with = instead of :=
+}
+
+// exprObj returns the object behind a plain identifier or selector
+// expression, or nil.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func isBuiltinAppend(info *types.Info, id *ast.Ident) bool {
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendsUnordered reports whether any appended element mentions the range
+// value variable or indexes the ranged map — i.e. the append output depends
+// on iteration order beyond the keys themselves.
+func appendsUnordered(info *types.Info, call *ast.CallExpr, valueObj, mapObj types.Object) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if valueObj != nil && info.Uses[n] == valueObj {
+					found = true
+				}
+			case *ast.IndexExpr:
+				if mapObj != nil && exprObj(info, n.X) == mapObj {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isOrderedSink reports whether sel is a call into ordered output: a fmt
+// print function or any Write*/Print* method (io.Writer, strings.Builder,
+// bufio.Writer, ...).
+func isOrderedSink(info *types.Info, sel *ast.SelectorExpr) bool {
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+		return false
+	}
+	if _, isMethod := info.Selections[sel]; !isMethod {
+		return false
+	}
+	switch {
+	case name == "Write", name == "WriteString", name == "WriteByte",
+		name == "WriteRune", name == "Print", name == "Printf", name == "Println":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+// Package clamp is a fixture for the clamp analyzer.
+package clamp
+
+func bareFloat(v float64) uint8 {
+	return uint8(v) // want "wraps instead of saturating"
+}
+
+func bareFloat32Expr(v float32) byte {
+	return byte(v + 0.5) // want "wraps instead of saturating"
+}
+
+func bareIntArith(x, y int) byte {
+	return byte(x + y) // want "narrowing integer arithmetic"
+}
+
+// quantPixel is a blessed helper (quant- prefix): the saturation guard
+// lives here once.
+func quantPixel(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5) // inside a clamp helper: allowed
+}
+
+// clampToByte is a blessed helper (clamp- prefix).
+func clampToByte(x int) byte {
+	if x < 0 {
+		x = 0
+	}
+	if x > 255 {
+		x = 255
+	}
+	return byte(x) // inside a clamp helper: allowed
+}
+
+func mask(x int) byte {
+	return byte(x & 0xff) // masking shrinks the operand: allowed
+}
+
+func shiftDown(x uint32) byte {
+	return byte(x >> 24) // shift-down shrinks the operand: allowed
+}
+
+func sameWidth(b byte) uint8 {
+	return uint8(b) // no narrowing: allowed
+}
+
+func constantConv() byte {
+	return byte(255) // constant, checked at compile time: allowed
+}
+
+func plainIdent(x int) byte {
+	return byte(x) // plain identifier: the producer bounded it
+}

@@ -1,0 +1,48 @@
+// Package detrand is a fixture for the detrand analyzer: every line with a
+// want comment must be flagged, every line without one must stay silent.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalSource() int {
+	rand.Seed(42)       // want "unseeded global source"
+	v := rand.Intn(6)   // want "unseeded global source"
+	f := rand.Float64() // want "unseeded global source"
+	_ = f
+	return v
+}
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want "wall clock"
+	return time.Since(t0) // want "wall clock"
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor: allowed
+	return rng.Intn(6)                    // method on *rand.Rand: allowed
+}
+
+func multiSelect(a, b chan int) int {
+	select { // want "scheduler-dependent"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singlePoll(a chan int) int {
+	select { // one channel plus default: allowed
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func explicitTime(t time.Time) int64 {
+	return t.UnixNano() // threaded timestamp: allowed
+}

@@ -1,0 +1,36 @@
+// Package floateq is a fixture for the floateq analyzer.
+package floateq
+
+const eps = 1e-9
+
+func exactThreshold(score, thr float64) bool {
+	return score == thr // want "float operands"
+}
+
+func exactZero32(v float32) bool {
+	return v != 0 // want "float operands"
+}
+
+func nanIdiom(v float64) bool {
+	return v != v // want "math.IsNaN"
+}
+
+func ordered(score, thr float64) bool {
+	return score > thr // ordered comparison: allowed
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps // epsilon comparison: allowed
+}
+
+func intEq(a, b int) bool {
+	return a == b // integer equality: allowed
+}
+
+func constFold() bool {
+	return 0.1+0.2 == 0.3 // both sides constant, folded at compile time: allowed
+}

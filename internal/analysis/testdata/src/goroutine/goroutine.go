@@ -1,0 +1,39 @@
+// Package goroutine is a fixture for the goroutine analyzer.
+package goroutine
+
+import "sync"
+
+func rawGo(xs []int) {
+	for range xs {
+		go work() // want "raw go statement"
+	}
+}
+
+func handRolledFanOut(xs []int) {
+	var wg sync.WaitGroup // want "bare sync.WaitGroup"
+	wg.Add(len(xs))
+	for range xs {
+		go func() { // want "raw go statement"
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+type pool struct {
+	wg sync.WaitGroup // want "bare sync.WaitGroup"
+}
+
+type guarded struct {
+	mu sync.Mutex // other sync primitives: allowed
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func work() {}

@@ -1,0 +1,24 @@
+// Package ignore is a fixture for //lint:ignore suppression, run with the
+// detrand and floateq analyzers together: a directive must silence exactly
+// the analyzer it names, on its own line and the line below.
+package ignore
+
+import "time"
+
+func suppressed() time.Time {
+	//lint:ignore detrand fixture: named analyzer on the next line is silenced
+	return time.Now()
+}
+
+func wrongName() time.Time {
+	//lint:ignore floateq fixture: a directive naming another analyzer must not silence detrand
+	return time.Now() // want "wall clock"
+}
+
+func trailing(v float64) bool {
+	return v == 0 //lint:ignore floateq fixture: trailing directive on the offending line
+}
+
+func unsuppressed(v float64) bool {
+	return v == 0 // want "float operands"
+}

@@ -1,0 +1,13 @@
+// Package ignorebad is a fixture for directive hygiene: malformed
+// directives and unknown analyzer names are themselves diagnostics (from
+// the pseudo-analyzer "lint"), checked programmatically in
+// TestDirectiveHygiene rather than with want comments.
+package ignorebad
+
+//lint:ignore detrand
+func missingReason() {}
+
+func unknownName() int {
+	//lint:ignore nosuchanalyzer the name above is not registered
+	return 1
+}

@@ -1,0 +1,61 @@
+// Package maprange is a fixture for the maprange analyzer.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "append of map values"
+	}
+	return out
+}
+
+func indexed(m map[string]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, m[k]) // want "append of map values"
+	}
+	return out
+}
+
+func prints(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "random iteration order"
+	}
+}
+
+func builds(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "random iteration order"
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // the keys-then-sort idiom: allowed
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v) // slice iteration is ordered: allowed
+	}
+	return out
+}
+
+func counts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-insensitive reduction: allowed
+	}
+	return total
+}

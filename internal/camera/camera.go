@@ -198,6 +198,7 @@ func (c *Camera) encode(f *frame.Frame) {
 
 // addNoise adds deterministic Gaussian read noise for capture index.
 func (c *Camera) addNoise(f *frame.Frame, index int) {
+	//lint:ignore floateq NoiseSigma==0 is the configured "noise disabled" sentinel, never a computed value
 	if c.cfg.NoiseSigma == 0 {
 		return
 	}

@@ -393,6 +393,7 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 			rowW := 1.0
 			if weights != nil {
 				rowW = weights[y]
+				//lint:ignore floateq rowWeights assigns the exact sentinel 0 below the attenuation floor; this tests that sentinel
 				if rowW == 0 {
 					continue
 				}
@@ -419,6 +420,10 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 			acc += rowAcc * rowW
 			n += float64(rect.w) * rowW * rowW
 		}
+		// n sums strictly positive terms (rect.w · rowW², rowW ≥ the
+		// attenuation floor), so it is exactly zero iff every row was
+		// skipped — the division guard needs the exact test.
+		//lint:ignore floateq divide-by-zero guard on a sum of strictly positive terms
 		if n == 0 {
 			scores[i] = math.NaN()
 			quality[i] = 0

@@ -26,9 +26,11 @@ type StreamingReceiver struct {
 }
 
 type streamAgg struct {
-	sum      []float64
-	qual     []float64
-	n        []float64
+	sum  []float64
+	qual []float64
+	// n counts contributing captures per Block; an integer so the
+	// no-contribution test stays exact (no float equality).
+	n        []int
 	captures int
 }
 
@@ -63,7 +65,7 @@ func (s *StreamingReceiver) Push(capture *frame.Frame, t, exposure float64) []*F
 			a := s.agg[d]
 			if a == nil {
 				n := s.rcv.cfg.Layout.NumBlocks()
-				a = &streamAgg{sum: make([]float64, n), qual: make([]float64, n), n: make([]float64, n)}
+				a = &streamAgg{sum: make([]float64, n), qual: make([]float64, n), n: make([]int, n)}
 				s.agg[d] = a
 			}
 			for j, sc := range scores {
@@ -102,8 +104,8 @@ func (s *StreamingReceiver) finalize(d int) *FrameDecode {
 			scores[j] = math.NaN()
 			continue
 		}
-		scores[j] = a.sum[j] / a.n[j]
-		quality[j] = a.qual[j] / a.n[j]
+		scores[j] = a.sum[j] / float64(a.n[j])
+		quality[j] = a.qual[j] / float64(a.n[j])
 	}
 
 	// Trailing-window per-Block levels.
@@ -114,7 +116,7 @@ func (s *StreamingReceiver) finalize(d int) *FrameDecode {
 		series = series[:0]
 		for w := d; w > d-s.window && w >= 0; w-- {
 			if wa := s.agg[w]; wa != nil && wa.n[j] > 0 {
-				series = append(series, wa.sum[j]/wa.n[j])
+				series = append(series, wa.sum[j]/float64(wa.n[j]))
 			}
 		}
 		if len(series) == 0 {

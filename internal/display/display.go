@@ -155,13 +155,7 @@ func (d *Display) Push(f *frame.Frame) error {
 	}
 	dr := make([]uint8, len(f.Pix))
 	for i, v := range f.Pix {
-		q := math.Round(float64(v))
-		if q < 0 {
-			q = 0
-		} else if q > 255 {
-			q = 255
-		}
-		dr[i] = uint8(q)
+		dr[i] = frame.Quant8(v)
 	}
 	d.drive = append(d.drive, dr)
 	if d.cfg.ResponseTime > 0 {

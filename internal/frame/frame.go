@@ -218,6 +218,7 @@ func (f *Frame) Equal(g *Frame) bool {
 		return false
 	}
 	for i, v := range f.Pix {
+		//lint:ignore floateq Equal's contract is bit-identity (the worker-count invariance tests depend on it), so the comparison must be exact
 		if g.Pix[i] != v {
 			return false
 		}

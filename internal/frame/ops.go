@@ -182,6 +182,7 @@ func PSNR(a, b *Frame) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	//lint:ignore floateq division guard: MSE is a sum of squares, exactly zero iff the frames are identical
 	if mse == 0 {
 		return math.Inf(1), nil
 	}

@@ -14,13 +14,7 @@ func ToImage(f *Frame) *image.Gray {
 	img := image.NewGray(image.Rect(0, 0, f.W, f.H))
 	for y := 0; y < f.H; y++ {
 		for x := 0; x < f.W; x++ {
-			v := f.Pix[y*f.W+x]
-			if v < 0 {
-				v = 0
-			} else if v > 255 {
-				v = 255
-			}
-			img.SetGray(x, y, color.Gray{Y: uint8(v + 0.5)})
+			img.SetGray(x, y, color.Gray{Y: Quant8(f.Pix[y*f.W+x])})
 		}
 	}
 	return img

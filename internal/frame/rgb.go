@@ -166,14 +166,18 @@ func ToImageRGB(f *RGB) *image.RGBA {
 		for x := 0; x < f.W; x++ {
 			i := y*f.W + x
 			img.SetRGBA(x, y, color.RGBA{
-				R: quant8(f.R[i]), G: quant8(f.G[i]), B: quant8(f.B[i]), A: 255,
+				R: Quant8(f.R[i]), G: Quant8(f.G[i]), B: Quant8(f.B[i]), A: 255,
 			})
 		}
 	}
 	return img
 }
 
-func quant8(v float32) uint8 {
+// Quant8 rounds v to the nearest integer and saturates to [0,255]. It is
+// the blessed float→uint8 clamp helper (enforced by the clamp analyzer):
+// every conversion from the float pixel domain to 8-bit storage must
+// saturate here rather than wrap.
+func Quant8(v float32) uint8 {
 	q := math.Round(float64(v))
 	if q < 0 {
 		q = 0

@@ -250,7 +250,7 @@ func NewGradient(w, h int) *Gradient { return &Gradient{W: w, H: h, Rate: 30} }
 func (g *Gradient) Frame(int) *frame.Frame {
 	f := frame.New(g.W, g.H)
 	den := float64(g.W + g.H - 2)
-	if den == 0 {
+	if g.W+g.H-2 == 0 {
 		den = 1
 	}
 	for y := 0; y < g.H; y++ {

@@ -84,6 +84,7 @@ func (s Shape) Up(u float64) float64 {
 // Between interpolates an amplitude moving from a0 to a1 at normalized
 // transition time u, using the shape's envelope pair.
 func (s Shape) Between(a0, a1, u float64) float64 {
+	//lint:ignore floateq fast path only: both branches agree in the a0→a1 limit, so a near-miss is still correct
 	if a0 == a1 {
 		return a0
 	}
@@ -127,6 +128,7 @@ func Envelope(shape Shape, levels []float64, tau int) []float64 {
 			next = levels[i+1]
 		}
 		for j := 0; j < tau; j++ {
+			//lint:ignore floateq fast path only: Between(lv, next, u) returns lv exactly when the levels coincide
 			if j < half || next == lv {
 				out = append(out, lv)
 				continue

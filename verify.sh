@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate (see README.md § Testing). Every change must pass
-# this before it lands: static checks, a full build, the complete test suite
+# this before it lands: static checks (gofmt, go vet, and the repo's own
+# inframe-lint invariant suite), a full build, the complete test suite
 # under the race detector (the worker pools in internal/parallel make data
 # races a correctness class, not a theoretical one), and one iteration of the
 # sequential-vs-parallel benchmarks as a smoke test.
@@ -8,6 +9,9 @@
 # Usage: ./verify.sh [-short]
 #   -short  gate the race run on `go test -short` (skips the long
 #           full-pipeline experiment suites; use for quick iteration).
+#
+# Each stage prints its wall-clock time on completion so slow stages are
+# visible; a summary repeats all of them at the end.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,25 +20,48 @@ if [[ "${1:-}" == "-short" ]]; then
 	short="-short"
 fi
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
-if [[ -n "$unformatted" ]]; then
-	echo "gofmt needed: $unformatted" >&2
-	exit 1
-fi
+timings=()
 
-echo "== go vet ./... =="
-go vet ./...
+# stage <name> <command...> — run one gate stage, timing it.
+stage() {
+	local name="$1"
+	shift
+	echo "== $name =="
+	local t0=$SECONDS
+	"$@"
+	local dt=$((SECONDS - t0))
+	timings+=("$(printf '%4ds  %s' "$dt" "$name")")
+	echo "-- $name: ${dt}s"
+}
 
-echo "== go build ./... =="
-go build ./...
+check_gofmt() {
+	local unformatted
+	unformatted=$(gofmt -l .)
+	if [[ -n "$unformatted" ]]; then
+		echo "gofmt needed: $unformatted" >&2
+		return 1
+	fi
+}
 
-echo "== go test -race $short ./... =="
-# The experiment suites run the full pipeline repeatedly; under the race
-# detector they need more than the default 10m per-package budget.
-go test -race -timeout 60m $short ./...
+run_tests() {
+	# The experiment suites run the full pipeline repeatedly; under the race
+	# detector they need more than the default 10m per-package budget.
+	go test -race -timeout 60m $short ./...
+}
 
-echo "== benchmarks (1 iteration smoke) =="
-go test -run '^$' -bench 'EndToEnd|DecodeCaptures' -benchtime=1x .
+run_bench_smoke() {
+	go test -run '^$' -bench 'EndToEnd|DecodeCaptures' -benchtime=1x .
+}
 
+stage "gofmt" check_gofmt
+stage "go vet ./..." go vet ./...
+stage "go build ./..." go build ./...
+stage "inframe-lint ./..." go run ./cmd/inframe-lint ./...
+stage "go test -race $short ./..." run_tests
+stage "benchmarks (1 iteration smoke)" run_bench_smoke
+
+echo "== stage timings =="
+for t in "${timings[@]}"; do
+	echo "$t"
+done
 echo "verify: OK"
