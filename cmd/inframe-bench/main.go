@@ -22,14 +22,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"testing"
 	"time"
 
+	"inframe/internal/benchcmp"
 	"inframe/internal/channel"
 	"inframe/internal/core"
 	"inframe/internal/experiments"
@@ -314,125 +313,16 @@ func speedupReport(w *os.File, scale int, seconds float64) error {
 
 // --- -json baseline ---
 
-// benchBaseline is the schema of a BENCH_*.json seed point.
-type benchBaseline struct {
-	Schema     string           `json:"schema"`
-	GoVersion  string           `json:"go_version"`
-	GoOS       string           `json:"goos"`
-	GoArch     string           `json:"goarch"`
-	GoMaxProcs int              `json:"gomaxprocs"`
-	Scale      int              `json:"scale"`
-	Benchmarks []benchJSONEntry `json:"benchmarks"`
-}
-
-type benchJSONEntry struct {
-	Name       string `json:"name"`
-	Iterations int    `json:"iterations"`
-	NsPerOp    int64  `json:"ns_per_op"`
-}
-
-// baselinePipeline builds the scaled paper pipeline with every stage's
-// worker pool set to w — the same shape benchPipeline gives the
-// BenchmarkEndToEnd/BenchmarkDecodeCaptures tests, so the JSON numbers are
-// directly comparable to `go test -bench` output.
-func baselinePipeline(scale, w int) (*core.Multiplexer, channel.Config, *core.Receiver, int, error) {
-	l, err := core.ScaledPaperLayout(scale)
-	if err != nil {
-		return nil, channel.Config{}, nil, 0, err
-	}
-	p := core.DefaultParams(l)
-	p.Workers = w
-	m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), core.NewRandomStream(l, 1))
-	if err != nil {
-		return nil, channel.Config{}, nil, 0, err
-	}
-	cfg := channel.DefaultConfig(1280/scale, 720/scale)
-	cfg.Workers = w
-	cfg.Camera.Workers = w
-	rcfg := core.DefaultReceiverConfig(p, 1280/scale, 720/scale)
-	rcfg.Exposure = cfg.Camera.Exposure
-	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
-	rcfg.Workers = w
-	rcv, err := core.NewReceiver(rcfg)
-	if err != nil {
-		return nil, channel.Config{}, nil, 0, err
-	}
-	return m, cfg, rcv, 4 * p.Tau, nil
-}
-
 // writeBaseline measures EndToEnd (render + channel + decode) and
-// DecodeCaptures (receive side only) at workers=1 and GOMAXPROCS and writes
-// the results as JSON to path.
+// DecodeCaptures (receive side only) at workers=1 and GOMAXPROCS — via
+// internal/benchcmp, the same measurement inframe-benchdiff performs — and
+// writes the results as JSON to path.
 func writeBaseline(path string, scale int) error {
-	counts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		counts = append(counts, n)
-	}
-	base := benchBaseline{
-		Schema:     "inframe-bench-baseline/v1",
-		GoVersion:  runtime.Version(),
-		GoOS:       runtime.GOOS,
-		GoArch:     runtime.GOARCH,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Scale:      scale,
-	}
-	for _, w := range counts {
-		m, cfg, rcv, nDisplay, err := baselinePipeline(scale, w)
-		if err != nil {
-			return err
-		}
-		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res, err := channel.Simulate(m, nDisplay, cfg)
-				if err != nil {
-					benchErr = err
-					b.FailNow()
-				}
-				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
-			}
-		})
-		if benchErr != nil {
-			return benchErr
-		}
-		base.Benchmarks = append(base.Benchmarks, benchJSONEntry{
-			Name:       fmt.Sprintf("EndToEnd/workers=%d", w),
-			Iterations: r.N,
-			NsPerOp:    r.NsPerOp(),
-		})
-	}
-	// Decode-only: one captured sequence (full pool), then time the decode
-	// at each worker count.
-	m, cfg, _, nDisplay, err := baselinePipeline(scale, 0)
+	base, err := benchcmp.Measure(scale)
 	if err != nil {
 		return err
 	}
-	res, err := channel.Simulate(m, nDisplay, cfg)
-	if err != nil {
-		return err
-	}
-	for _, w := range counts {
-		_, _, rcv, _, err := baselinePipeline(scale, w)
-		if err != nil {
-			return err
-		}
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
-			}
-		})
-		base.Benchmarks = append(base.Benchmarks, benchJSONEntry{
-			Name:       fmt.Sprintf("DecodeCaptures/workers=%d", w),
-			Iterations: r.N,
-			NsPerOp:    r.NsPerOp(),
-		})
-	}
-	data, err := json.MarshalIndent(base, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := base.Write(path); err != nil {
 		return err
 	}
 	fmt.Println("wrote", path)

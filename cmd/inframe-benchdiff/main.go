@@ -1,0 +1,127 @@
+// Command inframe-benchdiff is the dynamic half of the performance gate: it
+// compares a fresh (or supplied) benchmark run against a committed BENCH_*.json
+// baseline and exits nonzero when any stage regressed past the tolerance.
+// The static half — the inframe-lint perf analyzers — catches allocation and
+// hoisting mistakes before they are measured; this gate catches everything
+// they cannot see.
+//
+// Usage:
+//
+//	inframe-benchdiff [-baseline path] [-current path] [-tolerance 0.15] \
+//	                  [-scale N] [-report path]
+//
+// -baseline defaults to the newest BENCH_*.json (by name) in the current
+// directory — the files are date-stamped, so lexical order is age order.
+// -current defaults to measuring a fresh run in-process with
+// internal/benchcmp (the same measurement inframe-bench -json performs); a
+// path lets CI or tests diff two saved runs without re-measuring. -scale 0
+// (the default) matches the baseline's geometry so deltas are meaningful.
+//
+// Exit codes: 0 clean, 1 at least one regression, 2 usage or I/O error.
+// Benchmarks present in only one run warn instead of failing (worker-count
+// entries vary with the machine's core count).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"inframe/internal/benchcmp"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline BENCH_*.json (default: newest in current directory)")
+	currentPath := flag.String("current", "", "compare this saved run instead of measuring fresh")
+	tolerance := flag.Float64("tolerance", 0.15, "fractional ns/op slowdown allowed before failing")
+	scale := flag.Int("scale", 0, "paper-geometry divisor for the fresh run (0 = match baseline)")
+	reportPath := flag.String("report", "", "also write the comparison report as JSON to this path")
+	flag.Parse()
+
+	if *tolerance < 0 {
+		fatal(fmt.Errorf("tolerance must be non-negative, got %v", *tolerance))
+	}
+	if *baselinePath == "" {
+		found, err := newestBaseline(".")
+		if err != nil {
+			fatal(err)
+		}
+		*baselinePath = found
+	}
+	base, err := benchcmp.Load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline: %s (%s, scale 1/%d, GOMAXPROCS %d)\n", *baselinePath, base.GoVersion, base.Scale, base.GoMaxProcs)
+
+	var cur *benchcmp.Baseline
+	if *currentPath != "" {
+		cur, err = benchcmp.Load(*currentPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("current:  %s (%s, scale 1/%d, GOMAXPROCS %d)\n", *currentPath, cur.GoVersion, cur.Scale, cur.GoMaxProcs)
+	} else {
+		s := *scale
+		if s == 0 {
+			s = base.Scale
+		}
+		fmt.Printf("current:  measuring fresh run at scale 1/%d...\n", s)
+		cur, err = benchcmp.Measure(s)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	report := benchcmp.Compare(base, cur, *tolerance)
+	report.WriteText(os.Stdout)
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, report); err != nil {
+			fatal(err)
+		}
+	}
+	if n := report.Regressions(); n > 0 {
+		fmt.Fprintf(os.Stderr, "inframe-benchdiff: %d benchmark(s) regressed past +%.0f%%\n", n, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: no benchmark regressed past +%.0f%%\n", *tolerance*100)
+}
+
+// newestBaseline returns the lexically last BENCH_*.json in dir; the files
+// are date-stamped so lexical order is chronological order.
+func newestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && len(name) > len("BENCH_.json") &&
+			name[:len("BENCH_")] == "BENCH_" && name[len(name)-len(".json"):] == ".json" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline found in %s (run inframe-bench -json first)", dir)
+	}
+	sort.Strings(names)
+	return names[len(names)-1], nil
+}
+
+// writeReport marshals the report for CI artifact upload.
+func writeReport(path string, r *benchcmp.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inframe-benchdiff:", err)
+	os.Exit(2)
+}

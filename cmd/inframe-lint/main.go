@@ -1,16 +1,21 @@
 // Command inframe-lint runs the repository's custom static-analysis suite
 // (internal/analysis): a registry of analyzers that enforce the pipeline's
-// determinism, clamp and concurrency invariants across every non-test
-// package of the module.
+// determinism, clamp, concurrency and hot-loop performance invariants
+// across every non-test package of the module.
 //
 // Usage:
 //
-//	inframe-lint [-list] [packages]
+//	inframe-lint [-list] [-format text|json] [packages]
 //
 // The package pattern is accepted for familiarity (verify.sh invokes
 // `inframe-lint ./...`) but the tool always loads and checks the whole
 // module — the invariants are global, and partial runs would let a
 // violation hide in an unchecked package.
+//
+// -format json emits the findings as a JSON array of
+// {analyzer, file, line, message} records on stdout (an empty array when
+// clean) so CI can annotate pull requests; the default text output and the
+// exit codes are unchanged.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check failure.
 // Suppress a single finding with a trailing or preceding comment:
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,14 +32,28 @@ import (
 	"inframe/internal/analysis"
 )
 
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "inframe-lint: unknown format %q (use text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	analyzers := analysis.DefaultAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -44,8 +64,26 @@ func main() {
 		os.Exit(2)
 	}
 	diags := analysis.Run(mod, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *format == "json" {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "inframe-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "inframe-lint: %d finding(s) across %d analyzer(s)\n", len(diags), len(analyzers))

@@ -80,11 +80,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // invariants.
 func DefaultAnalyzers() []*Analyzer {
 	as := []*Analyzer{
+		BoundsHoistAnalyzer,
 		ClampAnalyzer,
+		DeferLoopAnalyzer,
 		DetRandAnalyzer,
 		FloatEqAnalyzer,
 		GoroutineAnalyzer,
+		HotAllocAnalyzer,
+		LoopInvariantAnalyzer,
 		MapRangeAnalyzer,
+		PreallocateAnalyzer,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

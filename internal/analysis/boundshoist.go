@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundsHoistAnalyzer enforces the repo's row-slice idiom in hot innermost
+// loops. The flat-pixel layout indexes as f.Pix[y*f.W+x]; when the inner
+// loop walks x, the y*f.W product — and the bounds check it feeds — is
+// recomputed on every iteration. Hoisting a row slice
+// (`row := f.Pix[y*f.W : (y+1)*f.W]`) or a row base (`base := y * f.W`)
+// does the multiply once per row and lets the compiler prove the inner
+// bounds check away. mux.go and the measurement loops in demux.go already
+// follow the idiom; this analyzer keeps new per-pixel code on it.
+//
+// A report fires for an index expression inside a hot innermost loop when:
+//
+//   - the index contains a multiply subexpression that is loop-invariant
+//     (the row term, e.g. y*f.W with x as the loop variable);
+//   - the full index is NOT loop-invariant (so the expression really is
+//     evaluated every iteration with only part of it changing);
+//   - the indexed base is loop-invariant (hoisting a row view is sound).
+//
+// Reports are deduplicated per loop and row term: ten uses of f.Pix[y*w+x]
+// in one loop body are one finding, not ten.
+var BoundsHoistAnalyzer = &Analyzer{
+	Name: "boundshoist",
+	Doc:  "hoist loop-invariant row offsets (x[i*stride+j]) out of hot innermost loops into row slices",
+	Run:  runBoundsHoist,
+}
+
+func runBoundsHoist(pass *Pass) {
+	for _, fn := range collectHotFuncs(pass) {
+		if !fn.hot {
+			continue
+		}
+		for _, loop := range fn.loops {
+			if !loop.innermost() {
+				continue
+			}
+			seen := make(map[string]bool)
+			inspectLoop(loop.body(), func(n ast.Node) {
+				ix, ok := n.(*ast.IndexExpr)
+				if !ok {
+					return
+				}
+				checkIndexExpr(pass, fn, loop, ix, seen)
+			})
+		}
+	}
+}
+
+// checkIndexExpr reports ix when its index mixes a loop-invariant multiply
+// with a loop-variant remainder over an invariant base.
+func checkIndexExpr(pass *Pass, fn *funcLoops, loop *loopNode, ix *ast.IndexExpr, seen map[string]bool) {
+	// Only slice/array/string indexing has bounds checks worth hoisting;
+	// map access and generic instantiation do not apply.
+	if t := pass.Info.Types[ix.X].Type; t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+		default:
+			return
+		}
+	}
+	if loopInvariant(pass.Info, ix.Index, loop) {
+		return // whole index is invariant: nothing varies per iteration
+	}
+	if !loopInvariant(pass.Info, ix.X, loop) {
+		return // base changes too: a hoisted row view would be stale
+	}
+	mul := invariantMul(pass.Info, ix.Index, loop)
+	if mul == nil {
+		return
+	}
+	key := types.ExprString(mul)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	pass.Reportf(ix.Pos(), "index recomputes loop-invariant offset %s every iteration of a hot innermost loop in %s; hoist a row slice or row base before the loop", key, fn.name)
+}
+
+// invariantMul finds a multiply subexpression of e that is invariant with
+// respect to loop (the hoistable row term), or nil.
+func invariantMul(info *types.Info, e ast.Expr, loop *loopNode) *ast.BinaryExpr {
+	var found *ast.BinaryExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.MUL {
+			return true
+		}
+		if loopInvariant(info, be, loop) {
+			found = be
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import "go/ast"
+
+// DeferLoopAnalyzer flags defer statements inside loops. Deferred calls do
+// not run until the function returns, so a defer in a loop accumulates one
+// pending call per iteration — unbounded memory in long loops, and resources
+// (files, locks) held far past their useful life. In the pipeline's per-frame
+// loops that latency is the product, so the check applies module-wide, not
+// just to hot functions.
+//
+// Function literals are their own functions: a defer at the top level of a
+// closure body runs when the closure returns, even when the closure sits
+// inside a loop. That is exactly the worker idiom in internal/parallel
+// (`go func() { defer wg.Done() ... }`), which stays clean.
+var DeferLoopAnalyzer = &Analyzer{
+	Name: "deferloop",
+	Doc:  "forbid defer inside a loop body (deferred calls pile up until the function returns)",
+	Run:  runDeferLoop,
+}
+
+func runDeferLoop(pass *Pass) {
+	for _, fn := range collectHotFuncs(pass) {
+		for _, loop := range fn.loops {
+			inspectLoop(loop.body(), func(n ast.Node) {
+				ds, ok := n.(*ast.DeferStmt)
+				if !ok {
+					return
+				}
+				// Nested loops revisit the same defer; report it only for
+				// the innermost loop that contains it.
+				if ownedByChildLoop(loop, ds) {
+					return
+				}
+				pass.Reportf(ds.Pos(), "defer inside a loop runs only when %s returns; the pending calls pile up one per iteration", fn.name)
+			})
+		}
+	}
+}
+
+// ownedByChildLoop reports whether stmt falls inside one of loop's nested
+// loops (which will report it itself).
+func ownedByChildLoop(loop *loopNode, stmt ast.Stmt) bool {
+	for _, child := range loop.children {
+		if child.stmt.Pos() <= stmt.Pos() && stmt.End() <= child.stmt.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import "go/ast"
+
+// LoopInvariantAnalyzer hoists recomputation out of hot loops: a call to a
+// known-pure geometry/waveform helper (Layout.GOBsX, Shape.Between, …) whose
+// receiver and arguments are loop-invariant returns the same value every
+// iteration, so evaluating it inside the loop is pure waste — and in a for
+// condition it is waste the compiler cannot remove, because it cannot prove
+// the method pure across the call boundary.
+//
+// Inside hot functions (see loops.go) it flags invariant pure calls:
+//
+//   - in the condition or post statement of ANY loop (those re-evaluate on
+//     every iteration regardless of nesting depth — `for gx := 0;
+//     gx < l.GOBsX(); gx++` recomputes the bound each pass even when the
+//     loop has children);
+//   - in the body of innermost loops (outer-loop bodies run once per outer
+//     iteration; the win is smaller and hoisting hurts readability more).
+//
+// The fix is the repo idiom: bind the value once before the loop
+// (`gobsX := l.GOBsX()`).
+var LoopInvariantAnalyzer = &Analyzer{
+	Name: "loopinvariant",
+	Doc:  "hoist calls to known-pure helpers with loop-invariant arguments out of hot loops",
+	Run:  runLoopInvariant,
+}
+
+func runLoopInvariant(pass *Pass) {
+	for _, fn := range collectHotFuncs(pass) {
+		if !fn.hot {
+			continue
+		}
+		for _, loop := range fn.loops {
+			if fs, ok := loop.stmt.(*ast.ForStmt); ok {
+				if fs.Cond != nil {
+					checkInvariantCalls(pass, fn, loop, fs.Cond, "condition")
+				}
+				if fs.Post != nil {
+					checkInvariantCalls(pass, fn, loop, fs.Post, "post statement")
+				}
+			}
+			if loop.innermost() {
+				checkInvariantCalls(pass, fn, loop, loop.body(), "body")
+			}
+		}
+	}
+}
+
+// checkInvariantCalls reports every pure call under n whose receiver and
+// arguments are invariant with respect to loop.
+func checkInvariantCalls(pass *Pass, fn *funcLoops, loop *loopNode, n ast.Node, where string) {
+	inspectLoop(n, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		obj := funcObj(pass.Info, call.Fun)
+		if obj == nil || !isPureHelper(obj) {
+			return
+		}
+		if !loopInvariant(pass.Info, call, loop) {
+			return
+		}
+		pass.Reportf(call.Pos(), "pure call %s with loop-invariant arguments is recomputed every iteration in the loop %s of %s; bind it once before the loop", obj.Name(), where, fn.name)
+	})
+}

@@ -1,0 +1,61 @@
+package analysis
+
+// Tests for the loop-structure layer shared by the perf analyzers: the
+// built-in hot-package list, the //hot directive, and the path-dependent
+// activation the fixture files cannot express on their own (their import
+// path is fixed by the harness).
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIsHotPackagePath(t *testing.T) {
+	cases := []struct {
+		path string
+		hot  bool
+	}{
+		{"inframe/internal/core", true},
+		{"inframe/internal/camera", true},
+		{"inframe/internal/frame", true},
+		{"inframe/internal/waveform", true},
+		{"inframe/internal/hvs", true},
+		{"inframe/internal/parallel", true},
+		{"inframe/internal/display", false},
+		{"inframe/internal/metrics", false},
+		{"inframe/cmd/inframe-bench", false},
+		{"inframe/internal/core/sub", false}, // only the package itself, not children
+		{"hotalloc", false},                  // fixture paths are cold by default
+	}
+	for _, c := range cases {
+		if got := isHotPackagePath(c.path); got != c.hot {
+			t.Errorf("isHotPackagePath(%q) = %v, want %v", c.path, got, c.hot)
+		}
+	}
+}
+
+// TestHotPathActivation pins that hotness follows the import path: the
+// hotalloc fixture's NotHotScratch function (no //hot directive) is clean
+// under the fixture's own path but flagged when the same sources are loaded
+// as a built-in hot package.
+func TestHotPathActivation(t *testing.T) {
+	a := analyzerByName(t, "hotalloc")
+
+	fset, pkg, _ := loadFixture(t, "hotalloc", "inframe/internal/core")
+	var hit bool
+	for _, d := range RunPackage(fset, pkg, []*Analyzer{a}) {
+		if strings.Contains(d.Message, "NotHotScratch") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("NotHotScratch not flagged under a built-in hot package path")
+	}
+
+	fset, pkg, _ = loadFixture(t, "hotalloc", "hotalloc")
+	for _, d := range RunPackage(fset, pkg, []*Analyzer{a}) {
+		if strings.Contains(d.Message, "NotHotScratch") {
+			t.Errorf("NotHotScratch flagged under a cold path: %s", d)
+		}
+	}
+}

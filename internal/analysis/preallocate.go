@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PreallocateAnalyzer catches the growth-by-doubling tax in hot loops:
+// appending inside a loop whose trip count is statically derivable (a range
+// over a slice, or i < n with a loop-invariant bound), into a slice that
+// was created without a capacity hint. Each doubling re-copies the whole
+// backing array — O(n log n) bytes moved where a one-line capacity hint
+// (make([]T, 0, n)) makes it O(n) with exactly one allocation.
+//
+// To stay precise the analyzer only fires when all of the following hold
+// inside a hot function (see loops.go):
+//
+//   - the append statement is a direct child of the loop body (appends
+//     under a condition have a data-dependent count, where a hint may
+//     overshoot wildly);
+//   - the loop's trip count is derivable in scope;
+//   - the destination's creation is visible in the same function and
+//     carries no capacity: `var x []T`, `x := []T{}`, or a 2-argument
+//     make. Appends into fields of a locally built struct whose literal
+//     leaves the field zero are included (the demux FrameDecode.GOBs
+//     pattern); anything whose origin is out of sight is left alone.
+var PreallocateAnalyzer = &Analyzer{
+	Name: "preallocate",
+	Doc:  "require a capacity hint when appending in a hot loop with a derivable trip count",
+	Run:  runPreallocate,
+}
+
+func runPreallocate(pass *Pass) {
+	for _, fn := range collectHotFuncs(pass) {
+		if !fn.hot {
+			continue
+		}
+		for _, loop := range fn.loops {
+			checkLoopAppends(pass, fn.body, loop)
+		}
+	}
+}
+
+func checkLoopAppends(pass *Pass, funcBody *ast.BlockStmt, loop *loopNode) {
+	if !tripCountDerivable(pass, loop) {
+		return
+	}
+	for _, stmt := range loop.body().List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !isBuiltinAppend(pass.Info, id) {
+			continue
+		}
+		target := ast.Unparen(as.Lhs[0])
+		if known, lacksCap := targetLacksCapacity(pass, funcBody, target); known && lacksCap {
+			pass.Reportf(call.Pos(), "append in a loop with a derivable trip count grows without a capacity hint; make the destination with make([]T, 0, n)")
+		}
+	}
+}
+
+// tripCountDerivable reports whether the loop's iteration count is knowable
+// before the first iteration: a range over a slice, array or string, or a
+// for loop whose condition compares the induction variable against a
+// loop-invariant bound.
+func tripCountDerivable(pass *Pass, loop *loopNode) bool {
+	switch s := loop.stmt.(type) {
+	case *ast.RangeStmt:
+		t := pass.Info.Types[s.X].Type
+		if t == nil {
+			return false
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer:
+			return true
+		case *types.Basic:
+			return t.Underlying().(*types.Basic).Info()&types.IsString != 0 ||
+				t.Underlying().(*types.Basic).Info()&types.IsInteger != 0
+		}
+		return false
+	case *ast.ForStmt:
+		cond, ok := s.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		var bound ast.Expr
+		switch cond.Op.String() {
+		case "<", "<=":
+			bound = cond.Y
+		case ">", ">=":
+			bound = cond.X
+		default:
+			return false
+		}
+		return loopInvariant(pass.Info, bound, loop)
+	}
+	return false
+}
+
+// targetLacksCapacity resolves the append destination to its creation in
+// funcBody. known is false when the origin is out of sight (parameter,
+// package variable, value built elsewhere); lacksCap is true when the
+// creation visibly has no capacity hint.
+func targetLacksCapacity(pass *Pass, funcBody *ast.BlockStmt, target ast.Expr) (known, lacksCap bool) {
+	switch t := target.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[t]
+		if obj == nil {
+			obj = pass.Info.Defs[t]
+		}
+		if obj == nil {
+			return false, false
+		}
+		return identCreation(pass, funcBody, obj)
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(t.X).(*ast.Ident)
+		if !ok {
+			return false, false
+		}
+		obj := pass.Info.Uses[base]
+		if obj == nil {
+			return false, false
+		}
+		return fieldCreation(pass, funcBody, obj, t.Sel.Name)
+	}
+	return false, false
+}
+
+// identCreation finds obj's declaration inside funcBody and classifies it.
+func identCreation(pass *Pass, funcBody *ast.BlockStmt, obj types.Object) (known, lacksCap bool) {
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if known {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || pass.Info.Defs[id] != obj {
+					continue
+				}
+				if i < len(n.Rhs) {
+					known, lacksCap = creationLacksCap(pass, n.Rhs[i])
+				}
+				return false
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if pass.Info.Defs[id] != obj {
+					continue
+				}
+				if len(n.Values) == 0 {
+					known, lacksCap = true, true // var x []T: nil slice
+				} else if i < len(n.Values) {
+					known, lacksCap = creationLacksCap(pass, n.Values[i])
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return known, lacksCap
+}
+
+// fieldCreation finds the composite literal that built obj in funcBody and
+// reports whether it leaves the named slice field at its zero value.
+func fieldCreation(pass *Pass, funcBody *ast.BlockStmt, obj types.Object, field string) (known, lacksCap bool) {
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if known {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || pass.Info.Defs[id] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if ue, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = ast.Unparen(ue.X)
+			}
+			lit, ok := rhs.(*ast.CompositeLit)
+			if !ok {
+				return false // built elsewhere: out of sight
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					return false // positional literal: give up
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == field {
+					known, lacksCap = creationLacksCap(pass, kv.Value)
+					return false
+				}
+			}
+			// Field left zero by the literal: a nil slice with no capacity.
+			known, lacksCap = true, true
+			return false
+		}
+		return true
+	})
+	return known, lacksCap
+}
+
+// creationLacksCap classifies a creation expression: a 3-argument make has
+// a capacity hint; a 2-argument make or an empty literal does not; anything
+// else is out of sight.
+func creationLacksCap(pass *Pass, e ast.Expr) (known, lacksCap bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false, false
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+			return true, len(e.Args) < 3
+		}
+		return false, false
+	case *ast.CompositeLit:
+		if _, ok := pass.Info.Types[ast.Expr(e)].Type.Underlying().(*types.Slice); ok {
+			return true, len(e.Elts) == 0
+		}
+		return false, false
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true, true
+		}
+		return false, false
+	}
+	return false, false
+}

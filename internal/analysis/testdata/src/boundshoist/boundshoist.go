@@ -1,0 +1,77 @@
+// Package boundshoist is the fixture for the boundshoist analyzer: flat
+// row-major indexing (pix[y*w+x]) whose row offset is recomputed in a hot
+// innermost loop instead of hoisted into a row slice.
+package boundshoist
+
+// Positives: the y*w row term is invariant across the x loop, the full
+// index varies, and the base is stable — a row slice hoist applies. Two
+// uses of the same row term in one loop are one finding, not two.
+//
+//hot:fixture function, opted in via directive
+func Positives(pix []float32, w, h int) float32 {
+	var s float32
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s += pix[y*w+x]     // want "loop-invariant offset y \* w"
+			s += pix[y*w+x] * 2 // deduplicated: same row term as above
+		}
+	}
+	return s
+}
+
+// Negatives stays clean: the hoisted-row idiom, offsets that vary with the
+// inner loop, bases the loop reassigns, and fully invariant indices.
+//
+//hot:fixture function, opted in via directive
+func Negatives(pix, other []float32, w, h int) float32 {
+	var s float32
+	for y := 0; y < h; y++ {
+		row := pix[y*w : (y+1)*w] // hoisted row: the idiomatic fix
+		for x := 0; x < w; x++ {
+			s += row[x]
+		}
+	}
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			s += pix[y*w+x] // offset varies with the inner loop
+		}
+	}
+	base := pix
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s += base[y*w+x] // base reassigned below: a row view would go stale
+			base = other
+		}
+	}
+	for x := 0; x < w; x++ {
+		s += pix[h*w-1] // fully invariant index: hoist the value, not a row
+	}
+	return s
+}
+
+// Ignored shows the escape hatch.
+//
+//hot:fixture function, opted in via directive
+func Ignored(pix []float32, w, h int) float32 {
+	var s float32
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			//lint:ignore boundshoist fixture demonstrates suppression
+			s += pix[y*w+x]
+		}
+	}
+	return s
+}
+
+// notHot has the positive pattern but no //hot directive: tolerated.
+func notHot(pix []float32, w, h int) float32 {
+	var s float32
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s += pix[y*w+x]
+		}
+	}
+	return s
+}
+
+var _ = notHot

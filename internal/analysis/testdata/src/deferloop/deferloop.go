@@ -1,0 +1,42 @@
+// Package deferloop is the fixture for the deferloop analyzer. Unlike the
+// other perf analyzers it applies module-wide — no //hot directive needed —
+// because piled-up defers are a leak everywhere, not just in the pipeline.
+package deferloop
+
+func trace(i, j int) {}
+
+func done() {}
+
+// Positives: a defer in any loop piles up one pending call per iteration.
+// In the nest, the report belongs to the innermost loop that contains the
+// defer — one finding, not one per nesting level.
+func Positives(closers []func(), n int) {
+	for _, c := range closers {
+		defer c() // want "defer inside a loop"
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			defer trace(i, j) // want "defer inside a loop"
+		}
+	}
+}
+
+// Negatives stays clean: a top-level defer runs once, and a defer at the
+// top of a closure body runs when the closure returns each iteration —
+// the internal/parallel worker idiom.
+func Negatives(closers []func()) {
+	defer done()
+	for _, c := range closers {
+		func() {
+			defer c()
+		}()
+	}
+}
+
+// Ignored shows the escape hatch.
+func Ignored(closers []func()) {
+	for _, c := range closers {
+		//lint:ignore deferloop fixture demonstrates suppression
+		defer c()
+	}
+}

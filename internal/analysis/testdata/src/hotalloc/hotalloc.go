@@ -1,0 +1,82 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: allocations in
+// the innermost loops of hot functions. The package path is not on the
+// built-in hot list, so hotness comes from the //hot directives — which is
+// exactly the opt-in convention the analyzer documents.
+package hotalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// Positives exercises every allocation class the analyzer flags.
+//
+//hot:fixture function, opted in via directive
+func Positives(n int, name string, vals []int) {
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 64) // want "make allocates every iteration"
+		_ = buf
+		q := new(point) // want "new allocates every iteration"
+		_ = q
+		s := []int{1, 2, 3} // want "slice literal allocates every iteration"
+		_ = s
+		m := map[string]int{} // want "map literal allocates every iteration"
+		_ = m
+		p := &point{i, i} // want "composite literal escapes to the heap"
+		_ = p
+		label := name + "!" // want "string concatenation allocates"
+		_ = label
+		fmt.Sprintln(i) // want "fmt.Sprintln allocates and boxes"
+		_ = any(i)      // want "conversion to interface boxes"
+	}
+}
+
+// Negatives stays clean: hoisted scratch, value literals, non-innermost
+// loops, and closure bodies are all sanctioned.
+//
+//hot:fixture function, opted in via directive
+func Negatives(n int, vals []int) int {
+	scratch := make([]int, n+1) // hoisted: allocate once, reuse per iteration
+	sum := 0
+	for i := 0; i < n; i++ {
+		scratch[i%len(scratch)] = i
+		p := point{i, i} // value literal: no heap traffic
+		sum += p.x
+	}
+	for i := 0; i < n; i++ {
+		rows := make([][]int, 0, n) // outer loop of a nest is not innermost
+		for j := 0; j < n; j++ {
+			sum += i * j
+		}
+		_ = rows
+	}
+	for i := 0; i < n; i++ {
+		work := func() []int {
+			return make([]int, 4) // a literal's body is its own function
+		}
+		_ = work
+	}
+	return sum
+}
+
+// Ignored shows the escape hatch for a measured, accepted allocation.
+//
+//hot:fixture function, opted in via directive
+func Ignored(n int) {
+	for i := 0; i < n; i++ {
+		//lint:ignore hotalloc fixture demonstrates suppression
+		b := make([]byte, 8)
+		_ = b
+	}
+}
+
+// NotHotScratch carries no //hot directive and the fixture package is off
+// the hot list, so its loop allocation is tolerated here. Loaded under a
+// hot import path (see TestHotPathActivation) the same code is flagged.
+func NotHotScratch(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		tmp := make([]int, 1)
+		out = append(out, tmp[0])
+	}
+	return out
+}

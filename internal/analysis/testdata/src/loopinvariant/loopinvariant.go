@@ -1,0 +1,71 @@
+// Package loopinvariant is the fixture for the loopinvariant analyzer. The
+// methods mirror the repo's pure-helper names (Layout geometry), which the
+// analyzer matches by name, so the fixture needs no inframe imports.
+package loopinvariant
+
+type layout struct{ w, h int }
+
+func (l layout) GOBsX() int          { return l.w }
+func (l layout) GOBsY() int          { return l.h }
+func (l layout) BlockRect(i int) int { return i * l.w }
+func (l layout) other() int          { return l.w + l.h }
+
+// Positives: pure calls with invariant arguments in loop conditions (outer
+// or inner — conditions re-evaluate every iteration regardless of nesting)
+// and in innermost bodies.
+//
+//hot:fixture function, opted in via directive
+func Positives(l layout, n int) int {
+	s := 0
+	for gy := 0; gy < l.GOBsY(); gy++ { // want "pure call GOBsY"
+		for gx := 0; gx < l.GOBsX(); gx++ { // want "pure call GOBsX"
+			s += gx + gy
+		}
+	}
+	for i := 0; i < n; i++ {
+		s += l.GOBsX() // want "pure call GOBsX"
+	}
+	return s
+}
+
+// Negatives stays clean: hoisted bounds, loop-varying arguments, helpers
+// off the pure list, and receivers the loop itself assigns.
+//
+//hot:fixture function, opted in via directive
+func Negatives(l layout, n int) int {
+	s := 0
+	gobsX := l.GOBsX() // hoisted: the idiomatic fix
+	for gx := 0; gx < gobsX; gx++ {
+		s += l.BlockRect(gx) // argument varies with the loop
+	}
+	for i := 0; i < n; i++ {
+		s += l.other() // not on the pure-helper list
+	}
+	for l2 := (layout{}); l2.w < n; l2.w++ {
+		s += l2.GOBsY() // receiver assigned by the loop
+	}
+	return s
+}
+
+// Ignored shows the escape hatch.
+//
+//hot:fixture function, opted in via directive
+func Ignored(l layout) int {
+	s := 0
+	//lint:ignore loopinvariant fixture demonstrates suppression
+	for gy := 0; gy < l.GOBsY(); gy++ {
+		s += gy
+	}
+	return s
+}
+
+// notHot has the positive pattern but no //hot directive: tolerated.
+func notHot(l layout) int {
+	s := 0
+	for gy := 0; gy < l.GOBsY(); gy++ {
+		s += gy
+	}
+	return s
+}
+
+var _ = notHot

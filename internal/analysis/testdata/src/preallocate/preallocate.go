@@ -1,0 +1,82 @@
+// Package preallocate is the fixture for the preallocate analyzer: append
+// in a loop with a derivable trip count, into a destination created without
+// a capacity hint.
+package preallocate
+
+type result struct {
+	Vals  []int
+	Ready bool
+}
+
+// Positives: every append grows a hintless destination across a loop whose
+// trip count is knowable before the first iteration.
+//
+//hot:fixture function, opted in via directive
+func Positives(n int, xs []int) ([]int, []int, []int) {
+	var grown []int
+	for i := 0; i < n; i++ {
+		grown = append(grown, i) // want "derivable trip count grows without a capacity hint"
+	}
+	ranged := []int{}
+	for _, v := range xs {
+		ranged = append(ranged, v*2) // want "derivable trip count grows without a capacity hint"
+	}
+	r := &result{Ready: true}
+	for i := 0; i < n; i++ {
+		r.Vals = append(r.Vals, i) // want "derivable trip count grows without a capacity hint"
+	}
+	return grown, ranged, r.Vals
+}
+
+// Negatives stays clean: hinted destinations, data-dependent counts,
+// unbounded loops, and out-of-sight creations.
+//
+//hot:fixture function, opted in via directive
+func Negatives(n int, xs []int, sink []int) []int {
+	hinted := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		hinted = append(hinted, i)
+	}
+	var filtered []int
+	for _, v := range xs {
+		if v > 0 { // data-dependent count: a hint would overshoot
+			filtered = append(filtered, v)
+		}
+	}
+	var unbounded []int
+	for {
+		unbounded = append(unbounded, len(unbounded))
+		if len(unbounded) >= n {
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		sink = append(sink, i) // parameter: creation out of sight
+	}
+	hinted = append(hinted, filtered...)
+	hinted = append(hinted, unbounded...)
+	return append(hinted, sink...)
+}
+
+// Ignored shows the escape hatch.
+//
+//hot:fixture function, opted in via directive
+func Ignored(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		//lint:ignore preallocate fixture demonstrates suppression
+		out = append(out, i)
+	}
+	return out
+}
+
+// notHot has the positive pattern but no //hot directive: tolerated.
+func notHot(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+var _ = notHot

@@ -1,0 +1,167 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkBaseline(entries ...Entry) *Baseline {
+	return &Baseline{
+		Schema:     Schema,
+		GoVersion:  "go1.24.0",
+		GoOS:       "linux",
+		GoArch:     "amd64",
+		GoMaxProcs: 1,
+		Scale:      2,
+		Benchmarks: entries,
+	}
+}
+
+// TestCompareTolerance pins the gate math: strictly above base*(1+tol) is a
+// regression, the boundary itself is not, and improvements are labeled.
+func TestCompareTolerance(t *testing.T) {
+	base := mkBaseline(Entry{Name: "EndToEnd/workers=1", Iterations: 2, NsPerOp: 1000})
+	cases := []struct {
+		name   string
+		curNs  int64
+		tol    float64
+		status Status
+	}{
+		{"regression at +50%", 1500, 0.15, StatusRegression},
+		{"ok at +10%", 1100, 0.15, StatusOK},
+		{"ok exactly at the boundary", 1150, 0.15, StatusOK},
+		{"regression just past the boundary", 1151, 0.15, StatusRegression},
+		{"improved at -30%", 700, 0.15, StatusImproved},
+		{"ok at -10%", 900, 0.15, StatusOK},
+		{"zero tolerance flags +1", 1001, 0, StatusRegression},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cur := mkBaseline(Entry{Name: "EndToEnd/workers=1", Iterations: 2, NsPerOp: c.curNs})
+			r := Compare(base, cur, c.tol)
+			if len(r.Rows) != 1 {
+				t.Fatalf("got %d rows, want 1", len(r.Rows))
+			}
+			if r.Rows[0].Status != c.status {
+				t.Errorf("cur=%d tol=%v: status %s, want %s", c.curNs, c.tol, r.Rows[0].Status, c.status)
+			}
+			wantRegs := 0
+			if c.status == StatusRegression {
+				wantRegs = 1
+			}
+			if r.Regressions() != wantRegs {
+				t.Errorf("Regressions() = %d, want %d", r.Regressions(), wantRegs)
+			}
+		})
+	}
+}
+
+// TestCompareMissingAndNew pins that machine-shape differences (a baseline
+// taken on more cores than the current machine, or vice versa) warn instead
+// of failing the gate.
+func TestCompareMissingAndNew(t *testing.T) {
+	base := mkBaseline(
+		Entry{Name: "EndToEnd/workers=1", NsPerOp: 1000},
+		Entry{Name: "EndToEnd/workers=8", NsPerOp: 300},
+	)
+	cur := mkBaseline(
+		Entry{Name: "EndToEnd/workers=1", NsPerOp: 1000},
+		Entry{Name: "DecodeCaptures/workers=1", NsPerOp: 50},
+	)
+	r := Compare(base, cur, 0.15)
+	if r.Regressions() != 0 {
+		t.Fatalf("missing/new entries must not count as regressions, got %d", r.Regressions())
+	}
+	byName := make(map[string]Status, len(r.Rows))
+	for _, row := range r.Rows {
+		byName[row.Name] = row.Status
+	}
+	if byName["EndToEnd/workers=8"] != StatusMissing {
+		t.Errorf("workers=8 status = %s, want missing", byName["EndToEnd/workers=8"])
+	}
+	if byName["DecodeCaptures/workers=1"] != StatusNew {
+		t.Errorf("DecodeCaptures status = %s, want new", byName["DecodeCaptures/workers=1"])
+	}
+	var warned bool
+	for _, w := range r.Warnings {
+		if strings.Contains(w, "workers=8") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("missing benchmark did not produce a warning")
+	}
+}
+
+// TestCompareEnvironmentWarnings pins the environment-mismatch warnings.
+func TestCompareEnvironmentWarnings(t *testing.T) {
+	base := mkBaseline(Entry{Name: "EndToEnd/workers=1", NsPerOp: 1000})
+	cur := mkBaseline(Entry{Name: "EndToEnd/workers=1", NsPerOp: 1000})
+	cur.GoVersion = "go1.25.0"
+	cur.GoMaxProcs = 8
+	cur.Scale = 4
+	r := Compare(base, cur, 0.15)
+	joined := strings.Join(r.Warnings, "\n")
+	for _, want := range []string{"go version", "GOMAXPROCS", "scale"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("warnings missing %q mismatch: %q", want, joined)
+		}
+	}
+}
+
+// TestRoundTrip pins the schema round-trip: Write then Load restores the
+// baseline exactly.
+func TestRoundTrip(t *testing.T) {
+	b := mkBaseline(
+		Entry{Name: "EndToEnd/workers=1", Iterations: 2, NsPerOp: 775382860},
+		Entry{Name: "DecodeCaptures/workers=1", Iterations: 74, NsPerOp: 15323870},
+	)
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := b.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Schema != Schema || got.GoVersion != b.GoVersion || got.Scale != b.Scale {
+		t.Errorf("header mismatch: %+v vs %+v", got, b)
+	}
+	if len(got.Benchmarks) != len(b.Benchmarks) {
+		t.Fatalf("got %d benchmarks, want %d", len(got.Benchmarks), len(b.Benchmarks))
+	}
+	for i, e := range got.Benchmarks {
+		if e != b.Benchmarks[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, e, b.Benchmarks[i])
+		}
+	}
+}
+
+// TestLoadRejectsBadSchema pins the loud-failure contract on both sides of
+// the round-trip.
+func TestLoadRejectsBadSchema(t *testing.T) {
+	bad := mkBaseline(Entry{Name: "EndToEnd/workers=1", NsPerOp: 1})
+	bad.Schema = "inframe-bench-baseline/v0"
+	if err := bad.Write(filepath.Join(t.TempDir(), "refused.json")); err == nil {
+		t.Error("Write accepted a foreign schema")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"inframe-bench-baseline/v0","benchmarks":[{"name":"x","iterations":1,"ns_per_op":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted a foreign schema")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"inframe-bench-baseline/v1","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Error("Load accepted a baseline with no benchmarks")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("Load of a missing file did not fail")
+	}
+}

@@ -1,0 +1,128 @@
+package benchcmp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Status classifies one benchmark's movement between two baselines.
+type Status string
+
+const (
+	// StatusOK: within tolerance of the baseline.
+	StatusOK Status = "ok"
+	// StatusRegression: slower than baseline by more than the tolerance.
+	StatusRegression Status = "regression"
+	// StatusImproved: faster than baseline by more than the tolerance.
+	StatusImproved Status = "improved"
+	// StatusMissing: present in the baseline, absent from the current run
+	// (a warning, not a failure — worker-count entries vary with the
+	// machine's core count).
+	StatusMissing Status = "missing"
+	// StatusNew: absent from the baseline, present in the current run.
+	StatusNew Status = "new"
+)
+
+// Row is one benchmark's comparison.
+type Row struct {
+	Name   string  `json:"name"`
+	BaseNs int64   `json:"base_ns_per_op"`
+	CurNs  int64   `json:"current_ns_per_op"`
+	Delta  float64 `json:"delta"` // fractional change, (cur-base)/base
+	Status Status  `json:"status"`
+}
+
+// Report is the full verdict of a baseline comparison.
+type Report struct {
+	Tolerance float64  `json:"tolerance"`
+	Rows      []Row    `json:"rows"`
+	Warnings  []string `json:"warnings,omitempty"`
+}
+
+// Compare evaluates cur against base with the given fractional tolerance:
+// a benchmark regresses when its ns/op exceeds base*(1+tol) strictly, and
+// counts as improved below base*(1-tol). Rows follow the baseline's order,
+// then any new benchmarks in the current run's order — no map iteration, so
+// the report is deterministic.
+func Compare(base, cur *Baseline, tol float64) *Report {
+	r := &Report{Tolerance: tol}
+	if base.GoVersion != cur.GoVersion {
+		r.Warnings = append(r.Warnings, fmt.Sprintf("go version differs: baseline %s, current %s", base.GoVersion, cur.GoVersion))
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		r.Warnings = append(r.Warnings, fmt.Sprintf("GOMAXPROCS differs: baseline %d, current %d", base.GoMaxProcs, cur.GoMaxProcs))
+	}
+	if base.Scale != cur.Scale {
+		r.Warnings = append(r.Warnings, fmt.Sprintf("geometry scale differs: baseline 1/%d, current 1/%d — deltas are not meaningful", base.Scale, cur.Scale))
+	}
+	curByName := make(map[string]Entry, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		curByName[e.Name] = e
+	}
+	inBase := make(map[string]bool, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		inBase[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			r.Rows = append(r.Rows, Row{Name: b.Name, BaseNs: b.NsPerOp, Status: StatusMissing})
+			r.Warnings = append(r.Warnings, fmt.Sprintf("benchmark %s missing from current run", b.Name))
+			continue
+		}
+		r.Rows = append(r.Rows, compareEntry(b, c, tol))
+	}
+	for _, c := range cur.Benchmarks {
+		if !inBase[c.Name] {
+			r.Rows = append(r.Rows, Row{Name: c.Name, CurNs: c.NsPerOp, Status: StatusNew})
+		}
+	}
+	return r
+}
+
+// compareEntry scores one benchmark present in both baselines.
+func compareEntry(b, c Entry, tol float64) Row {
+	row := Row{Name: b.Name, BaseNs: b.NsPerOp, CurNs: c.NsPerOp, Status: StatusOK}
+	if b.NsPerOp <= 0 {
+		// A degenerate baseline entry cannot anchor a ratio; leave it ok
+		// rather than dividing by zero.
+		return row
+	}
+	base := float64(b.NsPerOp)
+	curNs := float64(c.NsPerOp)
+	row.Delta = (curNs - base) / base
+	switch {
+	case curNs > base*(1+tol):
+		row.Status = StatusRegression
+	case curNs < base*(1-tol):
+		row.Status = StatusImproved
+	}
+	return row
+}
+
+// Regressions counts the rows that exceeded tolerance.
+func (r *Report) Regressions() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.Status == StatusRegression {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText renders the report as an aligned table with warnings below.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "current ns/op", "delta", "status")
+	for _, row := range r.Rows {
+		switch row.Status {
+		case StatusMissing:
+			fmt.Fprintf(w, "%-28s %14d %14s %8s  %s\n", row.Name, row.BaseNs, "-", "-", row.Status)
+		case StatusNew:
+			fmt.Fprintf(w, "%-28s %14s %14d %8s  %s\n", row.Name, "-", row.CurNs, "-", row.Status)
+		default:
+			fmt.Fprintf(w, "%-28s %14d %14d %+7.1f%%  %s\n", row.Name, row.BaseNs, row.CurNs, row.Delta*100, row.Status)
+		}
+	}
+	for _, warn := range r.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+}

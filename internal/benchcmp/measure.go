@@ -1,0 +1,110 @@
+package benchcmp
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"inframe/internal/channel"
+	"inframe/internal/core"
+	"inframe/internal/video"
+)
+
+// pipeline builds the scaled paper pipeline with every stage's worker pool
+// set to w — the same shape benchPipeline gives the BenchmarkEndToEnd /
+// BenchmarkDecodeCaptures tests, so baseline numbers are directly comparable
+// to `go test -bench` output.
+func pipeline(scale, w int) (*core.Multiplexer, channel.Config, *core.Receiver, int, error) {
+	l, err := core.ScaledPaperLayout(scale)
+	if err != nil {
+		return nil, channel.Config{}, nil, 0, err
+	}
+	p := core.DefaultParams(l)
+	p.Workers = w
+	m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), core.NewRandomStream(l, 1))
+	if err != nil {
+		return nil, channel.Config{}, nil, 0, err
+	}
+	cfg := channel.DefaultConfig(1280/scale, 720/scale)
+	cfg.Workers = w
+	cfg.Camera.Workers = w
+	rcfg := core.DefaultReceiverConfig(p, 1280/scale, 720/scale)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rcfg.Workers = w
+	rcv, err := core.NewReceiver(rcfg)
+	if err != nil {
+		return nil, channel.Config{}, nil, 0, err
+	}
+	return m, cfg, rcv, 4 * p.Tau, nil
+}
+
+// Measure benchmarks EndToEnd (render + channel + decode) and DecodeCaptures
+// (receive side only) at workers=1 and, when the machine has more than one
+// core, workers=GOMAXPROCS, and returns the results as a fresh baseline.
+func Measure(scale int) (*Baseline, error) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	base := &Baseline{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	for _, w := range counts {
+		m, cfg, rcv, nDisplay, err := pipeline(scale, w)
+		if err != nil {
+			return nil, err
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := channel.Simulate(m, nDisplay, cfg)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		base.Benchmarks = append(base.Benchmarks, Entry{
+			Name:       fmt.Sprintf("EndToEnd/workers=%d", w),
+			Iterations: r.N,
+			NsPerOp:    r.NsPerOp(),
+		})
+	}
+	// Decode-only: one captured sequence (full pool), then time the decode
+	// at each worker count.
+	m, cfg, _, nDisplay, err := pipeline(scale, 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := channel.Simulate(m, nDisplay, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range counts {
+		_, _, rcv, _, err := pipeline(scale, w)
+		if err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
+			}
+		})
+		base.Benchmarks = append(base.Benchmarks, Entry{
+			Name:       fmt.Sprintf("DecodeCaptures/workers=%d", w),
+			Iterations: r.N,
+			NsPerOp:    r.NsPerOp(),
+		})
+	}
+	return base, nil
+}

@@ -56,8 +56,9 @@ func FromDataBits(l Layout, bits []bool) (*DataFrame, error) {
 	df := NewDataFrame(l)
 	idx := 0
 	per := l.BlocksPerGOB() - 1
-	for gy := 0; gy < l.GOBsY(); gy++ {
-		for gx := 0; gx < l.GOBsX(); gx++ {
+	gobsX, gobsY := l.GOBsX(), l.GOBsY()
+	for gy := 0; gy < gobsY; gy++ {
+		for gx := 0; gx < gobsX; gx++ {
 			group := parity.Encode(bits[idx : idx+per])
 			idx += per
 			for i, blk := range l.GOBBlocks(gx, gy) {
@@ -74,8 +75,9 @@ func (df *DataFrame) DataBits() []bool {
 	l := df.Layout
 	out := make([]bool, 0, l.DataBitsPerFrame())
 	per := l.BlocksPerGOB() - 1
-	for gy := 0; gy < l.GOBsY(); gy++ {
-		for gx := 0; gx < l.GOBsX(); gx++ {
+	gobsX, gobsY := l.GOBsX(), l.GOBsY()
+	for gy := 0; gy < gobsY; gy++ {
+		for gx := 0; gx < gobsX; gx++ {
 			blocks := l.GOBBlocks(gx, gy)
 			for i := 0; i < per; i++ {
 				out = append(out, df.Bit(blocks[i][0], blocks[i][1]))

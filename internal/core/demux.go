@@ -571,8 +571,10 @@ func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, 
 		fd.Bits.Bits[i] = s > threshold
 		fd.Decided[i] = math.Abs(s-threshold) >= blockBand
 	}
-	for gy := 0; gy < l.GOBsY(); gy++ {
-		for gx := 0; gx < l.GOBsX(); gx++ {
+	gobsX, gobsY := l.GOBsX(), l.GOBsY()
+	gobs := make([]GOBResult, 0, gobsX*gobsY)
+	for gy := 0; gy < gobsY; gy++ {
+		for gx := 0; gx < gobsX; gx++ {
 			res := GOBResult{GX: gx, GY: gy, Available: true}
 			for _, blk := range l.GOBBlocks(gx, gy) {
 				if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
@@ -583,9 +585,10 @@ func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, 
 			if res.Available {
 				res.ParityOK = fd.Bits.ParityOK(gx, gy)
 			}
-			fd.GOBs = append(fd.GOBs, res)
+			gobs = append(gobs, res)
 		}
 	}
+	fd.GOBs = gobs
 	return fd
 }
 
@@ -720,11 +723,14 @@ func (r *Receiver) emptyDecode(d int) *FrameDecode {
 		Bits:    NewDataFrame(l),
 		Decided: make([]bool, l.NumBlocks()),
 	}
-	for gy := 0; gy < l.GOBsY(); gy++ {
-		for gx := 0; gx < l.GOBsX(); gx++ {
-			fd.GOBs = append(fd.GOBs, GOBResult{GX: gx, GY: gy})
+	gobsX, gobsY := l.GOBsX(), l.GOBsY()
+	gobs := make([]GOBResult, 0, gobsX*gobsY)
+	for gy := 0; gy < gobsY; gy++ {
+		for gx := 0; gx < gobsX; gx++ {
+			gobs = append(gobs, GOBResult{GX: gx, GY: gy})
 		}
 	}
+	fd.GOBs = gobs
 	return fd
 }
 
@@ -802,8 +808,10 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			fd.Bits.Bits[j] = s > thr
 			fd.Decided[j] = math.Abs(s-thr) >= band
 		}
-		for gy := 0; gy < l.GOBsY(); gy++ {
-			for gx := 0; gx < l.GOBsX(); gx++ {
+		gobsX, gobsY := l.GOBsX(), l.GOBsY()
+		gobs := make([]GOBResult, 0, gobsX*gobsY)
+		for gy := 0; gy < gobsY; gy++ {
+			for gx := 0; gx < gobsX; gx++ {
 				res := GOBResult{GX: gx, GY: gy, Available: true}
 				for _, blk := range l.GOBBlocks(gx, gy) {
 					if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
@@ -814,9 +822,10 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 				if res.Available {
 					res.ParityOK = fd.Bits.ParityOK(gx, gy)
 				}
-				fd.GOBs = append(fd.GOBs, res)
+				gobs = append(gobs, res)
 			}
 		}
+		fd.GOBs = gobs
 		out[d] = fd
 	})
 	return out

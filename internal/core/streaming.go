@@ -82,6 +82,7 @@ func (s *StreamingReceiver) Push(capture *frame.Frame, t, exposure float64) []*F
 	// Emit every frame whose steady window has fully passed.
 	var out []*FrameDecode
 	for float64(s.emitted)*period+period/2 < t {
+		//lint:ignore preallocate the emit window yields 0–1 frames per push; a hint would overshoot
 		out = append(out, s.finalize(s.emitted))
 		s.emitted++
 	}
@@ -154,8 +155,10 @@ func (s *StreamingReceiver) finalize(d int) *FrameDecode {
 		fd.Bits.Bits[j] = sc > thr
 		fd.Decided[j] = math.Abs(sc-thr) >= band
 	}
-	for gy := 0; gy < l.GOBsY(); gy++ {
-		for gx := 0; gx < l.GOBsX(); gx++ {
+	gobsX, gobsY := l.GOBsX(), l.GOBsY()
+	gobs := make([]GOBResult, 0, gobsX*gobsY)
+	for gy := 0; gy < gobsY; gy++ {
+		for gx := 0; gx < gobsX; gx++ {
 			res := GOBResult{GX: gx, GY: gy, Available: true}
 			for _, blk := range l.GOBBlocks(gx, gy) {
 				if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
@@ -166,9 +169,10 @@ func (s *StreamingReceiver) finalize(d int) *FrameDecode {
 			if res.Available {
 				res.ParityOK = fd.Bits.ParityOK(gx, gy)
 			}
-			fd.GOBs = append(fd.GOBs, res)
+			gobs = append(gobs, res)
 		}
 	}
+	fd.GOBs = gobs
 	// Garbage-collect aggregates older than any future window.
 	delete(s.agg, d-s.window)
 	return fd

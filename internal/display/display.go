@@ -223,6 +223,8 @@ func (d *Display) extendState() {
 // over the time window [t0, t1) and stores it into dst (length ≥ panel
 // width). Windows extending before 0 or past the last frame see the first /
 // last frame held steady.
+//
+//hot:the camera synthesizes every captured row through this path
 func (d *Display) RowAverage(y int, t0, t1 float64, dst []float32) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()

@@ -197,18 +197,25 @@ func (f *Frame) Region(x0, y0, w, h int) *Frame {
 
 // Blit copies src into f with its origin at (x0, y0), clipping to f's bounds.
 func (f *Frame) Blit(src *Frame, x0, y0 int) {
+	// Clip the horizontal span once; each row is then a single copy.
+	xlo, xhi := 0, src.W
+	if x0 < 0 {
+		xlo = -x0
+	}
+	if x0+xhi > f.W {
+		xhi = f.W - x0
+	}
+	if xlo >= xhi {
+		return
+	}
 	for y := 0; y < src.H; y++ {
 		dy := y0 + y
 		if dy < 0 || dy >= f.H {
 			continue
 		}
-		for x := 0; x < src.W; x++ {
-			dx := x0 + x
-			if dx < 0 || dx >= f.W {
-				continue
-			}
-			f.Pix[dy*f.W+dx] = src.Pix[y*src.W+x]
-		}
+		dst := f.Pix[dy*f.W : (dy+1)*f.W]
+		srow := src.Pix[y*src.W : (y+1)*src.W]
+		copy(dst[x0+xlo:x0+xhi], srow[xlo:xhi])
 	}
 }
 

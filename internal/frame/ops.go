@@ -97,13 +97,14 @@ func areaResample(f *Frame, w, h int) *Frame {
 				if fy <= 0 {
 					continue
 				}
+				row := f.Pix[iy*f.W : (iy+1)*f.W]
 				for ix := int(x0); ix < int(math.Ceil(x1)) && ix < f.W; ix++ {
 					fx := overlap(float64(ix), float64(ix+1), x0, x1)
 					if fx <= 0 {
 						continue
 					}
 					wgt := fx * fy
-					sum += wgt * float64(f.Pix[iy*f.W+ix])
+					sum += wgt * float64(row[ix])
 					area += wgt
 				}
 			}
@@ -133,18 +134,21 @@ func bilinearResample(f *Frame, w, h int) *Frame {
 		y0 := int(fy)
 		y1 := min(y0+1, f.H-1)
 		wy := float32(fy - float64(y0))
+		row0 := f.Pix[y0*f.W : (y0+1)*f.W]
+		row1 := f.Pix[y1*f.W : (y1+1)*f.W]
+		orow := out.Pix[oy*w : (oy+1)*w]
 		for ox := 0; ox < w; ox++ {
 			fx := float64(ox) * sx
 			x0 := int(fx)
 			x1 := min(x0+1, f.W-1)
 			wx := float32(fx - float64(x0))
-			v00 := f.Pix[y0*f.W+x0]
-			v01 := f.Pix[y0*f.W+x1]
-			v10 := f.Pix[y1*f.W+x0]
-			v11 := f.Pix[y1*f.W+x1]
+			v00 := row0[x0]
+			v01 := row0[x1]
+			v10 := row1[x0]
+			v11 := row1[x1]
 			top := v00 + (v01-v00)*wx
 			bot := v10 + (v11-v10)*wx
-			out.Pix[oy*w+ox] = top + (bot-top)*wy
+			orow[ox] = top + (bot-top)*wy
 		}
 	}
 	return out

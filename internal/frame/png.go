@@ -13,8 +13,10 @@ import (
 func ToImage(f *Frame) *image.Gray {
 	img := image.NewGray(image.Rect(0, 0, f.W, f.H))
 	for y := 0; y < f.H; y++ {
-		for x := 0; x < f.W; x++ {
-			img.SetGray(x, y, color.Gray{Y: Quant8(f.Pix[y*f.W+x])})
+		row := f.Pix[y*f.W : (y+1)*f.W]
+		out := img.Pix[y*img.Stride : y*img.Stride+f.W]
+		for x, v := range row {
+			out[x] = Quant8(v)
 		}
 	}
 	return img

@@ -3,15 +3,19 @@
 # this before it lands: static checks (gofmt, go vet, and the repo's own
 # inframe-lint invariant suite), a full build, the complete test suite
 # under the race detector (the worker pools in internal/parallel make data
-# races a correctness class, not a theoretical one), and one iteration of the
-# sequential-vs-parallel benchmarks as a smoke test.
+# races a correctness class, not a theoretical one), one iteration of the
+# sequential-vs-parallel benchmarks as a smoke test, and the
+# inframe-benchdiff regression gate against the committed BENCH_*.json
+# baseline (+15% ns/op tolerance).
 #
 # Usage: ./verify.sh [-short]
 #   -short  gate the race run on `go test -short` (skips the long
-#           full-pipeline experiment suites; use for quick iteration).
+#           full-pipeline experiment suites) and skip the benchmark smoke
+#           and benchdiff stages entirely; use for quick iteration.
 #
 # Each stage prints its wall-clock time on completion so slow stages are
-# visible; a summary repeats all of them at the end.
+# visible; a summary repeats all of them — including skipped stages — at
+# the end.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,6 +38,13 @@ stage() {
 	echo "-- $name: ${dt}s"
 }
 
+# skip <name> — record a stage the current mode does not run.
+skip() {
+	local name="$1"
+	echo "== $name (skipped: -short) =="
+	timings+=("$(printf '%5s  %s (skipped)' '-' "$name")")
+}
+
 check_gofmt() {
 	local unformatted
 	unformatted=$(gofmt -l .)
@@ -53,12 +64,22 @@ run_bench_smoke() {
 	go test -run '^$' -bench 'EndToEnd|DecodeCaptures' -benchtime=1x .
 }
 
+run_benchdiff() {
+	go run ./cmd/inframe-benchdiff -tolerance 0.15
+}
+
 stage "gofmt" check_gofmt
 stage "go vet ./..." go vet ./...
 stage "go build ./..." go build ./...
 stage "inframe-lint ./..." go run ./cmd/inframe-lint ./...
 stage "go test -race $short ./..." run_tests
-stage "benchmarks (1 iteration smoke)" run_bench_smoke
+if [[ -n "$short" ]]; then
+	skip "benchmarks (1 iteration smoke)"
+	skip "inframe-benchdiff"
+else
+	stage "benchmarks (1 iteration smoke)" run_bench_smoke
+	stage "inframe-benchdiff" run_benchdiff
+fi
 
 echo "== stage timings =="
 for t in "${timings[@]}"; do
