@@ -1,0 +1,165 @@
+package inframe
+
+import (
+	"runtime"
+	"testing"
+
+	"inframe/internal/frame"
+)
+
+// Steady-state allocation tests: the frame.Pool refactor's contract is that
+// once the pipeline has warmed up, no stage allocates another frame buffer —
+// every Get is a pool hit. The pool's Misses counter measures exactly that
+// (a miss is the only place a pooled frame buffer is ever allocated), so
+// these tests warm the pipeline, snapshot the counter, keep running and
+// demand it stays frozen. testing.AllocsPerRun bounds the residual scalar
+// traffic of the render loop, with a byte bound far below one frame buffer
+// so a single leaked frame (~2 MB at half scale) cannot hide in the slack.
+
+// allocPipeline builds the half-scale paper pipeline with one shared pool
+// and Workers=1 (the deterministic sequential path), returning a closure
+// that runs one full simulate+decode+recycle cycle.
+func allocPipeline(t *testing.T, pool *FramePool) func() {
+	t.Helper()
+	l, err := ScaledPaperLayout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(l)
+	p.Workers = 1
+	p.Pool = pool
+	m, err := NewMultiplexer(p, GrayVideo(l.FrameW, l.FrameH), NewRandomStream(l, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDisplay := 2 * p.Tau
+	cfg := DefaultChannelConfig(640, 360)
+	cfg.Workers = 1
+	cfg.Pool = pool
+	cfg.Camera.Workers = 1
+	cfg.Camera.BlurRadius = 1
+	rcfg := DefaultReceiverConfig(p, 640, 360)
+	rcfg.Exposure = cfg.Camera.Exposure
+	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
+	rcfg.Workers = 1
+	rcfg.Pool = pool
+	rx, err := NewReceiver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		res, err := Simulate(m, nDisplay, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/p.Tau)
+		res.Recycle(pool)
+	}
+}
+
+// TestSteadyStateFrameBufferAllocs proves the tentpole claim end to end:
+// after two warmup cycles through render → display → capture → decode →
+// recycle, further cycles allocate zero frame buffers — the pool serves
+// every Get from its free list.
+func TestSteadyStateFrameBufferAllocs(t *testing.T) {
+	pool := NewFramePool()
+	run := allocPipeline(t, pool)
+	run()
+	run()
+	warm := pool.Stats()
+	if warm.Hits == 0 {
+		t.Fatalf("pool not exercised during warmup: %+v", warm)
+	}
+	const cycles = 3
+	for i := 0; i < cycles; i++ {
+		run()
+	}
+	steady := pool.Stats()
+	if steady.Misses != warm.Misses {
+		t.Errorf("steady state allocated %d frame buffers over %d cycles (pool misses %d -> %d); the pipeline leaked buffers instead of recycling them",
+			steady.Misses-warm.Misses, cycles, warm.Misses, steady.Misses)
+	}
+	if steady.Gets <= warm.Gets {
+		t.Fatalf("steady-state cycles performed no pool Gets: %+v -> %+v", warm, steady)
+	}
+}
+
+// TestMultiplexerRenderAllocs bounds the render loop itself: one Frame +
+// Recycle cycle must stay within a few scalar allocations (parallel fan-out
+// closures) and well under a frame buffer's worth of bytes.
+func TestMultiplexerRenderAllocs(t *testing.T) {
+	l, err := ScaledPaperLayout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(l)
+	p.Workers = 1
+	pool := NewFramePool()
+	p.Pool = pool
+	m, err := NewMultiplexer(p, GrayVideo(l.FrameW, l.FrameH), NewRandomStream(l, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := 2 * p.Tau
+	// Warm one full data cycle so the stream cache and the pool free list
+	// are populated before anything is measured.
+	for k := 0; k < cycle; k++ {
+		m.Recycle(m.Frame(k))
+	}
+	k := 0
+	step := func() {
+		m.Recycle(m.Frame(k))
+		k = (k + 1) % cycle
+	}
+	const runs = 24
+	allocs := testing.AllocsPerRun(runs, step)
+	if allocs > 8 {
+		t.Errorf("steady-state render performs %.0f allocs per frame, want <= 8", allocs)
+	}
+	if misses := pool.Stats().Misses; misses > 2 {
+		t.Errorf("render loop missed the pool %d times, want the warm vbuf+out pair only", misses)
+	}
+	// Byte bound: the residual allocations must be scalar-sized, not a
+	// hidden frame buffer (~2 MB at this scale).
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		step()
+	}
+	runtime.ReadMemStats(&after)
+	frameBytes := uint64(l.FrameW * l.FrameH * 4)
+	if perRun := (after.TotalAlloc - before.TotalAlloc) / runs; perRun > frameBytes/16 {
+		t.Errorf("steady-state render allocates %d B per frame, want < %d (a leaked frame buffer is %d B)",
+			perRun, frameBytes/16, frameBytes)
+	}
+}
+
+// TestReceiverMeasureAllocs pins the receive side's scratch reuse: capture
+// measurement borrows its smoothing buffers from the pool, so repeated
+// measurement of the same capture must stop missing after the first call.
+func TestReceiverMeasureAllocs(t *testing.T) {
+	l, err := ScaledPaperLayout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(l)
+	pool := NewFramePool()
+	rcfg := DefaultReceiverConfig(p, 640, 360)
+	rcfg.Workers = 1
+	rcfg.Pool = pool
+	rx, err := NewReceiver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capFrame := frame.NewFilled(640, 360, 127)
+	rx.MeasureCapture(capFrame)
+	warm := pool.Stats()
+	for i := 0; i < 5; i++ {
+		rx.MeasureCapture(capFrame)
+	}
+	steady := pool.Stats()
+	if steady.Misses != warm.Misses {
+		t.Errorf("repeated MeasureCapture allocated %d frame buffers, want 0 (misses %d -> %d)",
+			steady.Misses-warm.Misses, warm.Misses, steady.Misses)
+	}
+}

@@ -217,37 +217,46 @@ func benchWorkerCounts() []int {
 }
 
 // benchPipeline builds the half-scale paper pipeline (960×540 display,
-// 640×360 capture) with every stage's worker pool set to w.
-func benchPipeline(b *testing.B, w int) (*core.Multiplexer, channel.Config, *core.Receiver, int) {
+// 640×360 capture) with every stage's worker pool set to w and one shared
+// frame pool threaded through every stage — the steady-state configuration
+// the allocs/op gate pins.
+func benchPipeline(b *testing.B, w int) (*core.Multiplexer, channel.Config, *core.Receiver, int, *frame.Pool) {
 	b.Helper()
 	l := benchLayout()
+	pool := frame.NewPool()
 	p := core.DefaultParams(l)
 	p.Workers = w
+	p.Pool = pool
 	m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), core.NewRandomStream(l, 1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := channel.DefaultConfig(640, 360)
 	cfg.Workers = w
+	cfg.Pool = pool
 	cfg.Camera.Workers = w
 	rcfg := core.DefaultReceiverConfig(p, 640, 360)
 	rcfg.Exposure = cfg.Camera.Exposure
 	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
 	rcfg.Workers = w
+	rcfg.Pool = pool
 	rcv, err := core.NewReceiver(rcfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return m, cfg, rcv, 4 * p.Tau
+	return m, cfg, rcv, 4 * p.Tau, pool
 }
 
 // BenchmarkEndToEnd measures render + channel simulation + decode at the
 // half-scale paper geometry, once sequentially (workers=1) and once with the
-// full worker pool — the ratio is the pipeline's parallel speedup.
+// full worker pool — the ratio is the pipeline's parallel speedup. Captures
+// are recycled after each decode, so after the first iteration the loop
+// allocates no frame buffers (allocs/op tracks everything else).
 func BenchmarkEndToEnd(b *testing.B) {
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			m, cfg, rcv, nDisplay := benchPipeline(b, w)
+			m, cfg, rcv, nDisplay, pool := benchPipeline(b, w)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := channel.Simulate(m, nDisplay, cfg)
@@ -255,7 +264,11 @@ func BenchmarkEndToEnd(b *testing.B) {
 					b.Fatal(err)
 				}
 				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
+				res.Recycle(pool)
 			}
+			b.StopTimer()
+			s := pool.Stats()
+			b.ReportMetric(float64(s.Misses), "pool-misses")
 		})
 	}
 }
@@ -263,14 +276,15 @@ func BenchmarkEndToEnd(b *testing.B) {
 // BenchmarkDecodeCaptures isolates the receive side: per-capture energy
 // measurement plus the adaptive per-Block decode, sequential vs parallel.
 func BenchmarkDecodeCaptures(b *testing.B) {
-	m, cfg, _, nDisplay := benchPipeline(b, 0)
+	m, cfg, _, nDisplay, _ := benchPipeline(b, 0)
 	res, err := channel.Simulate(m, nDisplay, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			_, _, rcv, _ := benchPipeline(b, w)
+			_, _, rcv, _, _ := benchPipeline(b, w)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)

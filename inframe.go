@@ -62,6 +62,14 @@ type (
 	FrameDecode = core.FrameDecode
 	// Frame is a grayscale image plane (float32 luminance, 0..255).
 	Frame = frame.Frame
+	// FramePool is a deterministic free list of frame buffers. Set it on
+	// Params.Pool / CameraConfig.Pool / ReceiverConfig.Pool /
+	// ChannelConfig.Pool (one shared pool end to end) for an
+	// allocation-free steady-state pipeline; leave those nil for private
+	// per-stage pools with unchanged semantics.
+	FramePool = frame.Pool
+	// FramePoolStats is the pool's traffic counters snapshot.
+	FramePoolStats = frame.PoolStats
 	// VideoSource yields primary-channel content frames.
 	VideoSource = video.Source
 	// DisplayConfig models the monitor (refresh, gamma, response).
@@ -100,6 +108,8 @@ var (
 	DefaultParams = core.DefaultParams
 	// NewMultiplexer builds the transmitter.
 	NewMultiplexer = core.NewMultiplexer
+	// NewFramePool builds an empty frame pool (see FramePool).
+	NewFramePool = frame.NewPool
 	// NewReceiver builds the receiver.
 	NewReceiver = core.NewReceiver
 	// DefaultReceiverConfig matches a receiver to transmitter parameters.

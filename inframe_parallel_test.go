@@ -121,7 +121,9 @@ func TestLinkParityRejectsImpossibleLayout(t *testing.T) {
 // runPipeline is the differential-test harness: render, simulate and decode
 // the paper pipeline (half-scale paper geometry, 640×360 capture) with every
 // stage's worker pool set to w, returning the captures and decoded frames.
-func runPipeline(t *testing.T, workers int, noise float64) (*ChannelResult, []*FrameDecode) {
+// A non-nil pool is shared by every stage, exercising the recycled-buffer
+// paths; nil leaves each stage on its private pool.
+func runPipeline(t *testing.T, workers int, noise float64, pool *FramePool) (*ChannelResult, []*FrameDecode) {
 	t.Helper()
 	l, err := ScaledPaperLayout(2)
 	if err != nil {
@@ -129,6 +131,7 @@ func runPipeline(t *testing.T, workers int, noise float64) (*ChannelResult, []*F
 	}
 	p := DefaultParams(l)
 	p.Workers = workers
+	p.Pool = pool
 	m, err := NewMultiplexer(p, GrayVideo(l.FrameW, l.FrameH), NewRandomStream(l, 3))
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +139,7 @@ func runPipeline(t *testing.T, workers int, noise float64) (*ChannelResult, []*F
 	const nDisplay = 60
 	cfg := DefaultChannelConfig(640, 360)
 	cfg.Workers = workers
+	cfg.Pool = pool
 	cfg.Camera.Workers = workers
 	cfg.Camera.NoiseSigma = noise
 	cfg.Camera.Seed = 7
@@ -148,6 +152,7 @@ func runPipeline(t *testing.T, workers int, noise float64) (*ChannelResult, []*F
 	rcfg.Exposure = cfg.Camera.Exposure
 	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
 	rcfg.Workers = workers
+	rcfg.Pool = pool
 	rx, err := NewReceiver(rcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -161,9 +166,9 @@ func runPipeline(t *testing.T, workers int, noise float64) (*ChannelResult, []*F
 // both on a quiet channel and with seeded sensor noise.
 func TestWorkerCountInvariance(t *testing.T) {
 	for _, noise := range []float64{0, 2.5} {
-		wantRes, wantDec := runPipeline(t, 1, noise)
+		wantRes, wantDec := runPipeline(t, 1, noise, nil)
 		for _, w := range []int{2, 8} {
-			res, dec := runPipeline(t, w, noise)
+			res, dec := runPipeline(t, w, noise, nil)
 			if len(res.Captures) != len(wantRes.Captures) {
 				t.Fatalf("noise=%v workers=%d: %d captures, want %d",
 					noise, w, len(res.Captures), len(wantRes.Captures))
@@ -180,6 +185,35 @@ func TestWorkerCountInvariance(t *testing.T) {
 			if !reflect.DeepEqual(dec, wantDec) {
 				t.Fatalf("noise=%v workers=%d: decoded frames diverge", noise, w)
 			}
+		}
+	}
+}
+
+// TestWorkerCountInvariancePooled is the memory-model differential test: a
+// shared FramePool threaded through every stage (transmitter, channel,
+// camera, receiver) must leave the pipeline bit-identical to the unpooled
+// run at every worker count. The pool's Get zeroes recycled buffers, so any
+// divergence here means a stage leaked state through a recycled frame.
+func TestWorkerCountInvariancePooled(t *testing.T) {
+	const noise = 2.5
+	wantRes, wantDec := runPipeline(t, 1, noise, nil)
+	for _, w := range []int{1, 2, 8} {
+		pool := NewFramePool()
+		res, dec := runPipeline(t, w, noise, pool)
+		if len(res.Captures) != len(wantRes.Captures) {
+			t.Fatalf("workers=%d: %d captures, want %d", w, len(res.Captures), len(wantRes.Captures))
+		}
+		for i, c := range res.Captures {
+			want := wantRes.Captures[i]
+			if c.W != want.W || c.H != want.H || !reflect.DeepEqual(c.Pix, want.Pix) {
+				t.Fatalf("workers=%d: pooled capture %d not bit-identical to unpooled", w, i)
+			}
+		}
+		if !reflect.DeepEqual(dec, wantDec) {
+			t.Fatalf("workers=%d: pooled decode diverges from unpooled", w)
+		}
+		if s := pool.Stats(); s.Gets == 0 || s.Hits == 0 {
+			t.Fatalf("workers=%d: pool was not exercised: %+v", w, s)
 		}
 	}
 }

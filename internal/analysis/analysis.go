@@ -85,6 +85,7 @@ func DefaultAnalyzers() []*Analyzer {
 		DeferLoopAnalyzer,
 		DetRandAnalyzer,
 		FloatEqAnalyzer,
+		FrameAllocAnalyzer,
 		GoroutineAnalyzer,
 		HotAllocAnalyzer,
 		LoopInvariantAnalyzer,

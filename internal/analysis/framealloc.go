@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrameAllocAnalyzer keeps whole-frame allocations out of the pipeline's
+// innermost hot loops. A Frame buffer is the unit of cost in this codebase
+// (~2 MB at the paper's 1080p panel): one frame.New or Clone per iteration
+// of a render or decode loop dwarfs every scalar allocation hotalloc
+// catches, and is exactly what the frame.Pool exists to eliminate.
+//
+// Inside the innermost loops of hot functions (see loops.go for hotness)
+// it flags calls to the frame-allocating constructors and methods — any
+// callee named New, NewFilled, Clone, BoxBlur, Resample, Region,
+// Complement, Average or Luma whose result includes a *Frame. Calls routed
+// through a pool (a Get method on a type named Pool) are the sanctioned
+// replacement and stay allowed, as do the Into variants, which write into a
+// caller-owned buffer and allocate nothing.
+//
+// The fix is the repo's ownership idiom (DESIGN.md §5e): Get the buffer
+// from the stage's pool before the loop — or once per iteration with a
+// matching Put — and use the Into variant of the op.
+var FrameAllocAnalyzer = &Analyzer{
+	Name: "framealloc",
+	Doc:  "forbid frame-buffer allocations (frame.New/Clone/BoxBlur/...) in innermost loops of hot functions; use a frame.Pool and Into variants",
+	Run:  runFrameAlloc,
+}
+
+// frameAllocators is the deny-list of callee names that hand back a freshly
+// allocated Frame. Matching is by name plus a *Frame result so the fixture
+// (which cannot import internal/frame) and the real package are both
+// covered; Pool.Get is deliberately absent — it is the sanctioned path.
+var frameAllocators = map[string]bool{
+	"New":        true,
+	"NewFilled":  true,
+	"Clone":      true,
+	"BoxBlur":    true,
+	"Resample":   true,
+	"Region":     true,
+	"Complement": true,
+	"Average":    true,
+	"Luma":       true,
+}
+
+func runFrameAlloc(pass *Pass) {
+	for _, fn := range collectHotFuncs(pass) {
+		if !fn.hot {
+			continue
+		}
+		for _, loop := range fn.loops {
+			if !loop.innermost() {
+				continue
+			}
+			inspectLoop(loop.body(), func(n ast.Node) {
+				checkFrameAllocNode(pass, fn, n)
+			})
+		}
+	}
+}
+
+func checkFrameAllocNode(pass *Pass, fn *funcLoops, n ast.Node) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	obj := funcObj(pass.Info, call.Fun)
+	if obj == nil || !frameAllocators[obj.Name()] {
+		return
+	}
+	if !returnsFramePtr(obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s allocates a frame buffer every iteration of a hot innermost loop in %s; Get from a frame.Pool and use the Into variant", obj.Name(), fn.name)
+}
+
+// returnsFramePtr reports whether any result of the function is a pointer
+// to a named type called Frame.
+func returnsFramePtr(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		ptr, ok := res.At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if ok && named.Obj().Name() == "Frame" {
+			return true
+		}
+	}
+	return false
+}

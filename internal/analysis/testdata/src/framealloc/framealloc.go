@@ -1,0 +1,104 @@
+// Package framealloc is the fixture for the framealloc analyzer: whole-frame
+// allocations in the innermost loops of hot functions. The local Frame and
+// Pool types stand in for internal/frame, which fixtures cannot import —
+// the analyzer matches by callee name plus a *Frame result, so these
+// stand-ins exercise exactly the production code paths.
+package framealloc
+
+type Frame struct {
+	W, H int
+	Pix  []float32
+}
+
+func New(w, h int) *Frame { return &Frame{W: w, H: h, Pix: make([]float32, w*h)} }
+
+func (f *Frame) Clone() *Frame {
+	g := New(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+func (f *Frame) CloneInto(dst *Frame) { copy(dst.Pix, f.Pix) }
+
+func BoxBlur(f *Frame, r int) *Frame { return f.Clone() }
+
+func Average(fs ...*Frame) (*Frame, error) { return fs[0].Clone(), nil }
+
+// Pool mimics frame.Pool: Get is the sanctioned allocation path.
+type Pool struct{ free []*Frame }
+
+func (p *Pool) Get(w, h int) *Frame {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
+	}
+	return New(w, h)
+}
+
+func (p *Pool) Put(f *Frame) { p.free = append(p.free, f) }
+
+// Clone here shares a deny-listed name but returns no *Frame, so the
+// analyzer must leave it alone even in a hot innermost loop.
+type samples struct{ v []float32 }
+
+func (s *samples) Clone() []float32 {
+	out := make([]float32, len(s.v))
+	copy(out, s.v)
+	return out
+}
+
+// Positives exercises every allocator class the analyzer flags.
+//
+//hot:fixture function, opted in via directive
+func Positives(n int, src *Frame) float32 {
+	var sum float32
+	for i := 0; i < n; i++ {
+		f := New(src.W, src.H) // want "New allocates a frame buffer every iteration"
+		g := src.Clone()       // want "Clone allocates a frame buffer every iteration"
+		b := BoxBlur(src, 2)   // want "BoxBlur allocates a frame buffer every iteration"
+		a, _ := Average(src)   // want "Average allocates a frame buffer every iteration"
+		sum += f.Pix[0] + g.Pix[0] + b.Pix[0] + a.Pix[0]
+	}
+	return sum
+}
+
+// Negatives stays clean: pooled Gets, Into variants, hoisted allocations,
+// non-innermost loops, non-Frame results and suppressed lines are all
+// sanctioned.
+//
+//hot:fixture function, opted in via directive
+func Negatives(n int, src *Frame, p *Pool, s *samples) float32 {
+	hoisted := New(src.W, src.H) // allocate once, reuse per iteration
+	var sum float32
+	for i := 0; i < n; i++ {
+		f := p.Get(src.W, src.H) // pool-routed: the sanctioned path
+		src.CloneInto(f)         // Into variant writes a caller-owned buffer
+		sum += f.Pix[0] + hoisted.Pix[0]
+		p.Put(f)
+		v := s.Clone() // same name, no *Frame result
+		sum += v[0]
+	}
+	for i := 0; i < n; i++ {
+		outer := src.Clone() // outer loop of a nest is not innermost
+		for j := 0; j < n; j++ {
+			sum += outer.Pix[j%len(outer.Pix)]
+		}
+	}
+	for i := 0; i < n; i++ {
+		//lint:ignore framealloc fixture demonstrates measured, justified suppression
+		g := src.Clone()
+		sum += g.Pix[0]
+	}
+	return sum
+}
+
+// Cold allocates freely: the function is neither on the hot path list nor
+// opted in, so the analyzer never looks inside.
+func Cold(n int, src *Frame) float32 {
+	var sum float32
+	for i := 0; i < n; i++ {
+		sum += src.Clone().Pix[0]
+	}
+	return sum
+}

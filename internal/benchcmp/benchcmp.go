@@ -13,11 +13,13 @@ import (
 
 // Schema identifies the baseline file format. Readers reject anything else
 // so a stale or foreign JSON file fails loudly instead of comparing apples
-// to nonsense.
-const Schema = "inframe-bench-baseline/v1"
+// to nonsense. v2 added allocs_per_op and bytes_per_op so the gate catches
+// allocation regressions (a pooled pipeline that starts allocating frames
+// again) even when ns/op happens to stay inside tolerance.
+const Schema = "inframe-bench-baseline/v2"
 
 // Baseline is one measured seed point: the environment it was taken in and
-// the ns/op of each pipeline stage benchmark.
+// the ns/op and allocs/op of each pipeline stage benchmark.
 type Baseline struct {
 	Schema     string  `json:"schema"`
 	GoVersion  string  `json:"go_version"`
@@ -30,9 +32,11 @@ type Baseline struct {
 
 // Entry is one benchmark result.
 type Entry struct {
-	Name       string `json:"name"`
-	Iterations int    `json:"iterations"`
-	NsPerOp    int64  `json:"ns_per_op"`
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
 }
 
 // Load reads and validates a baseline file.

@@ -58,6 +58,36 @@ func TestCompareTolerance(t *testing.T) {
 	}
 }
 
+// TestCompareAllocGate pins the v2 alloc gating: allocs/op regress only when
+// the count exceeds both the fractional tolerance and the absolute slack,
+// and an alloc regression overrides a clean (or even improved) time verdict.
+func TestCompareAllocGate(t *testing.T) {
+	cases := []struct {
+		name                  string
+		baseAllocs, curAllocs int64
+		curNs                 int64
+		status                Status
+	}{
+		{"steady zero-alloc stays ok", 0, 0, 1000, StatusOK},
+		{"slack absorbs harness jitter", 0, 2, 1000, StatusOK},
+		{"zero baseline catches a real leak", 0, 3, 1000, StatusRegression},
+		{"within fractional tolerance", 100, 110, 1000, StatusOK},
+		{"alloc jump past tolerance", 100, 120, 1000, StatusRegression},
+		{"alloc regression overrides faster time", 100, 200, 500, StatusRegression},
+		{"fewer allocs alone is not improved", 100, 10, 1000, StatusOK},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base := mkBaseline(Entry{Name: "EndToEnd/workers=1", NsPerOp: 1000, AllocsPerOp: c.baseAllocs})
+			cur := mkBaseline(Entry{Name: "EndToEnd/workers=1", NsPerOp: c.curNs, AllocsPerOp: c.curAllocs})
+			r := Compare(base, cur, 0.15)
+			if got := r.Rows[0].Status; got != c.status {
+				t.Errorf("allocs %d->%d ns %d: status %s, want %s", c.baseAllocs, c.curAllocs, c.curNs, got, c.status)
+			}
+		})
+	}
+}
+
 // TestCompareMissingAndNew pins that machine-shape differences (a baseline
 // taken on more cores than the current machine, or vice versa) warn instead
 // of failing the gate.
@@ -115,8 +145,8 @@ func TestCompareEnvironmentWarnings(t *testing.T) {
 // baseline exactly.
 func TestRoundTrip(t *testing.T) {
 	b := mkBaseline(
-		Entry{Name: "EndToEnd/workers=1", Iterations: 2, NsPerOp: 775382860},
-		Entry{Name: "DecodeCaptures/workers=1", Iterations: 74, NsPerOp: 15323870},
+		Entry{Name: "EndToEnd/workers=1", Iterations: 2, NsPerOp: 775382860, AllocsPerOp: 412, BytesPerOp: 1 << 20},
+		Entry{Name: "DecodeCaptures/workers=1", Iterations: 74, NsPerOp: 15323870, AllocsPerOp: 9, BytesPerOp: 2048},
 	)
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	if err := b.Write(path); err != nil {
@@ -143,7 +173,7 @@ func TestRoundTrip(t *testing.T) {
 // the round-trip.
 func TestLoadRejectsBadSchema(t *testing.T) {
 	bad := mkBaseline(Entry{Name: "EndToEnd/workers=1", NsPerOp: 1})
-	bad.Schema = "inframe-bench-baseline/v0"
+	bad.Schema = "inframe-bench-baseline/v1"
 	if err := bad.Write(filepath.Join(t.TempDir(), "refused.json")); err == nil {
 		t.Error("Write accepted a foreign schema")
 	}
@@ -155,7 +185,7 @@ func TestLoadRejectsBadSchema(t *testing.T) {
 		t.Error("Load accepted a foreign schema")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.json")
-	if err := os.WriteFile(empty, []byte(`{"schema":"inframe-bench-baseline/v1","benchmarks":[]}`), 0o644); err != nil {
+	if err := os.WriteFile(empty, []byte(`{"schema":"inframe-bench-baseline/v2","benchmarks":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(empty); err == nil {

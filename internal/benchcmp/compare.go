@@ -23,13 +23,22 @@ const (
 	StatusNew Status = "new"
 )
 
+// allocSlack is the absolute allocs/op headroom granted on top of the
+// fractional tolerance: counting semantics (one-time lazy init amortized
+// across few iterations, testing harness bookkeeping) wobble by an
+// allocation or two, and a zero-alloc baseline would otherwise turn any
+// nonzero count into a regression regardless of tolerance.
+const allocSlack = 2
+
 // Row is one benchmark's comparison.
 type Row struct {
-	Name   string  `json:"name"`
-	BaseNs int64   `json:"base_ns_per_op"`
-	CurNs  int64   `json:"current_ns_per_op"`
-	Delta  float64 `json:"delta"` // fractional change, (cur-base)/base
-	Status Status  `json:"status"`
+	Name       string  `json:"name"`
+	BaseNs     int64   `json:"base_ns_per_op"`
+	CurNs      int64   `json:"current_ns_per_op"`
+	Delta      float64 `json:"delta"` // fractional ns change, (cur-base)/base
+	BaseAllocs int64   `json:"base_allocs_per_op"`
+	CurAllocs  int64   `json:"current_allocs_per_op"`
+	Status     Status  `json:"status"`
 }
 
 // Report is the full verdict of a baseline comparison.
@@ -40,8 +49,12 @@ type Report struct {
 }
 
 // Compare evaluates cur against base with the given fractional tolerance:
-// a benchmark regresses when its ns/op exceeds base*(1+tol) strictly, and
-// counts as improved below base*(1-tol). Rows follow the baseline's order,
+// a benchmark regresses when its ns/op exceeds base*(1+tol) strictly, or
+// when its allocs/op exceeds both base*(1+tol) and base+allocSlack — the
+// absolute slack keeps one-allocation jitter on near-zero baselines from
+// tripping the gate while still catching a pooled loop that starts
+// allocating frames. It counts as improved below base*(1-tol) ns/op
+// without an alloc regression. Rows follow the baseline's order,
 // then any new benchmarks in the current run's order — no map iteration, so
 // the report is deterministic.
 func Compare(base, cur *Baseline, tol float64) *Report {
@@ -64,7 +77,7 @@ func Compare(base, cur *Baseline, tol float64) *Report {
 		inBase[b.Name] = true
 		c, ok := curByName[b.Name]
 		if !ok {
-			r.Rows = append(r.Rows, Row{Name: b.Name, BaseNs: b.NsPerOp, Status: StatusMissing})
+			r.Rows = append(r.Rows, Row{Name: b.Name, BaseNs: b.NsPerOp, BaseAllocs: b.AllocsPerOp, Status: StatusMissing})
 			r.Warnings = append(r.Warnings, fmt.Sprintf("benchmark %s missing from current run", b.Name))
 			continue
 		}
@@ -72,7 +85,7 @@ func Compare(base, cur *Baseline, tol float64) *Report {
 	}
 	for _, c := range cur.Benchmarks {
 		if !inBase[c.Name] {
-			r.Rows = append(r.Rows, Row{Name: c.Name, CurNs: c.NsPerOp, Status: StatusNew})
+			r.Rows = append(r.Rows, Row{Name: c.Name, CurNs: c.NsPerOp, CurAllocs: c.AllocsPerOp, Status: StatusNew})
 		}
 	}
 	return r
@@ -80,22 +93,36 @@ func Compare(base, cur *Baseline, tol float64) *Report {
 
 // compareEntry scores one benchmark present in both baselines.
 func compareEntry(b, c Entry, tol float64) Row {
-	row := Row{Name: b.Name, BaseNs: b.NsPerOp, CurNs: c.NsPerOp, Status: StatusOK}
-	if b.NsPerOp <= 0 {
-		// A degenerate baseline entry cannot anchor a ratio; leave it ok
-		// rather than dividing by zero.
-		return row
+	row := Row{
+		Name:   b.Name,
+		BaseNs: b.NsPerOp, CurNs: c.NsPerOp,
+		BaseAllocs: b.AllocsPerOp, CurAllocs: c.AllocsPerOp,
+		Status: StatusOK,
 	}
-	base := float64(b.NsPerOp)
-	curNs := float64(c.NsPerOp)
-	row.Delta = (curNs - base) / base
-	switch {
-	case curNs > base*(1+tol):
+	if b.NsPerOp > 0 {
+		base := float64(b.NsPerOp)
+		curNs := float64(c.NsPerOp)
+		row.Delta = (curNs - base) / base
+		switch {
+		case curNs > base*(1+tol):
+			row.Status = StatusRegression
+		case curNs < base*(1-tol):
+			row.Status = StatusImproved
+		}
+	}
+	// An alloc regression overrides a time verdict: the pipeline's
+	// zero-frame-alloc steady state is an invariant, not a speed knob.
+	if allocRegressed(b.AllocsPerOp, c.AllocsPerOp, tol) {
 		row.Status = StatusRegression
-	case curNs < base*(1-tol):
-		row.Status = StatusImproved
 	}
 	return row
+}
+
+// allocRegressed applies the dual threshold: the current count must exceed
+// the baseline by more than the fractional tolerance AND by more than the
+// absolute slack.
+func allocRegressed(base, cur int64, tol float64) bool {
+	return float64(cur) > float64(base)*(1+tol) && cur-base > allocSlack
 }
 
 // Regressions counts the rows that exceeded tolerance.
@@ -111,15 +138,19 @@ func (r *Report) Regressions() int {
 
 // WriteText renders the report as an aligned table with warnings below.
 func (r *Report) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "%-28s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "current ns/op", "delta", "status")
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s  %s\n",
+		"benchmark", "base ns/op", "current ns/op", "delta", "base allocs", "cur allocs", "status")
 	for _, row := range r.Rows {
 		switch row.Status {
 		case StatusMissing:
-			fmt.Fprintf(w, "%-28s %14d %14s %8s  %s\n", row.Name, row.BaseNs, "-", "-", row.Status)
+			fmt.Fprintf(w, "%-28s %14d %14s %8s %12d %12s  %s\n",
+				row.Name, row.BaseNs, "-", "-", row.BaseAllocs, "-", row.Status)
 		case StatusNew:
-			fmt.Fprintf(w, "%-28s %14s %14d %8s  %s\n", row.Name, "-", row.CurNs, "-", row.Status)
+			fmt.Fprintf(w, "%-28s %14s %14d %8s %12s %12d  %s\n",
+				row.Name, "-", row.CurNs, "-", "-", row.CurAllocs, row.Status)
 		default:
-			fmt.Fprintf(w, "%-28s %14d %14d %+7.1f%%  %s\n", row.Name, row.BaseNs, row.CurNs, row.Delta*100, row.Status)
+			fmt.Fprintf(w, "%-28s %14d %14d %+7.1f%% %12d %12d  %s\n",
+				row.Name, row.BaseNs, row.CurNs, row.Delta*100, row.BaseAllocs, row.CurAllocs, row.Status)
 		}
 	}
 	for _, warn := range r.Warnings {

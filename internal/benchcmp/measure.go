@@ -7,36 +7,41 @@ import (
 
 	"inframe/internal/channel"
 	"inframe/internal/core"
+	"inframe/internal/frame"
 	"inframe/internal/video"
 )
 
 // pipeline builds the scaled paper pipeline with every stage's worker pool
-// set to w — the same shape benchPipeline gives the BenchmarkEndToEnd /
-// BenchmarkDecodeCaptures tests, so baseline numbers are directly comparable
-// to `go test -bench` output.
-func pipeline(scale, w int) (*core.Multiplexer, channel.Config, *core.Receiver, int, error) {
+// set to w and one shared frame pool — the same shape benchPipeline gives
+// the BenchmarkEndToEnd / BenchmarkDecodeCaptures tests, so baseline
+// numbers are directly comparable to `go test -bench` output.
+func pipeline(scale, w int) (*core.Multiplexer, channel.Config, *core.Receiver, int, *frame.Pool, error) {
 	l, err := core.ScaledPaperLayout(scale)
 	if err != nil {
-		return nil, channel.Config{}, nil, 0, err
+		return nil, channel.Config{}, nil, 0, nil, err
 	}
+	pool := frame.NewPool()
 	p := core.DefaultParams(l)
 	p.Workers = w
+	p.Pool = pool
 	m, err := core.NewMultiplexer(p, video.Gray(l.FrameW, l.FrameH), core.NewRandomStream(l, 1))
 	if err != nil {
-		return nil, channel.Config{}, nil, 0, err
+		return nil, channel.Config{}, nil, 0, nil, err
 	}
 	cfg := channel.DefaultConfig(1280/scale, 720/scale)
 	cfg.Workers = w
+	cfg.Pool = pool
 	cfg.Camera.Workers = w
 	rcfg := core.DefaultReceiverConfig(p, 1280/scale, 720/scale)
 	rcfg.Exposure = cfg.Camera.Exposure
 	rcfg.ReadoutTime = cfg.Camera.ReadoutTime
 	rcfg.Workers = w
+	rcfg.Pool = pool
 	rcv, err := core.NewReceiver(rcfg)
 	if err != nil {
-		return nil, channel.Config{}, nil, 0, err
+		return nil, channel.Config{}, nil, 0, nil, err
 	}
-	return m, cfg, rcv, 4 * p.Tau, nil
+	return m, cfg, rcv, 4 * p.Tau, pool, nil
 }
 
 // Measure benchmarks EndToEnd (render + channel + decode) and DecodeCaptures
@@ -56,12 +61,13 @@ func Measure(scale int) (*Baseline, error) {
 		Scale:      scale,
 	}
 	for _, w := range counts {
-		m, cfg, rcv, nDisplay, err := pipeline(scale, w)
+		m, cfg, rcv, nDisplay, pool, err := pipeline(scale, w)
 		if err != nil {
 			return nil, err
 		}
 		var benchErr error
 		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := channel.Simulate(m, nDisplay, cfg)
 				if err != nil {
@@ -69,20 +75,23 @@ func Measure(scale int) (*Baseline, error) {
 					b.FailNow()
 				}
 				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
+				res.Recycle(pool)
 			}
 		})
 		if benchErr != nil {
 			return nil, benchErr
 		}
 		base.Benchmarks = append(base.Benchmarks, Entry{
-			Name:       fmt.Sprintf("EndToEnd/workers=%d", w),
-			Iterations: r.N,
-			NsPerOp:    r.NsPerOp(),
+			Name:        fmt.Sprintf("EndToEnd/workers=%d", w),
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
 	// Decode-only: one captured sequence (full pool), then time the decode
 	// at each worker count.
-	m, cfg, _, nDisplay, err := pipeline(scale, 0)
+	m, cfg, _, nDisplay, _, err := pipeline(scale, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -91,19 +100,22 @@ func Measure(scale int) (*Baseline, error) {
 		return nil, err
 	}
 	for _, w := range counts {
-		_, _, rcv, _, err := pipeline(scale, w)
+		_, _, rcv, _, _, err := pipeline(scale, w)
 		if err != nil {
 			return nil, err
 		}
 		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
 			}
 		})
 		base.Benchmarks = append(base.Benchmarks, Entry{
-			Name:       fmt.Sprintf("DecodeCaptures/workers=%d", w),
-			Iterations: r.N,
-			NsPerOp:    r.NsPerOp(),
+			Name:        fmt.Sprintf("DecodeCaptures/workers=%d", w),
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
 	return base, nil

@@ -63,6 +63,13 @@ type Config struct {
 	// write disjoint spans and the noise RNG is seeded from the capture
 	// index, never from worker identity.
 	Workers int
+	// Pool supplies the capture working buffers (display-resolution
+	// integration plane, blur scratch, crop window) and the returned
+	// capture itself. Intermediates are Put back inside Capture; the
+	// returned capture is owned by the caller, who may Put it back after
+	// decoding to close the loop. Nil means a private pool (intermediates
+	// still recycle; returned captures are simply never reused).
+	Pool *frame.Pool
 }
 
 // cropped reports whether a crop window is configured.
@@ -123,7 +130,8 @@ func (c Config) Validate() error {
 
 // Camera captures frames from a simulated display.
 type Camera struct {
-	cfg Config
+	cfg  Config
+	pool *frame.Pool
 }
 
 // New returns a camera for the given configuration.
@@ -131,7 +139,11 @@ func New(cfg Config) (*Camera, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Camera{cfg: cfg}, nil
+	pool := cfg.Pool
+	if pool == nil {
+		pool = frame.NewPool()
+	}
+	return &Camera{cfg: cfg, pool: pool}, nil
 }
 
 // Config returns the camera configuration.
@@ -142,7 +154,9 @@ func (c *Camera) FramePeriod() float64 { return 1 / c.cfg.FPS }
 
 // Capture exposes one frame starting at time t0 (the exposure start of the
 // first sensor row) and returns the 8-bit-quantized capture. index selects
-// the deterministic noise stream for this capture.
+// the deterministic noise stream for this capture. The returned frame is
+// drawn from the camera's pool; the caller owns it and may Put it back to
+// that pool when done with it.
 func (c *Camera) Capture(d *display.Display, t0 float64, index int) *frame.Frame {
 	dw, dh := d.Size()
 	if dw == 0 || dh == 0 {
@@ -151,32 +165,39 @@ func (c *Camera) Capture(d *display.Display, t0 float64, index int) *frame.Frame
 	// Integrate the light field at display resolution, one display row at a
 	// time, each row using the exposure window of the sensor row it maps to.
 	// Rows write disjoint spans of lin, so the rolling-shutter synthesis
-	// fans out across workers with a bit-identical ordered merge; each chunk
-	// carries its own scratch row.
-	lin := frame.New(dw, dh)
+	// fans out across workers with a bit-identical ordered merge; RowAverage
+	// writes each destination row in place, so no per-chunk scratch row is
+	// needed. Every working buffer comes from the camera's pool and goes
+	// back once the next stage has consumed it.
+	lin := c.pool.Get(dw, dh)
 	var rowDt float64
 	if c.cfg.H > 1 {
 		rowDt = c.cfg.ReadoutTime / float64(c.cfg.H)
 	}
 	parallel.ForChunked(c.cfg.Workers, dh, func(lo, hi int) {
-		rowBuf := make([]float32, dw)
 		for y := lo; y < hi; y++ {
 			sensorRow := y * c.cfg.H / dh
 			a := t0 + float64(sensorRow)*rowDt
-			d.RowAverage(y, a, a+c.cfg.Exposure, rowBuf)
-			copy(lin.Pix[y*dw:(y+1)*dw], rowBuf)
+			d.RowAverage(y, a, a+c.cfg.Exposure, lin.Row(y))
 		}
 	})
 	if c.cfg.BlurRadius > 0 {
-		lin = frame.BoxBlur(lin, c.cfg.BlurRadius)
+		blurred := c.pool.Get(dw, dh)
+		frame.BoxBlurInto(lin, blurred, c.cfg.BlurRadius, c.pool)
+		c.pool.Put(lin)
+		lin = blurred
 	}
 	if c.cfg.cropped() {
-		// Pad with black where the window extends beyond the display.
-		window := frame.New(c.cfg.CropW, c.cfg.CropH)
+		// The window arrives zeroed from the pool, so parts extending
+		// beyond the display stay black (overscan).
+		window := c.pool.Get(c.cfg.CropW, c.cfg.CropH)
 		window.Blit(lin, -c.cfg.CropX0, -c.cfg.CropY0)
+		c.pool.Put(lin)
 		lin = window
 	}
-	out := frame.Resample(lin, c.cfg.W, c.cfg.H)
+	out := c.pool.Get(c.cfg.W, c.cfg.H)
+	frame.ResampleInto(lin, out)
+	c.pool.Put(lin)
 	c.encode(out)
 	c.addNoise(out, index)
 	out.Quantize()

@@ -31,6 +31,13 @@ type Config struct {
 	// dispatched only once every display frame its exposure window touches
 	// has been pushed, and captures merge by index.
 	Workers int
+	// Pool supplies the frame buffers of the capture side (see
+	// camera.Config.Pool); it is copied into the camera configuration when
+	// the camera has no pool of its own. Share one pool with the
+	// multiplexer and receiver (core.Params.Pool, ReceiverConfig.Pool) and
+	// Put captures back after decoding for an allocation-free steady
+	// state. Nil keeps per-stage private pools.
+	Pool *frame.Pool
 }
 
 // DefaultConfig returns the paper's setup scaled to a capture resolution:
@@ -60,6 +67,9 @@ func New(cfg Config) (*Link, error) {
 	d, err := display.New(cfg.Display)
 	if err != nil {
 		return nil, fmt.Errorf("channel: %w", err)
+	}
+	if cfg.Pool != nil && cfg.Camera.Pool == nil {
+		cfg.Camera.Pool = cfg.Pool
 	}
 	c, err := camera.New(cfg.Camera)
 	if err != nil {
@@ -100,6 +110,18 @@ type Result struct {
 	Captures []*frame.Frame
 	Times    []float64
 	Exposure float64
+}
+
+// Recycle puts every capture back into p (typically the shared pipeline
+// pool the captures came from) once decoding is done, and clears the
+// capture slice so the frames cannot be used after their return. A nil
+// pool drops the frames.
+func (r *Result) Recycle(p *frame.Pool) {
+	for i, f := range r.Captures {
+		p.Put(f)
+		r.Captures[i] = nil
+	}
+	r.Captures = r.Captures[:0]
 }
 
 // Simulate runs a multiplexer for nDisplayFrames through the link and
@@ -157,10 +179,14 @@ func simulatePipelined(m *core.Multiplexer, nDisplayFrames int, cfg Config, link
 		})
 	}
 	for k := 0; k < nDisplayFrames; k++ {
-		if err := link.Display.Push(m.Frame(k)); err != nil {
+		f := m.Frame(k)
+		if err := link.Display.Push(f); err != nil {
 			pool.Wait()
 			return nil, fmt.Errorf("channel: frame %d: %w", k, err)
 		}
+		// The display has copied the frame into its drive history; hand
+		// the buffer back so the next render reuses it.
+		m.Recycle(f)
 		for next < nCaps {
 			t := cfg.CameraStart + float64(next)*period
 			// Capture windows integrate display rows over

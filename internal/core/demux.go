@@ -132,6 +132,12 @@ type ReceiverConfig struct {
 	// sequential path. Decodes are bit-identical at any worker count (work
 	// is partitioned by capture/Block/frame index and merged by position).
 	Workers int
+	// Pool supplies the receiver's per-capture scratch frames (the
+	// smoothing plane of the §3.3 detector and its blur scratch); each is
+	// Put back before the measurement returns, so steady-state decoding
+	// allocates no frame buffers. Nil means a private pool. Share one pool
+	// with the camera to reuse the same buffers across the whole pipeline.
+	Pool *frame.Pool
 }
 
 // CaptureMapping is an axis-aligned affine map from display pixel
@@ -222,7 +228,8 @@ func (c ReceiverConfig) Validate() error {
 
 // Receiver demultiplexes captured frames back into data frames.
 type Receiver struct {
-	cfg ReceiverConfig
+	cfg  ReceiverConfig
+	pool *frame.Pool
 	// per-block capture rectangles, precomputed; zero rects mark Blocks
 	// outside the camera's view
 	rects   []capRect
@@ -244,7 +251,11 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		}
 		calib = *cfg.Calib
 	}
-	r := &Receiver{cfg: cfg, rects: make([]capRect, l.NumBlocks())}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = frame.NewPool()
+	}
+	r := &Receiver{cfg: cfg, pool: pool, rects: make([]capRect, l.NumBlocks())}
 	for by := 0; by < l.BlocksY; by++ {
 		for bx := 0; bx < l.BlocksX; bx++ {
 			x0, y0, w, h := l.BlockRect(bx, by)
@@ -370,7 +381,10 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 	}
 	scores := make([]float64, len(r.rects))
 	quality := make([]float64, len(r.rects))
-	sm := frame.BoxBlur(f, r.cfg.SmoothRadius)
+	// The smoothing plane is pure scratch: borrowed from the pool for the
+	// scan below and returned before this measurement ends.
+	sm := r.pool.Get(f.W, f.H)
+	frame.BoxBlurInto(f, sm, r.cfg.SmoothRadius, r.pool)
 	weights := r.rowWeights(t0)
 	l := r.cfg.Layout
 	// Chessboard phase in capture coordinates, for the matched detector:
@@ -436,6 +450,7 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 		scores[i] = s
 		quality[i] = n / float64(rect.w*rect.h)
 	}
+	r.pool.Put(sm)
 	return scores, quality
 }
 

@@ -31,6 +31,14 @@ type Params struct {
 	// goroutines. 0 means GOMAXPROCS; 1 forces the sequential path. Output
 	// is bit-identical at any worker count (see internal/parallel).
 	Workers int
+	// Pool supplies and recycles the rendered frame buffers. Frame Gets
+	// every output frame from it, and Recycle (called by PushTo and the
+	// channel simulator once a frame is on the display) Puts it back, so a
+	// steady-state render loop reuses the same buffers forever. Nil means
+	// a private pool: the public API is unchanged and callers that keep
+	// every rendered frame (Render) simply never recycle. Share one pool
+	// across mux, camera and receiver to share buffers end to end.
+	Pool *frame.Pool
 }
 
 // DefaultParams returns the paper's recommended operating point
@@ -67,10 +75,15 @@ type Multiplexer struct {
 	p     Params
 	video video.Source
 	data  Stream
+	pool  *frame.Pool
 
 	// cached per-video-frame state
 	videoIdx int
 	vframe   *frame.Frame
+	// vbuf is the persistent video buffer when the source supports
+	// in-place rendering (video.IntoSource); nil means the source
+	// allocates each video frame itself.
+	vbuf     *frame.Frame
 	headroom []float32 // per-block clipping-limited amplitude bound
 }
 
@@ -85,7 +98,11 @@ func NewMultiplexer(p Params, src video.Source, data Stream) (*Multiplexer, erro
 		return nil, fmt.Errorf("core: video %dx%d does not match layout panel %dx%d",
 			w, h, p.Layout.FrameW, p.Layout.FrameH)
 	}
-	return &Multiplexer{p: p, video: src, data: data, videoIdx: -1}, nil
+	pool := p.Pool
+	if pool == nil {
+		pool = frame.NewPool()
+	}
+	return &Multiplexer{p: p, video: src, data: data, pool: pool, videoIdx: -1}, nil
 }
 
 // Params returns the transmitter parameters.
@@ -142,7 +159,17 @@ func (m *Multiplexer) refreshVideo(k int) {
 		return
 	}
 	m.videoIdx = vi
-	m.vframe = m.video.Frame(vi)
+	if src, ok := m.video.(video.IntoSource); ok {
+		// In-place-capable source: render into one persistent pooled
+		// buffer instead of allocating a frame per video frame.
+		if m.vbuf == nil {
+			m.vbuf = m.pool.Get(m.p.Layout.FrameW, m.p.Layout.FrameH)
+		}
+		src.FrameInto(vi, m.vbuf)
+		m.vframe = m.vbuf
+	} else {
+		m.vframe = m.video.Frame(vi)
+	}
 	l := m.p.Layout
 	if m.headroom == nil {
 		m.headroom = make([]float32, l.NumBlocks())
@@ -179,13 +206,16 @@ func (m *Multiplexer) refreshVideo(k int) {
 }
 
 // Frame renders display frame k: the current video frame plus the signed,
-// clipped, smoothed chessboard of every Block.
+// clipped, smoothed chessboard of every Block. The returned frame is drawn
+// from the multiplexer's pool; the caller owns it until it hands it back
+// via Recycle (or keeps it forever — Render's contract).
 func (m *Multiplexer) Frame(k int) *frame.Frame {
 	if k < 0 {
 		panic("core: negative display frame index")
 	}
 	m.refreshVideo(k)
-	out := m.vframe.Clone()
+	out := m.pool.Get(m.p.Layout.FrameW, m.p.Layout.FrameH)
+	m.vframe.CloneInto(out)
 	l := m.p.Layout
 	sign := float32(1)
 	if k%2 == 1 {
@@ -228,7 +258,15 @@ func (m *Multiplexer) Frame(k int) *frame.Frame {
 	return out
 }
 
-// Render produces display frames [0, n) in order.
+// Recycle returns a frame obtained from Frame to the multiplexer's pool
+// for reuse by a later render. Call it once the frame's contents have been
+// consumed (e.g. pushed onto a display, which copies them into its drive
+// history); the frame must not be used afterwards.
+func (m *Multiplexer) Recycle(f *frame.Frame) { m.pool.Put(f) }
+
+// Render produces display frames [0, n) in order. The caller owns every
+// returned frame (they are never recycled), so Render allocates n buffers;
+// use PushTo or the channel simulator for allocation-free steady state.
 func (m *Multiplexer) Render(n int) []*frame.Frame {
 	frames := make([]*frame.Frame, n)
 	for k := 0; k < n; k++ {
@@ -237,13 +275,17 @@ func (m *Multiplexer) Render(n int) []*frame.Frame {
 	return frames
 }
 
-// PushTo renders n display frames straight onto a display simulator.
+// PushTo renders n display frames straight onto a display simulator,
+// recycling each frame once the display has copied it into its drive
+// history — the steady-state loop reuses one buffer for the whole run.
 func (m *Multiplexer) PushTo(d *display.Display, n int) error {
 	for k := 0; k < n; k++ {
-		if err := d.Push(m.Frame(k)); err != nil {
+		f := m.Frame(k)
+		if err := d.Push(f); err != nil {
 			//lint:ignore hotalloc error path runs at most once, then the loop exits
 			return fmt.Errorf("core: pushing frame %d: %w", k, err)
 		}
+		m.Recycle(f)
 	}
 	return nil
 }

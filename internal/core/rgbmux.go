@@ -19,6 +19,7 @@ type RGBMultiplexer struct {
 	p     Params
 	video video.RGBSource
 	data  Stream
+	pool  *frame.Pool
 
 	videoIdx int
 	vframe   *frame.RGB
@@ -36,7 +37,11 @@ func NewRGBMultiplexer(p Params, src video.RGBSource, data Stream) (*RGBMultiple
 		return nil, fmt.Errorf("core: video %dx%d does not match layout panel %dx%d",
 			w, h, p.Layout.FrameW, p.Layout.FrameH)
 	}
-	return &RGBMultiplexer{p: p, video: src, data: data, videoIdx: -1}, nil
+	pool := p.Pool
+	if pool == nil {
+		pool = frame.NewPool()
+	}
+	return &RGBMultiplexer{p: p, video: src, data: data, pool: pool, videoIdx: -1}, nil
 }
 
 // Params returns the transmitter parameters.
@@ -89,14 +94,15 @@ func (m *RGBMultiplexer) refreshVideo(k int) {
 }
 
 // DeltaFrame renders the signed chessboard-only delta of display frame k,
-// with headroom clipping applied.
+// with headroom clipping applied. The frame comes from the multiplexer's
+// pool; callers that are done with it may return it via Recycle.
 func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
 	if k < 0 {
 		panic("core: negative display frame index")
 	}
 	m.refreshVideo(k)
 	l := m.p.Layout
-	out := frame.New(l.FrameW, l.FrameH)
+	out := m.pool.Get(l.FrameW, l.FrameH)
 	sign := float32(1)
 	if k%2 == 1 {
 		sign = -1
@@ -132,11 +138,17 @@ func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
 	return out
 }
 
+// Recycle returns a frame obtained from DeltaFrame to the multiplexer's
+// pool for reuse by a later render.
+func (m *RGBMultiplexer) Recycle(f *frame.Frame) { m.pool.Put(f) }
+
 // FrameRGB renders the multiplexed color frame k.
 func (m *RGBMultiplexer) FrameRGB(k int) (*frame.RGB, error) {
 	delta := m.DeltaFrame(k)
 	out := m.vframe.Clone()
-	if err := out.AddLumaDelta(delta); err != nil {
+	err := out.AddLumaDelta(delta)
+	m.Recycle(delta)
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

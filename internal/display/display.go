@@ -95,6 +95,11 @@ type Display struct {
 	mu sync.RWMutex
 	// drive[k] is the quantized 8-bit drive frame of interval k.
 	drive [][]uint8
+	// arena backs drive rows in multi-frame chunks, so a Push costs an
+	// amortized slice carve instead of a per-frame allocation. Exhausted
+	// chunks stay alive through the drive slices that point into them (the
+	// drive history IS the light field, so nothing is ever freed anyway).
+	arena []uint8
 	// lut maps a drive value to linear luminance.
 	lut [256]float32
 	// state[k] is the actual luminance at the *start* of interval k when
@@ -153,7 +158,15 @@ func (d *Display) Push(f *frame.Frame) error {
 	} else if f.W != d.w || f.H != d.h {
 		return fmt.Errorf("display: frame %dx%d does not match panel %dx%d", f.W, f.H, d.w, d.h)
 	}
-	dr := make([]uint8, len(f.Pix))
+	n := len(f.Pix)
+	if cap(d.arena)-len(d.arena) < n {
+		// Carve drive frames from 16-frame chunks: same retained memory
+		// as per-frame allocation (the history is kept forever either
+		// way), 1/16th the allocations.
+		d.arena = make([]uint8, 0, 16*n)
+	}
+	dr := d.arena[len(d.arena) : len(d.arena)+n : len(d.arena)+n]
+	d.arena = d.arena[:len(d.arena)+n]
 	for i, v := range f.Pix {
 		dr[i] = frame.Quant8(v)
 	}
@@ -306,12 +319,21 @@ func (d *Display) RowAverage(y int, t0, t1 float64, dst []float32) {
 func (d *Display) WindowAverage(t0, t1 float64) *frame.Frame {
 	w, h := d.Size()
 	out := frame.New(w, h)
-	row := make([]float32, w)
-	for y := 0; y < h; y++ {
-		d.RowAverage(y, t0, t1, row)
-		copy(out.Pix[y*w:(y+1)*w], row)
-	}
+	d.WindowAverageInto(t0, t1, out)
 	return out
+}
+
+// WindowAverageInto computes the mean linear luminance over [t0, t1) into
+// dst (which must match the panel size), writing each panel row in place —
+// the allocation-free form of WindowAverage for pooled buffers.
+func (d *Display) WindowAverageInto(t0, t1 float64, dst *frame.Frame) {
+	w, h := d.Size()
+	if dst.W != w || dst.H != h {
+		panic(fmt.Sprintf("display: WindowAverageInto %dx%d does not match panel %dx%d", dst.W, dst.H, w, h))
+	}
+	for y := 0; y < h; y++ {
+		d.RowAverage(y, t0, t1, dst.Row(y))
+	}
 }
 
 // PixelWaveform samples the luminance of pixel (x, y) at n uniform points in
@@ -323,14 +345,26 @@ func (d *Display) PixelWaveform(x, y int, t0, t1 float64, n int) []float64 {
 	}
 	out := make([]float64, n)
 	w, _ := d.Size()
-	row := make([]float32, w)
+	d.PixelWaveformInto(x, y, t0, t1, out, make([]float32, w))
+	return out
+}
+
+// PixelWaveformInto is PixelWaveform writing into caller-owned buffers: out
+// receives one sample per element (its length sets the sample count) and
+// row is integration scratch of at least the panel width. The HVS fusion
+// path shares one row buffer across every sampled point rather than
+// allocating per waveform.
+func (d *Display) PixelWaveformInto(x, y int, t0, t1 float64, out []float64, row []float32) {
+	n := len(out)
+	if n <= 0 {
+		panic("display: non-positive sample count")
+	}
 	dt := (t1 - t0) / float64(n)
 	for i := 0; i < n; i++ {
 		a := t0 + float64(i)*dt
 		d.RowAverage(y, a, a+dt, row)
 		out[i] = float64(row[x])
 	}
-	return out
 }
 
 // EncodeLuminance converts a linear-light value (0..255 scale) back to the

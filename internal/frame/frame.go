@@ -39,10 +39,29 @@ func New(w, h int) *Frame {
 // NewFilled returns a frame of the given dimensions with every pixel set to v.
 func NewFilled(w, h int, v float32) *Frame {
 	f := New(w, h)
-	for i := range f.Pix {
-		f.Pix[i] = v
-	}
+	fillPix(f.Pix, v)
 	return f
+}
+
+// fillPix sets every element of p to v. This is the single full-plane fill
+// loop shared by Fill, NewFilled and Pool.Get's zeroing path: zero fills
+// (by far the common case — every pooled Get zeroes) compile to a memclr,
+// and non-zero fills use a doubling copy instead of a scalar store loop.
+// The zero test is on the bit pattern, not the value: -0 must take the
+// copy path, because memclr would silently rewrite it to +0 and break the
+// pool's bit-identity guarantee.
+func fillPix(p []float32, v float32) {
+	if math.Float32bits(v) == 0 {
+		clear(p)
+		return
+	}
+	if len(p) == 0 {
+		return
+	}
+	p[0] = v
+	for i := 1; i < len(p); i <<= 1 {
+		copy(p[i:], p[:i])
+	}
 }
 
 // Clone returns a deep copy of f.
@@ -50,6 +69,24 @@ func (f *Frame) Clone() *Frame {
 	g := &Frame{W: f.W, H: f.H, Pix: make([]float32, len(f.Pix))}
 	copy(g.Pix, f.Pix)
 	return g
+}
+
+// CloneInto copies f's pixels into dst, the allocation-free counterpart of
+// Clone for pooled buffers. It panics on a size mismatch: unlike the
+// error-returning arithmetic ops, Into variants are wired by the pipeline
+// itself, so a mismatch is a plumbing bug, not an input condition.
+func (f *Frame) CloneInto(dst *Frame) {
+	if !f.SameSize(dst) {
+		panic(fmt.Sprintf("frame.CloneInto: %dx%d into %dx%d", f.W, f.H, dst.W, dst.H))
+	}
+	copy(dst.Pix, f.Pix)
+}
+
+// Row returns the y'th pixel row as a shared view into f's buffer. Writing
+// through the view writes the frame; the view is only valid while the
+// caller's borrow of f lasts.
+func (f *Frame) Row(y int) []float32 {
+	return f.Pix[y*f.W : (y+1)*f.W]
 }
 
 // At returns the pixel value at (x, y). It panics if the coordinates are out
@@ -63,11 +100,7 @@ func (f *Frame) Set(x, y int, v float32) { f.Pix[y*f.W+x] = v }
 func (f *Frame) SameSize(g *Frame) bool { return f.W == g.W && f.H == g.H }
 
 // Fill sets every pixel to v.
-func (f *Frame) Fill(v float32) {
-	for i := range f.Pix {
-		f.Pix[i] = v
-	}
-}
+func (f *Frame) Fill(v float32) { fillPix(f.Pix, v) }
 
 // Add computes f += g in place.
 func (f *Frame) Add(g *Frame) error {
@@ -100,6 +133,29 @@ func (f *Frame) AddScaled(g *Frame, k float32) error {
 		f.Pix[i] += k * v
 	}
 	return nil
+}
+
+// SubInto computes dst = a - b without allocating. All three frames must
+// share one size; a mismatch panics (a pipeline wiring bug, see CloneInto).
+// dst may alias a or b.
+func SubInto(dst, a, b *Frame) {
+	if !dst.SameSize(a) || !dst.SameSize(b) {
+		panic(fmt.Sprintf("frame.SubInto: %dx%d = %dx%d - %dx%d", dst.W, dst.H, a.W, a.H, b.W, b.H))
+	}
+	for i, v := range a.Pix {
+		dst.Pix[i] = v - b.Pix[i]
+	}
+}
+
+// AddScaledInto computes dst = a + k*b without allocating. All three frames
+// must share one size; a mismatch panics. dst may alias a or b.
+func AddScaledInto(dst, a, b *Frame, k float32) {
+	if !dst.SameSize(a) || !dst.SameSize(b) {
+		panic(fmt.Sprintf("frame.AddScaledInto: %dx%d = %dx%d + k*%dx%d", dst.W, dst.H, a.W, a.H, b.W, b.H))
+	}
+	for i, v := range a.Pix {
+		dst.Pix[i] = v + k*b.Pix[i]
+	}
 }
 
 // Scale multiplies every pixel by k.
@@ -161,10 +217,19 @@ func (f *Frame) MinMax() (min, max float32) {
 // level v: every output pixel o satisfies o + p = 2v (§3.2 of the paper).
 func (f *Frame) Complement(v float32) *Frame {
 	g := New(f.W, f.H)
-	for i, p := range f.Pix {
-		g.Pix[i] = 2*v - p
-	}
+	f.ComplementInto(g, v)
 	return g
+}
+
+// ComplementInto writes f's complement with respect to v into dst, which
+// must match f's size (panics otherwise). dst may alias f.
+func (f *Frame) ComplementInto(dst *Frame, v float32) {
+	if !f.SameSize(dst) {
+		panic(fmt.Sprintf("frame.ComplementInto: %dx%d into %dx%d", f.W, f.H, dst.W, dst.H))
+	}
+	for i, p := range f.Pix {
+		dst.Pix[i] = 2*v - p
+	}
 }
 
 // Region copies the rectangle with origin (x0, y0) and size w×h into a new
@@ -195,7 +260,21 @@ func (f *Frame) Region(x0, y0, w, h int) *Frame {
 	return g
 }
 
+// RegionInto copies the dst.W×dst.H rectangle of f with origin (x0, y0)
+// into dst. Unlike Region it does not clip: the rectangle must lie fully
+// inside f (the pooled pipeline validates geometry at configuration time),
+// and a violation panics through the row slice bounds.
+func (f *Frame) RegionInto(dst *Frame, x0, y0 int) {
+	w := dst.W
+	for y := 0; y < dst.H; y++ {
+		base := (y0+y)*f.W + x0
+		copy(dst.Pix[y*w:(y+1)*w], f.Pix[base:base+w])
+	}
+}
+
 // Blit copies src into f with its origin at (x0, y0), clipping to f's bounds.
+// Blit is already an in-place operation (f is the destination); it is the
+// "BlitInto" of the pooled API.
 func (f *Frame) Blit(src *Frame, x0, y0 int) {
 	// Clip the horizontal span once; each row is then a single copy.
 	xlo, xhi := 0, src.W

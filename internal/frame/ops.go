@@ -7,16 +7,33 @@ import "math"
 // returns a plain clone. This is the "smoothing" primitive the InFrame
 // demultiplexer subtracts to expose chessboard energy (§3.3).
 func BoxBlur(f *Frame, r int) *Frame {
+	out := New(f.W, f.H)
+	BoxBlurInto(f, out, r, nil)
+	return out
+}
+
+// BoxBlurInto blurs f into dst (same size as f, panics otherwise) drawing
+// its two scratch buffers — the intermediate row-blurred plane and the
+// column sliding window — from p, so a pooled steady-state blur allocates
+// nothing. dst must not alias f. A nil pool allocates the scratch.
+func BoxBlurInto(f, dst *Frame, r int, p *Pool) {
+	if !f.SameSize(dst) {
+		panic("frame.BoxBlurInto: size mismatch")
+	}
 	if r <= 0 {
-		return f.Clone()
+		f.CloneInto(dst)
+		return
 	}
 	// Two separable passes: horizontal then vertical, each using a sliding
 	// running sum so the cost is O(W*H) independent of r.
-	tmp := New(f.W, f.H)
+	tmp := p.Get(f.W, f.H)
 	blurRows(f, tmp, r)
-	out := New(f.W, f.H)
-	blurCols(tmp, out, r)
-	return out
+	// The column window is a length-H scalar buffer; a 1×H pooled frame
+	// serves exactly that without a second buffer type in the pool.
+	colf := p.Get(1, f.H)
+	blurCols(tmp, dst, r, colf.Pix)
+	p.Put(colf)
+	p.Put(tmp)
 }
 
 func blurRows(src, dst *Frame, r int) {
@@ -36,10 +53,9 @@ func blurRows(src, dst *Frame, r int) {
 	}
 }
 
-func blurCols(src, dst *Frame, r int) {
+func blurCols(src, dst *Frame, r int, col []float32) {
 	w, h := src.W, src.H
 	inv := 1 / float32(2*r+1)
-	col := make([]float32, h)
 	for x := 0; x < w; x++ {
 		for y := 0; y < h; y++ {
 			col[y] = src.Pix[y*w+x]
@@ -69,20 +85,29 @@ func clampIdx(i, n int) int {
 // bilinear interpolation for enlargement. This models the camera sensor
 // seeing the screen at a different resolution than the display's.
 func Resample(f *Frame, w, h int) *Frame {
-	if w == f.W && h == f.H {
-		return f.Clone()
-	}
-	if w <= 0 || h <= 0 {
-		panic("frame.Resample: invalid target size")
-	}
-	if w <= f.W && h <= f.H {
-		return areaResample(f, w, h)
-	}
-	return bilinearResample(f, w, h)
+	out := New(w, h)
+	ResampleInto(f, out)
+	return out
 }
 
-func areaResample(f *Frame, w, h int) *Frame {
-	out := New(w, h)
+// ResampleInto resamples f into dst, whose dimensions select the target
+// size: area averaging for reduction, bilinear interpolation for
+// enlargement, a straight copy when the sizes match. dst must not alias f.
+func ResampleInto(f, dst *Frame) {
+	w, h := dst.W, dst.H
+	if w == f.W && h == f.H {
+		f.CloneInto(dst)
+		return
+	}
+	if w <= f.W && h <= f.H {
+		areaResample(f, dst)
+		return
+	}
+	bilinearResample(f, dst)
+}
+
+func areaResample(f, out *Frame) {
+	w, h := out.W, out.H
 	sx := float64(f.W) / float64(w)
 	sy := float64(f.H) / float64(h)
 	for oy := 0; oy < h; oy++ {
@@ -113,7 +138,6 @@ func areaResample(f *Frame, w, h int) *Frame {
 			}
 		}
 	}
-	return out
 }
 
 func overlap(a0, a1, b0, b1 float64) float64 {
@@ -125,8 +149,8 @@ func overlap(a0, a1, b0, b1 float64) float64 {
 	return hi - lo
 }
 
-func bilinearResample(f *Frame, w, h int) *Frame {
-	out := New(w, h)
+func bilinearResample(f, out *Frame) {
+	w, h := out.W, out.H
 	sx := float64(f.W-1) / float64(max(w-1, 1))
 	sy := float64(f.H-1) / float64(max(h-1, 1))
 	for oy := 0; oy < h; oy++ {
@@ -151,7 +175,6 @@ func bilinearResample(f *Frame, w, h int) *Frame {
 			orow[ox] = top + (bot-top)*wy
 		}
 	}
-	return out
 }
 
 // MAE returns the mean absolute pixel error between two equal-sized frames.

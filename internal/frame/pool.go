@@ -1,0 +1,134 @@
+package frame
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a deterministic, explicitly sized free list of frames keyed by
+// dimensions. It exists so the steady-state pipeline (one mux render, one
+// display push, one capture, one decode per frame, forever) can run without
+// allocating a single frame buffer after warmup: every stage Gets its
+// working frames from a pool and Puts them back when its borrow ends.
+//
+// Design constraints, in order:
+//
+//   - Determinism. Get returns a zeroed frame, so a pooled run is
+//     bit-identical to an unpooled one regardless of which recycled buffer
+//     a Get happens to receive. No sync.Pool (its eviction is scheduler-
+//     and GC-dependent) and no background goroutines (the repo-wide
+//     goroutine lint invariant confines spawning to internal/parallel).
+//   - Explicit sizing. The free list only ever holds frames that were Put;
+//     nothing is preallocated speculatively and nothing is evicted. Memory
+//     high-water = peak simultaneous borrows, which the ownership rules in
+//     DESIGN.md §5e keep small and constant.
+//   - Loud misuse. Put panics on a double Put or a corrupt frame
+//     (dimension/buffer mismatch). Both are wiring bugs — the pooled
+//     pipeline hands frames between stages, and silently aliasing one
+//     frame into two owners corrupts output far from the bug.
+//
+// A nil *Pool is valid everywhere and disables pooling: Get falls back to
+// New and Put drops the frame for the GC. This lets every pipeline stage
+// take an optional pool without branching at call sites.
+//
+// Pool is safe for concurrent use. Gets, Puts and the free-list contents
+// are deterministic for a deterministic caller sequence; under concurrent
+// callers (e.g. parallel capture workers) the Hits/Misses split depends on
+// interleaving, but outputs do not, because Get zeroes every frame it
+// returns.
+type Pool struct {
+	mu     sync.Mutex
+	free   map[[2]int][]*Frame
+	pooled map[*Frame]struct{} // frames currently in the free list
+	stats  PoolStats
+}
+
+// PoolStats counts pool traffic. Gets and Puts are exact call counts; Hits
+// are Gets served from the free list, Misses are Gets that allocated.
+// Under concurrent Gets the Hit/Miss split depends on interleaving; the
+// totals do not.
+type PoolStats struct {
+	Gets, Puts, Hits, Misses uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{
+		free:   make(map[[2]int][]*Frame),
+		pooled: make(map[*Frame]struct{}),
+	}
+}
+
+// Get returns a zeroed w×h frame, reusing a previously Put frame of the
+// same dimensions when one is free. It panics if either dimension is
+// non-positive, matching New. A nil pool allocates.
+func (p *Pool) Get(w, h int) *Frame {
+	if p == nil {
+		return New(w, h)
+	}
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame.Pool.Get: invalid size %dx%d", w, h))
+	}
+	p.mu.Lock()
+	p.stats.Gets++
+	key := [2]int{w, h}
+	if list := p.free[key]; len(list) > 0 {
+		f := list[len(list)-1]
+		p.free[key] = list[:len(list)-1]
+		delete(p.pooled, f)
+		p.stats.Hits++
+		p.mu.Unlock()
+		// Zero outside the lock: the frame is exclusively ours now, and
+		// the memclr is the expensive part. Zeroing is what makes pooled
+		// and fresh runs bit-identical.
+		fillPix(f.Pix, 0)
+		return f
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+	return New(w, h)
+}
+
+// Put returns f to the free list for reuse by a later Get of the same
+// dimensions. Frames from any source are adopted, not just ones this pool
+// handed out. Put panics if f is already in the free list (double Put: two
+// owners of one buffer) or if f's buffer does not match its dimensions
+// (corruption or a hand-built Frame). A nil pool, or a nil f, is a no-op.
+func (p *Pool) Put(f *Frame) {
+	if p == nil || f == nil {
+		return
+	}
+	if f.W <= 0 || f.H <= 0 || len(f.Pix) != f.W*f.H {
+		panic(fmt.Sprintf("frame.Pool.Put: corrupt frame %dx%d with %d pixels", f.W, f.H, len(f.Pix)))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.pooled[f]; dup {
+		panic("frame.Pool.Put: double Put (frame is already in the pool)")
+	}
+	p.pooled[f] = struct{}{}
+	key := [2]int{f.W, f.H}
+	p.free[key] = append(p.free[key], f)
+	p.stats.Puts++
+}
+
+// Stats returns a snapshot of the pool's counters. Stats on a nil pool is
+// a zero snapshot.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Len returns how many frames are currently sitting in the free list.
+func (p *Pool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pooled)
+}

@@ -1,0 +1,147 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoolReuse pins the core contract: a Get after a Put of the same size
+// returns the recycled buffer (same backing array), zeroed.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	f := p.Get(8, 4)
+	f.Fill(77)
+	px := &f.Pix[0]
+	p.Put(f)
+	g := p.Get(8, 4)
+	if &g.Pix[0] != px {
+		t.Fatalf("Get did not reuse the Put frame's buffer")
+	}
+	for i, v := range g.Pix {
+		if v != 0 {
+			t.Fatalf("recycled frame not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+// TestPoolCrossSize verifies that free lists are keyed by exact W×H: a
+// frame Put at one size must not satisfy a Get at another, even with the
+// same pixel count.
+func TestPoolCrossSize(t *testing.T) {
+	p := NewPool()
+	f := p.Get(8, 4)
+	px := &f.Pix[0]
+	p.Put(f)
+	g := p.Get(4, 8) // same 32 pixels, different geometry
+	if &g.Pix[0] == px {
+		t.Fatalf("Get(4,8) reused a Put(8,4) buffer")
+	}
+	p.Put(g)
+	h := p.Get(8, 4)
+	if &h.Pix[0] != px {
+		t.Fatalf("Get(8,4) did not reuse the matching 8x4 buffer")
+	}
+}
+
+// TestPoolStats checks the traffic accounting across a deterministic
+// Get/Put sequence.
+func TestPoolStats(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 4) // miss
+	b := p.Get(4, 4) // miss
+	p.Put(a)
+	c := p.Get(4, 4) // hit
+	p.Put(b)
+	p.Put(c)
+	got := p.Stats()
+	want := PoolStats{Gets: 3, Puts: 3, Hits: 1, Misses: 2}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	if n := p.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+// TestPoolDoublePutPanics pins the loud-misuse contract: returning the
+// same frame twice means two stages think they own it.
+func TestPoolDoublePutPanics(t *testing.T) {
+	p := NewPool()
+	f := p.Get(4, 4)
+	p.Put(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double Put did not panic")
+		}
+	}()
+	p.Put(f)
+}
+
+// TestPoolCorruptPutPanics pins the size-mismatch panic for a frame whose
+// buffer no longer matches its dimensions.
+func TestPoolCorruptPutPanics(t *testing.T) {
+	p := NewPool()
+	f := &Frame{W: 4, H: 4, Pix: make([]float32, 3)}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("corrupt Put did not panic")
+		}
+	}()
+	p.Put(f)
+}
+
+// TestPoolAdoptsForeignFrames verifies Put accepts frames the pool never
+// handed out (e.g. a capture allocated before pooling was enabled).
+func TestPoolAdoptsForeignFrames(t *testing.T) {
+	p := NewPool()
+	f := New(6, 2)
+	p.Put(f)
+	g := p.Get(6, 2)
+	if &g.Pix[0] != &f.Pix[0] {
+		t.Fatalf("adopted frame was not reused")
+	}
+}
+
+// TestNilPool pins the null-object behavior every pipeline stage relies
+// on: a nil pool degrades to plain allocation with Puts dropped.
+func TestNilPool(t *testing.T) {
+	var p *Pool
+	f := p.Get(5, 3)
+	if f == nil || f.W != 5 || f.H != 3 {
+		t.Fatalf("nil pool Get returned %v", f)
+	}
+	p.Put(f) // must not panic
+	if s := p.Stats(); s != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v", s)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("nil pool Len = %d", p.Len())
+	}
+}
+
+// TestFillPixNegativeZero guards the fill fast path: -0 has a non-zero bit
+// pattern, so it must not be routed through the memclr (which would write
+// +0 and silently break bit-identity between filled and stored planes).
+func TestFillPixNegativeZero(t *testing.T) {
+	negZero := math.Float32frombits(0x8000_0000)
+	f := NewFilled(7, 3, negZero)
+	for i, v := range f.Pix {
+		if math.Float32bits(v) != 0x8000_0000 {
+			t.Fatalf("pixel %d = %x, want negative zero", i, math.Float32bits(v))
+		}
+	}
+}
+
+// TestFillMatchesNewFilled keeps the two public fill paths on the shared
+// loop: Fill over an existing frame and NewFilled must agree bit for bit.
+func TestFillMatchesNewFilled(t *testing.T) {
+	for _, v := range []float32{0, 1, 42.5, -3, 255} {
+		a := NewFilled(9, 5, v)
+		b := New(9, 5)
+		b.Fill(123)
+		b.Fill(v)
+		if !a.Equal(b) {
+			t.Fatalf("Fill(%v) and NewFilled(%v) disagree", v, v)
+		}
+	}
+}

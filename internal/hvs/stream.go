@@ -27,15 +27,25 @@ func GridPoints(w, h, n int) []Point {
 // ExtractWaveforms samples the luminance waveform of each point over the
 // display's full duration, at oversample samples per refresh interval.
 // The waveforms can then be scored by many observers without re-integration.
+//
+// All waveforms are carved from one flat sample buffer and share one row
+// integration scratch: the fusion pass allocates a constant three slices
+// regardless of how many points it samples.
 func ExtractWaveforms(d *display.Display, points []Point, oversample int) (waves [][]float64, fs float64) {
 	if oversample <= 0 {
 		panic("hvs: non-positive oversample")
 	}
 	fs = d.Config().RefreshHz * float64(oversample)
 	n := d.NumFrames() * oversample
+	w, _ := d.Size()
+	row := make([]float32, w)
+	samples := make([]float64, n*len(points))
+	dur := d.Duration()
 	waves = make([][]float64, len(points))
 	for i, p := range points {
-		waves[i] = d.PixelWaveform(p.X, p.Y, 0, d.Duration(), n)
+		wave := samples[i*n : (i+1)*n : (i+1)*n]
+		d.PixelWaveformInto(p.X, p.Y, 0, dur, wave, row)
+		waves[i] = wave
 	}
 	return waves, fs
 }

@@ -62,6 +62,9 @@ func (t *TextCard) render() *frame.Frame {
 // Frame implements Source; the card is static.
 func (t *TextCard) Frame(int) *frame.Frame { return t.base.Clone() }
 
+// FrameInto implements IntoSource, copying the static card into dst.
+func (t *TextCard) FrameInto(_ int, dst *frame.Frame) { t.base.CloneInto(dst) }
+
 // Size implements Source.
 func (t *TextCard) Size() (int, int) { return t.W, t.H }
 

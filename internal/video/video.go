@@ -26,6 +26,18 @@ type Source interface {
 	FPS() float64
 }
 
+// IntoSource is an optional Source capability: FrameInto renders frame i
+// into a caller-owned buffer instead of allocating one, producing pixels
+// bit-identical to Frame(i). The pooled multiplexer type-asserts for it so
+// the steady-state render loop reuses one video buffer for the whole run;
+// sources without it fall back to per-video-frame allocation. dst must
+// match the source size and every pixel is overwritten (dst need not be
+// zeroed).
+type IntoSource interface {
+	Source
+	FrameInto(i int, dst *frame.Frame)
+}
+
 // Solid is a constant-luminance video, the paper's "pure gray" and
 // "pure dark gray" inputs (RGB 180 and 127 respectively, which collapse to
 // the same value in luminance).
@@ -42,6 +54,9 @@ func NewSolid(w, h int, level float32) *Solid {
 
 // Frame implements Source.
 func (s *Solid) Frame(int) *frame.Frame { return frame.NewFilled(s.W, s.H, s.Level) }
+
+// FrameInto implements IntoSource.
+func (s *Solid) FrameInto(_ int, dst *frame.Frame) { dst.Fill(s.Level) }
 
 // Size implements Source.
 func (s *Solid) Size() (int, int) { return s.W, s.H }
@@ -107,6 +122,12 @@ func NewSunRise(w, h int, seed int64) *SunRise {
 // Frame implements Source. The clip loops every 20 seconds of content.
 func (s *SunRise) Frame(i int) *frame.Frame {
 	f := frame.New(s.W, s.H)
+	s.FrameInto(i, f)
+	return f
+}
+
+// FrameInto implements IntoSource; every pixel of dst is written.
+func (s *SunRise) FrameInto(i int, f *frame.Frame) {
 	t := math.Mod(float64(i)/s.Rate, 20) / 20 // progress 0..1
 	w, h := float64(s.W), float64(s.H)
 	horizon := 0.65 * h
@@ -155,7 +176,6 @@ func (s *SunRise) Frame(i int) *frame.Frame {
 			f.Pix[y*s.W+x] = float32(v)
 		}
 	}
-	return f
 }
 
 // Size implements Source.
@@ -182,13 +202,18 @@ func NewNoise(w, h int, lo, hi float32, seed int64) *Noise {
 // Frame implements Source. Each index yields a deterministic frame derived
 // from the source seed and the index.
 func (n *Noise) Frame(i int) *frame.Frame {
-	rng := rand.New(rand.NewSource(n.seed ^ int64(i)*0x9e3779b97f4a7c))
 	f := frame.New(n.W, n.H)
+	n.FrameInto(i, f)
+	return f
+}
+
+// FrameInto implements IntoSource; every pixel of dst is written.
+func (n *Noise) FrameInto(i int, f *frame.Frame) {
+	rng := rand.New(rand.NewSource(n.seed ^ int64(i)*0x9e3779b97f4a7c))
 	span := n.Hi - n.Lo
 	for j := range f.Pix {
 		f.Pix[j] = n.Lo + rng.Float32()*span
 	}
-	return f
 }
 
 // Size implements Source.
@@ -215,6 +240,12 @@ func NewMovingBars(w, h int, period int, speed float64) *MovingBars {
 // Frame implements Source.
 func (m *MovingBars) Frame(i int) *frame.Frame {
 	f := frame.New(m.W, m.H)
+	m.FrameInto(i, f)
+	return f
+}
+
+// FrameInto implements IntoSource; every pixel of dst is written.
+func (m *MovingBars) FrameInto(i int, f *frame.Frame) {
 	off := m.Speed * float64(i)
 	p := float64(m.Period)
 	for x := 0; x < m.W; x++ {
@@ -227,7 +258,6 @@ func (m *MovingBars) Frame(i int) *frame.Frame {
 			f.Pix[y*m.W+x] = v
 		}
 	}
-	return f
 }
 
 // Size implements Source.
@@ -249,6 +279,12 @@ func NewGradient(w, h int) *Gradient { return &Gradient{W: w, H: h, Rate: 30} }
 // Frame implements Source.
 func (g *Gradient) Frame(int) *frame.Frame {
 	f := frame.New(g.W, g.H)
+	g.FrameInto(0, f)
+	return f
+}
+
+// FrameInto implements IntoSource; every pixel of dst is written.
+func (g *Gradient) FrameInto(_ int, f *frame.Frame) {
 	den := float64(g.W + g.H - 2)
 	if g.W+g.H-2 == 0 {
 		den = 1
@@ -258,7 +294,6 @@ func (g *Gradient) Frame(int) *frame.Frame {
 			f.Pix[y*g.W+x] = float32(255 * float64(x+y) / den)
 		}
 	}
-	return f
 }
 
 // Size implements Source.
@@ -294,6 +329,12 @@ func NewClip(frames []*frame.Frame) *Clip {
 func (c *Clip) Frame(i int) *frame.Frame {
 	n := len(c.Frames)
 	return c.Frames[((i%n)+n)%n].Clone()
+}
+
+// FrameInto implements IntoSource, copying the recorded frame into dst.
+func (c *Clip) FrameInto(i int, dst *frame.Frame) {
+	n := len(c.Frames)
+	c.Frames[((i%n)+n)%n].CloneInto(dst)
 }
 
 // Size implements Source.

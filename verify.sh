@@ -3,10 +3,12 @@
 # this before it lands: static checks (gofmt, go vet, and the repo's own
 # inframe-lint invariant suite), a full build, the complete test suite
 # under the race detector (the worker pools in internal/parallel make data
-# races a correctness class, not a theoretical one), one iteration of the
+# races a correctness class, not a theoretical one), the steady-state
+# allocation tests without instrumentation (so AllocsPerRun sees the real
+# counts the benchmark baselines record), one iteration of the
 # sequential-vs-parallel benchmarks as a smoke test, and the
 # inframe-benchdiff regression gate against the committed BENCH_*.json
-# baseline (+15% ns/op tolerance).
+# baseline (+15% ns/op tolerance, allocs/op gated alongside).
 #
 # Usage: ./verify.sh [-short]
 #   -short  gate the race run on `go test -short` (skips the long
@@ -60,6 +62,13 @@ run_tests() {
 	go test -race -timeout 60m $short ./...
 }
 
+run_alloc_tests() {
+	# Uninstrumented rerun of the steady-state allocation tests: they pass
+	# under -race too, but only this run measures the true allocs/op that
+	# the BENCH_*.json baselines pin.
+	go test -run 'TestSteadyStateFrameBufferAllocs|TestMultiplexerRenderAllocs|TestReceiverMeasureAllocs' -count=1 .
+}
+
 run_bench_smoke() {
 	go test -run '^$' -bench 'EndToEnd|DecodeCaptures' -benchtime=1x .
 }
@@ -73,6 +82,7 @@ stage "go vet ./..." go vet ./...
 stage "go build ./..." go build ./...
 stage "inframe-lint ./..." go run ./cmd/inframe-lint ./...
 stage "go test -race $short ./..." run_tests
+stage "steady-state alloc tests" run_alloc_tests
 if [[ -n "$short" ]]; then
 	skip "benchmarks (1 iteration smoke)"
 	skip "inframe-benchdiff"
