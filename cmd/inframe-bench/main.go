@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations, speedup")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, speedup")
 	seconds := flag.Float64("seconds", 2.0, "simulated seconds per throughput setting")
 	flickerSeconds := flag.Float64("flicker-seconds", 1.0, "simulated seconds per flicker rating")
 	seed := flag.Int64("seed", 1, "global random seed")
@@ -234,8 +234,18 @@ func main() {
 			return nil
 		})
 	}
+	if want("robustness") {
+		run("Robustness — impairment sweep with graceful degradation", func() error {
+			rows, err := experiments.Robustness(s)
+			if err != nil {
+				return err
+			}
+			experiments.WriteRobustness(os.Stdout, rows)
+			return nil
+		})
+	}
 	if !matched {
-		fatal(fmt.Errorf("unknown experiment %q (use all, fig3, fig5, fig6a, fig6b, fig7, ablations or speedup)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (use all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness or speedup)", *exp))
 	}
 }
 

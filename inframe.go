@@ -35,6 +35,7 @@ import (
 	"inframe/internal/core"
 	"inframe/internal/display"
 	"inframe/internal/frame"
+	"inframe/internal/impair"
 	"inframe/internal/link"
 	"inframe/internal/metrics"
 	"inframe/internal/register"
@@ -96,6 +97,30 @@ type (
 	RGBVideoSource = video.RGBSource
 	// RGBMultiplexer renders multiplexed color frames.
 	RGBMultiplexer = core.RGBMultiplexer
+	// ImpairConfig is the seeded channel fault-injection stack: set it on
+	// ChannelConfig.Impair to corrupt the simulated link with clock drift,
+	// exposure jitter, capture drop/duplication, lighting and sensor faults.
+	ImpairConfig = impair.Config
+	// DecodeReport is the receiver's graceful-degradation report: erasure
+	// causes, link-quality timeline, gap and resync accounting (see
+	// Receiver.DecodeCapturesReport).
+	DecodeReport = core.DecodeReport
+	// CaptureQuality is one entry of the decode report's quality timeline.
+	CaptureQuality = core.CaptureQuality
+	// ErasureCause classifies why a GOB failed to deliver data.
+	ErasureCause = core.ErasureCause
+	// DegradationStats accumulates decode reports across runs.
+	DegradationStats = metrics.DegradationStats
+)
+
+// Erasure causes, ordered by severity (see core.ErasureCause).
+const (
+	CauseNone          = core.CauseNone
+	CauseParity        = core.CauseParity
+	CauseLowConfidence = core.CauseLowConfidence
+	CauseNoSwing       = core.CauseNoSwing
+	CauseNoSignal      = core.CauseNoSignal
+	CauseNoCapture     = core.CauseNoCapture
 )
 
 // Re-exported constructors and helpers.

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // DetRandAnalyzer enforces the determinism contract of the pipeline: the
@@ -58,7 +59,12 @@ func runDetRand(pass *Pass) {
 				switch obj.Pkg().Path() {
 				case "math/rand", "math/rand/v2":
 					// Methods on *rand.Rand carry their own source and are
-					// fine; only package-level functions hit the global one.
+					// fine, and a type reference (*rand.Rand in a
+					// signature) draws nothing; only package-level
+					// functions hit the global one.
+					if _, isType := obj.(*types.TypeName); isType {
+						return true
+					}
 					if isPackageLevelRef(pass, n) && !detrandAllowed[obj.Name()] {
 						pass.Reportf(n.Pos(), "%s.%s uses the unseeded global source; use rand.New(rand.NewSource(seed)) so worker pools stay bit-identical", obj.Pkg().Name(), obj.Name())
 					}

@@ -25,6 +25,12 @@ func seeded(seed int64) int {
 	return rng.Intn(6)                    // method on *rand.Rand: allowed
 }
 
+func typeRef(seed int64) *rand.Rand { // *rand.Rand type reference: allowed
+	var r *rand.Rand // ditto in a declaration
+	r = rand.New(rand.NewSource(seed))
+	return r
+}
+
 func multiSelect(a, b chan int) int {
 	select { // want "scheduler-dependent"
 	case v := <-a:

@@ -12,6 +12,7 @@ import (
 	"inframe/internal/core"
 	"inframe/internal/display"
 	"inframe/internal/frame"
+	"inframe/internal/impair"
 	"inframe/internal/parallel"
 )
 
@@ -23,6 +24,22 @@ type Config struct {
 	Camera camera.Config
 	// CameraStart offsets the first exposure relative to the first
 	// displayed frame, modelling free-running clocks (0 = aligned).
+	//
+	// Any finite offset is defined, not just [0, frame period):
+	//
+	//   - A negative offset starts exposures before the first display
+	//     frame. The display clamps: windows before t=0 integrate the
+	//     first pushed frame as if it had always been on the monitor (a
+	//     camera that starts rolling while the screen shows a static
+	//     image). The capture-count budget shrinks accordingly — the
+	//     formula n = (duration − CameraStart − exposure − readout) /
+	//     period grows n for negative offsets, and every extra capture
+	//     sees the held first frame.
+	//   - Offsets of one display-frame period or more simply skip that
+	//     much of the transmission; with a free-running camera clock the
+	//     offset is arbitrary, so no wrap-around is applied. Offsets
+	//     beyond the displayed duration leave no room for a capture and
+	//     Simulate reports the "too short" error.
 	CameraStart float64
 	// Workers bounds Simulate's pipeline pool: display frame k+1 renders
 	// while captures whose exposure windows are already covered run behind
@@ -38,6 +55,13 @@ type Config struct {
 	// Put captures back after decoding for an allocation-free steady
 	// state. Nil keeps per-stage private pools.
 	Pool *frame.Pool
+	// Impair optionally corrupts the link with a seeded, deterministic
+	// fault stack — clock drift, exposure jitter, capture drop and
+	// duplication, lighting and sensor faults (see internal/impair). Nil
+	// or an all-zero config leaves the clean path untouched: Simulate
+	// routes through exactly the same code as a config without the field,
+	// so clean results stay bit-identical.
+	Impair *impair.Config
 }
 
 // DefaultConfig returns the paper's setup scaled to a capture resolution:
@@ -70,6 +94,9 @@ func New(cfg Config) (*Link, error) {
 	}
 	if cfg.Pool != nil && cfg.Camera.Pool == nil {
 		cfg.Camera.Pool = cfg.Pool
+	}
+	if err := cfg.Impair.Validate(); err != nil {
+		return nil, fmt.Errorf("channel: %w", err)
 	}
 	c, err := camera.New(cfg.Camera)
 	if err != nil {
@@ -136,6 +163,9 @@ func Simulate(m *core.Multiplexer, nDisplayFrames int, cfg Config) (*Result, err
 	link, err := New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Impair.Enabled() {
+		return simulateImpaired(m, nDisplayFrames, cfg, link)
 	}
 	if parallel.Resolve(cfg.Workers) <= 1 {
 		if err := m.PushTo(link.Display, nDisplayFrames); err != nil {
@@ -206,4 +236,71 @@ func simulatePipelined(m *core.Multiplexer, nDisplayFrames int, cfg Config, link
 	}
 	pool.Wait()
 	return &Result{Captures: caps, Times: times, Exposure: cfg.Camera.Exposure}, nil
+}
+
+// simulateImpaired is the fault-injected counterpart of simulatePipelined:
+// capture times follow the drift-skewed, jittered schedule, every finished
+// capture runs through the pixel-domain impairment stages, and the delivery
+// stages (drop/duplicate) rewrite the final sequence. One code path serves
+// every worker count — the worker pool degrades to inline execution at 1 —
+// and all randomness is keyed by capture index, so results are bit-identical
+// at any worker count.
+func simulateImpaired(m *core.Multiplexer, nDisplayFrames int, cfg Config, link *Link) (*Result, error) {
+	st := impair.New(*cfg.Impair)
+	dur := float64(nDisplayFrames) / cfg.Display.RefreshHz
+	period := st.Period(link.Camera.FramePeriod())
+	exposureSpan := cfg.Camera.Exposure + cfg.Camera.ReadoutTime
+	// Jitter may push an exposure later by up to StartJitter; budget for it
+	// so every scheduled capture fits inside the displayed duration even at
+	// the jitter extreme.
+	nCaps := int((dur - cfg.CameraStart - exposureSpan - cfg.Impair.StartJitter) / period)
+	if nCaps <= 0 {
+		if err := m.PushTo(link.Display, nDisplayFrames); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("channel: displayed duration too short for any capture")
+	}
+	caps := make([]*frame.Frame, nCaps)
+	times := make([]float64, nCaps)
+	for i := range times {
+		times[i] = st.CaptureTime(i, cfg.CameraStart, period)
+	}
+	pool := parallel.NewPool(cfg.Workers)
+	frameT := 1 / cfg.Display.RefreshHz
+	next := 0
+	dispatch := func(i int) {
+		t := times[i]
+		pool.Go(func() {
+			f := link.Camera.Capture(link.Display, t, i)
+			st.ApplyFrame(f, i, t, cfg.Camera.Exposure)
+			caps[i] = f
+		})
+	}
+	for k := 0; k < nDisplayFrames; k++ {
+		f := m.Frame(k)
+		if err := link.Display.Push(f); err != nil {
+			pool.Wait()
+			return nil, fmt.Errorf("channel: frame %d: %w", k, err)
+		}
+		m.Recycle(f)
+		for next < nCaps {
+			// Dispatch in index order using each capture's own (jittered)
+			// window; a not-yet-coverable capture blocks later ones only
+			// until the straggler sweep below.
+			if need := int(math.Ceil((times[next] + exposureSpan) / frameT)); need > k+1 {
+				break
+			}
+			dispatch(next)
+			next++
+		}
+	}
+	for ; next < nCaps; next++ {
+		dispatch(next)
+	}
+	pool.Wait()
+	// Delivery-pipeline stages run on the assembled sequence. Dropped
+	// captures go back to the pool the camera drew them from; duplicates
+	// are drawn from it.
+	outCaps, outTimes := st.ApplySequence(caps, times, period, link.cfg.Camera.Pool)
+	return &Result{Captures: outCaps, Times: outTimes, Exposure: cfg.Camera.Exposure}, nil
 }

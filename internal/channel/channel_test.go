@@ -1,12 +1,14 @@
 package channel
 
 import (
+	"math"
 	"testing"
 
 	"inframe/internal/camera"
 	"inframe/internal/core"
 	"inframe/internal/display"
 	"inframe/internal/frame"
+	"inframe/internal/impair"
 	"inframe/internal/metrics"
 	"inframe/internal/video"
 )
@@ -164,6 +166,199 @@ func TestRollingShutterDegradesAvailability(t *testing.T) {
 	harshAvail := availability(harsh)
 	if harshAvail >= benign-0.3 {
 		t.Fatalf("pair-spanning exposure did not collapse availability: %.3f vs benign %.3f", harshAvail, benign)
+	}
+}
+
+// TestCameraStartEdgeCases is the regression test for CameraStart values
+// outside [0, display frame period): both directions are defined behaviour
+// (see the Config.CameraStart doc), not artifacts.
+func TestCameraStartEdgeCases(t *testing.T) {
+	mkFrames := func() []*frame.Frame {
+		frames := make([]*frame.Frame, 60) // 0.5 s at 120 Hz
+		for k := range frames {
+			frames[k] = frame.NewFilled(48, 32, float32(40+2*k))
+		}
+		return frames
+	}
+	base := quietChannel(48, 32)
+	base.Camera.NoiseSigma = 0
+
+	t.Run("negative offset holds the first frame", func(t *testing.T) {
+		cfg := base
+		cfg.CameraStart = -0.05
+		link, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := link.Transmit(mkFrames()); err != nil {
+			t.Fatal(err)
+		}
+		caps, times := link.CaptureAll()
+		// The budget formula gains captures from a negative offset: every
+		// extra slot sees the held first frame.
+		wantN := int((0.5 - cfg.CameraStart - cfg.Camera.Exposure) / (1.0 / 30))
+		if len(caps) != wantN {
+			t.Fatalf("capture count %d, want %d from the budget formula", len(caps), wantN)
+		}
+		if math.Abs(times[0]-cfg.CameraStart) > 0 {
+			t.Fatalf("first exposure at %v, want CameraStart %v", times[0], cfg.CameraStart)
+		}
+		// Captures whose window closes before t=0 integrate the first
+		// pushed frame as a static hold.
+		held := link.Camera.Capture(link.Display, 0, 0)
+		for i := range caps {
+			if times[i]+cfg.Camera.Exposure > 0 {
+				break
+			}
+			if !caps[i].Equal(held) {
+				t.Fatalf("pre-start capture %d differs from the held first frame", i)
+			}
+		}
+		if !caps[0].Equal(held) {
+			t.Fatal("no pre-start capture was checked")
+		}
+	})
+
+	t.Run("offset beyond one frame period skips ahead", func(t *testing.T) {
+		frameT := 1.0 / 120
+		cfg := base
+		cfg.CameraStart = 10.5 * frameT // mid-interval of display frame 10
+		link, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := link.Transmit(mkFrames()); err != nil {
+			t.Fatal(err)
+		}
+		caps, times := link.CaptureAll()
+		if len(caps) == 0 {
+			t.Fatal("no captures for an in-range late start")
+		}
+		if math.Abs(times[0]-cfg.CameraStart) > 0 {
+			t.Fatalf("first exposure at %v, want %v (no period wrap-around)", times[0], cfg.CameraStart)
+		}
+		// Display frame 10 is filled with 60; the default gamma round-trip
+		// is identity for static content, so the capture must read ~60 —
+		// not the ~40 of frame 0 a modulo-period wrap would produce.
+		mean := caps[0].Mean()
+		if mean < 58 || mean > 62 {
+			t.Fatalf("first capture mean %.1f, want ~60 (display frame 10), not ~40 (frame 0)", mean)
+		}
+	})
+
+	t.Run("offset beyond the transmission fails cleanly", func(t *testing.T) {
+		p := testParams()
+		m, err := core.NewMultiplexer(p, video.Gray(48, 32), core.NewRandomStream(p.Layout, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.CameraStart = 0.6 // past the 0.5 s transmission
+		if _, err := Simulate(m, 60, cfg); err == nil {
+			t.Fatal("expected the too-short error for an offset past the transmission")
+		}
+	})
+}
+
+// impairedConfig is a moderately hostile stack used by the channel-level
+// impairment tests.
+func impairedConfig() *impair.Config {
+	return &impair.Config{
+		Seed:          17,
+		ClockDriftPPM: 300,
+		StartJitter:   2e-4,
+		DropRate:      0.3,
+		DupRate:       0.3,
+		AmbientRamp:   6,
+		FlickerAmp:    3,
+		FlickerHz:     100,
+		BurstRate:     0.2,
+		BurstSigma:    6,
+	}
+}
+
+// TestImpairedSimulateWorkerInvariance: the fault-injected path must stay
+// bit-identical at any worker count — impairments are keyed by capture
+// index, never by scheduling.
+func TestImpairedSimulateWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Result {
+		p := testParams()
+		m, err := core.NewMultiplexer(p, video.Gray(48, 32), core.NewRandomStream(p.Layout, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quietChannel(48, 32)
+		cfg.Workers = workers
+		cfg.Camera.Workers = workers
+		cfg.Impair = impairedConfig()
+		res, err := Simulate(m, 120, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	if len(want.Captures) == 0 {
+		t.Fatal("impaired run produced no captures")
+	}
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if len(got.Captures) != len(want.Captures) {
+			t.Fatalf("workers=%d: %d captures, want %d", w, len(got.Captures), len(want.Captures))
+		}
+		for i, c := range got.Captures {
+			if math.Abs(got.Times[i]-want.Times[i]) > 0 {
+				t.Fatalf("workers=%d: capture %d time %v, want %v", w, i, got.Times[i], want.Times[i])
+			}
+			if !c.Equal(want.Captures[i]) {
+				t.Fatalf("workers=%d: capture %d not bit-identical", w, i)
+			}
+		}
+	}
+}
+
+// TestImpairedPoolRecycling is the drop/duplicate pool-safety test: over
+// repeated impaired simulate+recycle cycles with one shared pool, dropped
+// captures must go back exactly once (a double Put panics loudly) and
+// duplicates must come from and return to the pool — after warmup the pool
+// stops allocating entirely, which rules out leaks.
+func TestImpairedPoolRecycling(t *testing.T) {
+	p := testParams()
+	pool := frame.NewPool()
+	cycle := func() {
+		m, err := core.NewMultiplexer(p, video.Gray(48, 32), core.NewRandomStream(p.Layout, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quietChannel(48, 32)
+		cfg.Pool = pool
+		cfg.Impair = impairedConfig()
+		res, err := Simulate(m, 120, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[*frame.Frame]bool, len(res.Captures))
+		for i, c := range res.Captures {
+			if seen[c] {
+				t.Fatalf("capture %d aliases an earlier capture: Recycle would double-Put", i)
+			}
+			seen[c] = true
+		}
+		res.Recycle(pool)
+	}
+	cycle()
+	cycle()
+	warm := pool.Stats()
+	if warm.Puts == 0 || warm.Hits == 0 {
+		t.Fatalf("pool not exercised during warmup: %+v", warm)
+	}
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	steady := pool.Stats()
+	if steady.Misses != warm.Misses {
+		t.Errorf("impaired steady state allocated %d frame buffers (misses %d -> %d): dropped or duplicated captures leaked",
+			steady.Misses-warm.Misses, warm.Misses, steady.Misses)
 	}
 }
 

@@ -138,6 +138,23 @@ type ReceiverConfig struct {
 	// allocates no frame buffers. Nil means a private pool. Share one pool
 	// with the camera to reuse the same buffers across the whole pipeline.
 	Pool *frame.Pool
+	// MinCaptureQuality gates individual captures out of the decode: a
+	// scored capture whose link quality (block coverage × shutter quality
+	// × unclipped fraction, see DecodeReport's quality timeline) falls
+	// below this threshold is excluded from aggregation — one garbage
+	// capture (occluded, saturated, glitched) then degrades only itself,
+	// not every data frame it overlaps. 0 disables the gate; captures are
+	// still scored when a report is requested.
+	MinCaptureQuality float64
+	// RecalibrateEvery splits the adaptive per-Block level calibration
+	// into windows of this many data frames, recalibrated independently:
+	// slow ambient ramps and auto-exposure gain drift then re-centre each
+	// window's thresholds instead of smearing one global level estimate.
+	// 0 (the default) calibrates once over the whole run — bit-identical
+	// to the pre-windowed decoder. The trailing remainder joins the final
+	// window, so no window is ever shorter than the configured length.
+	// Windows shorter than ~8 frames starve the percentile estimates.
+	RecalibrateEvery int
 }
 
 // CaptureMapping is an axis-aligned affine map from display pixel
@@ -222,6 +239,12 @@ func (c ReceiverConfig) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be non-negative, got %d", c.Workers)
+	}
+	if c.MinCaptureQuality < 0 || c.MinCaptureQuality > 1 {
+		return fmt.Errorf("core: MinCaptureQuality must be in [0,1], got %v", c.MinCaptureQuality)
+	}
+	if c.RecalibrateEvery < 0 {
+		return fmt.Errorf("core: RecalibrateEvery must be non-negative, got %d", c.RecalibrateEvery)
 	}
 	return nil
 }
@@ -474,6 +497,10 @@ type GOBResult struct {
 	Available bool
 	// ParityOK: for available GOBs, whether the XOR parity held.
 	ParityOK bool
+	// Cause classifies the erasure: CauseNone for delivered GOBs, else
+	// the worst failure among the GOB's Blocks (or CauseParity when every
+	// Block decoded but the parity failed).
+	Cause ErasureCause
 }
 
 // FrameDecode is the decoded form of one data frame.
@@ -487,7 +514,10 @@ type FrameDecode struct {
 	Bits *DataFrame
 	// Decided flags which Blocks cleared the confidence band.
 	Decided []bool
-	// GOBs holds per-GOB availability and parity outcomes.
+	// BlockCauses records, per Block, why it stayed undecided (CauseNone
+	// for decided Blocks).
+	BlockCauses []ErasureCause
+	// GOBs holds per-GOB availability, parity and erasure-cause outcomes.
 	GOBs []GOBResult
 }
 
@@ -546,10 +576,11 @@ func cluster2(scores []float64) (c0, c1 float64) {
 func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, captures int) *FrameDecode {
 	l := r.cfg.Layout
 	fd := &FrameDecode{
-		Index:    index,
-		Captures: captures,
-		Bits:     NewDataFrame(l),
-		Decided:  make([]bool, l.NumBlocks()),
+		Index:       index,
+		Captures:    captures,
+		Bits:        NewDataFrame(l),
+		Decided:     make([]bool, l.NumBlocks()),
+		BlockCauses: make([]ErasureCause, l.NumBlocks()),
 	}
 	threshold := r.cfg.Threshold
 	band := r.cfg.MinConfidence
@@ -577,6 +608,7 @@ func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, 
 		if math.IsNaN(s) {
 			fd.Bits.Bits[i] = false
 			fd.Decided[i] = false
+			fd.BlockCauses[i] = CauseNoSignal
 			continue
 		}
 		blockBand := band
@@ -585,26 +617,52 @@ func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, 
 		}
 		fd.Bits.Bits[i] = s > threshold
 		fd.Decided[i] = math.Abs(s-threshold) >= blockBand
+		if !fd.Decided[i] {
+			if math.IsInf(blockBand, 1) {
+				// The degenerate-frame sentinel: no usable swing anywhere.
+				fd.BlockCauses[i] = CauseNoSwing
+			} else {
+				fd.BlockCauses[i] = CauseLowConfidence
+			}
+		}
 	}
+	buildGOBs(fd, l)
+	return fd
+}
+
+// buildGOBs derives the per-GOB availability, parity and erasure-cause
+// summary from a frame's Block decisions — the single GOB aggregation every
+// decode path (batch, adaptive, streaming, empty) runs through. An erased
+// GOB reports the worst cause among its undecided Blocks; an available GOB
+// failing parity reports CauseParity.
+func buildGOBs(fd *FrameDecode, l Layout) {
 	gobsX, gobsY := l.GOBsX(), l.GOBsY()
 	gobs := make([]GOBResult, 0, gobsX*gobsY)
 	for gy := 0; gy < gobsY; gy++ {
 		for gx := 0; gx < gobsX; gx++ {
 			res := GOBResult{GX: gx, GY: gy, Available: true}
 			for _, blk := range l.GOBBlocks(gx, gy) {
-				if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
-					res.Available = false
-					break
+				j := blk[1]*l.BlocksX + blk[0]
+				if fd.Decided[j] {
+					continue
+				}
+				res.Available = false
+				if fd.BlockCauses != nil && fd.BlockCauses[j] > res.Cause {
+					res.Cause = fd.BlockCauses[j]
+				} else if fd.BlockCauses == nil && res.Cause < CauseLowConfidence {
+					res.Cause = CauseLowConfidence
 				}
 			}
 			if res.Available {
 				res.ParityOK = fd.Bits.ParityOK(gx, gy)
+				if !res.ParityOK {
+					res.Cause = CauseParity
+				}
 			}
 			gobs = append(gobs, res)
 		}
 	}
 	fd.GOBs = gobs
-	return fd
 }
 
 // steadyWindow returns the span of mid-exposure times for which a capture
@@ -641,6 +699,22 @@ func (r *Receiver) steadyWindow(d int, exposure float64) (t0, t1 float64) {
 // intermediate merged by index, so the result is bit-identical to a
 // sequential decode.
 func (r *Receiver) DecodeCaptures(caps []*frame.Frame, times []float64, exposure float64, nFrames int) []*FrameDecode {
+	dec, _ := r.decodeCaptures(caps, times, exposure, nFrames, false)
+	return dec
+}
+
+// DecodeCapturesReport is DecodeCaptures plus the graceful-degradation
+// companion report: the per-capture link-quality timeline, gap and resync
+// accounting, and (through the frames' GOB causes) the erasure breakdown.
+// The decoded frames are identical to DecodeCaptures' — the report is an
+// observation layer, not a different decoder — except where the
+// MinCaptureQuality gate excludes captures, which applies to both entry
+// points equally.
+func (r *Receiver) DecodeCapturesReport(caps []*frame.Frame, times []float64, exposure float64, nFrames int) ([]*FrameDecode, *DecodeReport) {
+	return r.decodeCaptures(caps, times, exposure, nFrames, true)
+}
+
+func (r *Receiver) decodeCaptures(caps []*frame.Frame, times []float64, exposure float64, nFrames int, wantReport bool) ([]*FrameDecode, *DecodeReport) {
 	if len(caps) != len(times) {
 		panic("core: captures and times length mismatch")
 	}
@@ -667,13 +741,30 @@ func (r *Receiver) DecodeCaptures(caps []*frame.Frame, times []float64, exposure
 		}
 	}
 	// Measurement pass: per-capture Block energy scans are independent, so
-	// they fan out; each worker writes only its capture's slot.
+	// they fan out; each worker writes only its capture's slot. Link
+	// quality rides along when the gate or a report needs it — a pure
+	// observation, so the clean path's decode is untouched by it.
 	measured := make([][]float64, len(caps))
 	qualities := make([][]float64, len(caps))
+	gating := r.cfg.MinCaptureQuality > 0
+	var capQuality []float64
+	if wantReport || gating {
+		capQuality = make([]float64, len(caps))
+	}
 	parallel.For(r.cfg.Workers, len(needed), func(j int) {
 		i := needed[j]
 		measured[i], qualities[i] = r.MeasureCaptureAt(caps[i], times[i])
+		if capQuality != nil {
+			capQuality[i] = r.linkQuality(caps[i], measured[i], qualities[i])
+		}
 	})
+	var excluded []bool
+	if gating {
+		excluded = make([]bool, len(caps))
+		for _, i := range needed {
+			excluded[i] = capQuality[i] < r.cfg.MinCaptureQuality
+		}
+	}
 	// Aggregation pass: same capture order per frame as the sequential
 	// code, so float accumulation is bit-identical.
 	agg := make([][]float64, nFrames)
@@ -686,6 +777,9 @@ func (r *Receiver) DecodeCaptures(caps []*frame.Frame, times []float64, exposure
 			blockN[j] = 0
 		}
 		for _, i := range selected[d] {
+			if excluded != nil && excluded[i] {
+				continue
+			}
 			if acc == nil {
 				acc = make([]float64, nBlocks)
 				qual[d] = make([]float64, nBlocks)
@@ -713,56 +807,127 @@ func (r *Receiver) DecodeCaptures(caps []*frame.Frame, times []float64, exposure
 		agg[d] = acc
 	}
 
+	var out []*FrameDecode
 	if r.cfg.Adaptive {
-		return r.decodePerBlock(agg, qual, counts)
+		out = r.decodePerBlock(agg, qual, counts)
+	} else {
+		r.normalize(agg)
+		out = make([]*FrameDecode, nFrames)
+		parallel.For(r.cfg.Workers, nFrames, func(d int) {
+			if counts[d] == 0 {
+				out[d] = r.emptyDecode(d)
+				return
+			}
+			out[d] = r.DecodeScores(d, agg[d], qual[d], counts[d])
+		})
 	}
-	r.normalize(agg)
-
-	out := make([]*FrameDecode, nFrames)
-	parallel.For(r.cfg.Workers, nFrames, func(d int) {
-		if counts[d] == 0 {
-			out[d] = r.emptyDecode(d)
-			return
+	if !wantReport {
+		return out, nil
+	}
+	rep := &DecodeReport{Frames: out, Quality: make([]CaptureQuality, len(caps))}
+	for i := range caps {
+		q := CaptureQuality{Index: i, Time: times[i]}
+		if neededSet[i] {
+			q.Scored = true
+			q.Quality = capQuality[i]
+			if excluded != nil && excluded[i] {
+				q.Excluded = true
+				rep.ExcludedCaptures++
+			} else {
+				q.Used = true
+			}
 		}
-		out[d] = r.DecodeScores(d, agg[d], qual[d], counts[d])
-	})
-	return out
+		rep.Quality[i] = q
+	}
+	prevGap := false
+	for d, fd := range out {
+		gap := fd.Captures == 0
+		if gap {
+			rep.GapFrames++
+		} else if prevGap && d > 0 {
+			// A frame decoded again after a gap: the receiver resynced.
+			rep.Resyncs++
+		}
+		prevGap = gap
+	}
+	return out, rep
+}
+
+// linkQuality scores one measured capture in [0, 1]: the product of Block
+// coverage (finite measurements over visible Blocks), mean shutter quality
+// (how much row-weight mass survived the rolling-shutter model) and the
+// fraction of unclipped pixels (clipped pixels carry no chessboard energy —
+// saturation, occlusion, a glitched readout). The pixel scan subsamples with
+// a stride coprime to typical widths; quality feeds the MinCaptureQuality
+// gate and the decode report's timeline, never the clean decode itself.
+func (r *Receiver) linkQuality(f *frame.Frame, scores, quality []float64) float64 {
+	finite := 0
+	var shutterSum float64
+	shutterN := 0
+	for i, s := range scores {
+		if !math.IsNaN(s) && !math.IsInf(s, 0) {
+			finite++
+		}
+		if quality[i] > 0 {
+			shutterSum += quality[i]
+			shutterN++
+		}
+	}
+	cover := float64(finite) / float64(r.visible)
+	shutter := 0.0
+	if shutterN > 0 {
+		shutter = shutterSum / float64(shutterN)
+		if shutter > 1 {
+			shutter = 1
+		}
+	}
+	clipped, n := 0, 0
+	for i := 0; i < len(f.Pix); i += 7 {
+		v := f.Pix[i]
+		if v <= 0.5 || v >= 254.5 {
+			clipped++
+		}
+		n++
+	}
+	q := cover * shutter * (1 - float64(clipped)/float64(n))
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
 }
 
 // emptyDecode builds the all-undecided FrameDecode of a data frame no
-// capture observed.
+// capture observed: a timing gap, every Block and GOB marked CauseNoCapture.
 func (r *Receiver) emptyDecode(d int) *FrameDecode {
 	l := r.cfg.Layout
 	fd := &FrameDecode{
-		Index:   d,
-		Bits:    NewDataFrame(l),
-		Decided: make([]bool, l.NumBlocks()),
+		Index:       d,
+		Bits:        NewDataFrame(l),
+		Decided:     make([]bool, l.NumBlocks()),
+		BlockCauses: make([]ErasureCause, l.NumBlocks()),
 	}
-	gobsX, gobsY := l.GOBsX(), l.GOBsY()
-	gobs := make([]GOBResult, 0, gobsX*gobsY)
-	for gy := 0; gy < gobsY; gy++ {
-		for gx := 0; gx < gobsX; gx++ {
-			gobs = append(gobs, GOBResult{GX: gx, GY: gy})
-		}
+	for j := range fd.BlockCauses {
+		fd.BlockCauses[j] = CauseNoCapture
 	}
-	fd.GOBs = gobs
+	buildGOBs(fd, l)
 	return fd
 }
 
-// decodePerBlock implements the adaptive per-Block decision stage: each
-// Block's bit levels are its own extremes across the run, its threshold the
-// midpoint, and its hysteresis band the larger of the relative band and the
-// absolute MinConfidence floor (widened for shutter-degraded measurements).
-func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameDecode {
-	l := r.cfg.Layout
-	nBlocks := l.NumBlocks()
-	// Per-Block level estimates: the 10th/90th percentiles of the Block's
-	// own energy time series. Percentiles rather than extremes keep a
-	// single texture spike from inflating the Block's band forever, while
-	// still letting genuine content fluctuations produce the (realistic)
-	// occasional confident error.
+// calibrateLevels estimates each Block's bit-0 and bit-1 energy levels over
+// the given aggregated frames: the 10th/90th percentiles of the Block's own
+// finite energy time series. Percentiles rather than extremes keep a single
+// texture spike from inflating the Block's band forever, while still letting
+// genuine content fluctuations produce the (realistic) occasional confident
+// error. Blocks with no finite samples come back (+Inf, −Inf). The per-Block
+// work is independent and each slot written exactly once, so the fan-out
+// merges by index.
+func (r *Receiver) calibrateLevels(rows [][]float64) (lo, hi []float64) {
+	nBlocks := r.cfg.Layout.NumBlocks()
 	series := make([][]float64, nBlocks)
-	for _, row := range agg {
+	for _, row := range rows {
 		if row == nil {
 			continue
 		}
@@ -772,10 +937,8 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			}
 		}
 	}
-	// Per-Block percentile calibration is independent across Blocks and each
-	// slot is written exactly once, so the fan-out merges by index.
-	lo := make([]float64, nBlocks)
-	hi := make([]float64, nBlocks)
+	lo = make([]float64, nBlocks)
+	hi = make([]float64, nBlocks)
 	parallel.ForChunked(r.cfg.Workers, nBlocks, func(jlo, jhi int) {
 		for j := jlo; j < jhi; j++ {
 			sv := series[j]
@@ -789,6 +952,43 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			hi[j] = sv[int(math.Ceil(0.9*float64(len(sv)-1)))]
 		}
 	})
+	return lo, hi
+}
+
+// decodePerBlock implements the adaptive per-Block decision stage: each
+// Block's bit levels are its own extremes across the calibration span, its
+// threshold the midpoint, and its hysteresis band the larger of the relative
+// band and the absolute MinConfidence floor (widened for shutter-degraded
+// measurements). With RecalibrateEvery set, the run is calibrated in
+// independent windows so the thresholds track slow lighting and gain drift.
+func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameDecode {
+	if len(agg) == 0 {
+		return make([]*FrameDecode, 0)
+	}
+	l := r.cfg.Layout
+	nBlocks := l.NumBlocks()
+	win := r.cfg.RecalibrateEvery
+	if win <= 0 || win > len(agg) {
+		win = len(agg)
+	}
+	type levels struct{ lo, hi []float64 }
+	// The trailing remainder joins the final window: a runt window of a few
+	// frames starves the percentile estimates far worse than a slightly
+	// longer final window smears them.
+	nWins := len(agg) / win
+	if nWins == 0 {
+		nWins = 1
+	}
+	wins := make([]levels, 0, nWins)
+	for w := 0; w < nWins; w++ {
+		w0 := w * win
+		w1 := w0 + win
+		if w == nWins-1 {
+			w1 = len(agg)
+		}
+		lo, hi := r.calibrateLevels(agg[w0:w1])
+		wins = append(wins, levels{lo: lo, hi: hi})
+	}
 	out := make([]*FrameDecode, len(agg))
 	parallel.For(r.cfg.Workers, len(agg), func(d int) {
 		row := agg[d]
@@ -796,20 +996,28 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			out[d] = r.emptyDecode(d)
 			return
 		}
+		wi := d / win
+		if wi >= len(wins) {
+			wi = len(wins) - 1
+		}
+		lo, hi := wins[wi].lo, wins[wi].hi
 		fd := &FrameDecode{
-			Index:    d,
-			Captures: counts[d],
-			Bits:     NewDataFrame(l),
-			Decided:  make([]bool, nBlocks),
+			Index:       d,
+			Captures:    counts[d],
+			Bits:        NewDataFrame(l),
+			Decided:     make([]bool, nBlocks),
+			BlockCauses: make([]ErasureCause, nBlocks),
 		}
 		for j, s := range row {
 			if math.IsNaN(s) || math.IsInf(lo[j], 1) {
+				fd.BlockCauses[j] = CauseNoSignal
 				continue
 			}
 			gap := hi[j] - lo[j]
 			// !(gap > 0) also catches NaN levels: an all-equal or unusable
 			// series means no swing, never a zero-width "confident" band.
 			if !(gap > 0) || gap < r.cfg.MinGap {
+				fd.BlockCauses[j] = CauseNoSwing
 				continue // no usable swing: saturated or constant payload
 			}
 			thr := (lo[j] + hi[j]) / 2
@@ -822,25 +1030,11 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			}
 			fd.Bits.Bits[j] = s > thr
 			fd.Decided[j] = math.Abs(s-thr) >= band
-		}
-		gobsX, gobsY := l.GOBsX(), l.GOBsY()
-		gobs := make([]GOBResult, 0, gobsX*gobsY)
-		for gy := 0; gy < gobsY; gy++ {
-			for gx := 0; gx < gobsX; gx++ {
-				res := GOBResult{GX: gx, GY: gy, Available: true}
-				for _, blk := range l.GOBBlocks(gx, gy) {
-					if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
-						res.Available = false
-						break
-					}
-				}
-				if res.Available {
-					res.ParityOK = fd.Bits.ParityOK(gx, gy)
-				}
-				gobs = append(gobs, res)
+			if !fd.Decided[j] {
+				fd.BlockCauses[j] = CauseLowConfidence
 			}
 		}
-		fd.GOBs = gobs
+		buildGOBs(fd, l)
 		out[d] = fd
 	})
 	return out

@@ -131,17 +131,20 @@ func (s *StreamingReceiver) finalize(d int) *FrameDecode {
 	}
 
 	fd := &FrameDecode{
-		Index:    d,
-		Captures: a.captures,
-		Bits:     NewDataFrame(l),
-		Decided:  make([]bool, nBlocks),
+		Index:       d,
+		Captures:    a.captures,
+		Bits:        NewDataFrame(l),
+		Decided:     make([]bool, nBlocks),
+		BlockCauses: make([]ErasureCause, nBlocks),
 	}
 	for j, sc := range scores {
 		if math.IsNaN(sc) || math.IsInf(lo[j], 1) {
+			fd.BlockCauses[j] = CauseNoSignal
 			continue
 		}
 		gap := hi[j] - lo[j]
 		if gap < s.rcv.cfg.MinGap {
+			fd.BlockCauses[j] = CauseNoSwing
 			continue
 		}
 		thr := (lo[j] + hi[j]) / 2
@@ -154,25 +157,11 @@ func (s *StreamingReceiver) finalize(d int) *FrameDecode {
 		}
 		fd.Bits.Bits[j] = sc > thr
 		fd.Decided[j] = math.Abs(sc-thr) >= band
-	}
-	gobsX, gobsY := l.GOBsX(), l.GOBsY()
-	gobs := make([]GOBResult, 0, gobsX*gobsY)
-	for gy := 0; gy < gobsY; gy++ {
-		for gx := 0; gx < gobsX; gx++ {
-			res := GOBResult{GX: gx, GY: gy, Available: true}
-			for _, blk := range l.GOBBlocks(gx, gy) {
-				if !fd.Decided[blk[1]*l.BlocksX+blk[0]] {
-					res.Available = false
-					break
-				}
-			}
-			if res.Available {
-				res.ParityOK = fd.Bits.ParityOK(gx, gy)
-			}
-			gobs = append(gobs, res)
+		if !fd.Decided[j] {
+			fd.BlockCauses[j] = CauseLowConfidence
 		}
 	}
-	fd.GOBs = gobs
+	buildGOBs(fd, l)
 	// Garbage-collect aggregates older than any future window.
 	delete(s.agg, d-s.window)
 	return fd

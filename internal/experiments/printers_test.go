@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"inframe/internal/metrics"
 )
 
 // TestPrinters exercises every table writer on synthetic rows, checking the
@@ -68,4 +70,14 @@ func TestPrinters(t *testing.T) {
 		Frames:  24,
 	}})
 	check("WriteThroughput", "Gray", "24")
+
+	deg := metrics.DegradationStats{GapFrames: 3, Resyncs: 2, ExcludedCaptures: 1}
+	deg.Quality.Add(0.85)
+	WriteRobustness(&sb, []RobustnessRow{{
+		Scenario: "capture-drop",
+		Report:   metrics.Report{AvailableRatio: 0.913, ErrorRate: 0.004},
+		Degrade:  deg,
+		Frames:   20,
+	}})
+	check("WriteRobustness", "capture-drop", "91.3", "0.40", "3", "0.85")
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import "testing"
+
+func TestRobustnessScenariosCoverFamilies(t *testing.T) {
+	scenarios := RobustnessScenarios(1)
+	if len(scenarios) != 12 {
+		t.Fatalf("got %d scenarios, want 12", len(scenarios))
+	}
+	if scenarios[0].Name != "clean" || scenarios[0].Impair != nil {
+		t.Fatal("first scenario must be the clean reference")
+	}
+	for _, sc := range scenarios[1:] {
+		if sc.Impair == nil {
+			t.Fatalf("scenario %s has no impairment", sc.Name)
+		}
+		if err := sc.Impair.Validate(); err != nil {
+			t.Fatalf("scenario %s: %v", sc.Name, err)
+		}
+		if !sc.Impair.Enabled() {
+			t.Fatalf("scenario %s impairment is a no-op", sc.Name)
+		}
+	}
+}
+
+// TestRobustnessSweepShapes runs the impairment sweep and asserts the
+// qualitative structure: the clean channel delivers best, drops create gaps
+// the receiver resyncs from, and no single impairment collapses the link.
+func TestRobustnessSweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline experiment")
+	}
+	s := fastSetup()
+	rows, err := Robustness(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) RobustnessRow {
+		for _, r := range rows {
+			if r.Scenario == name {
+				return r
+			}
+		}
+		t.Fatalf("missing scenario %s", name)
+		return RobustnessRow{}
+	}
+	clean := get("clean")
+	if clean.Report.AvailableRatio < 0.9 {
+		t.Fatalf("clean availability %.2f, want >= 0.9", clean.Report.AvailableRatio)
+	}
+	if clean.Degrade.GapFrames != 0 || clean.Degrade.ExcludedCaptures != 0 {
+		t.Fatalf("clean run degraded: %+v", clean.Degrade)
+	}
+	for _, r := range rows {
+		if r.Report.AvailableRatio > clean.Report.AvailableRatio+1e-9 {
+			t.Errorf("%s availability %.3f beats clean %.3f", r.Scenario,
+				r.Report.AvailableRatio, clean.Report.AvailableRatio)
+		}
+		switch r.Scenario {
+		case "motion-blur":
+			// The documented cliff: blur spanning the chessboard period
+			// erases the signal outright.
+			if r.Report.AvailableRatio > 0.05 {
+				t.Errorf("motion-blur availability %.3f, expected a wipeout", r.Report.AvailableRatio)
+			}
+		case "kitchen-sink":
+			if r.Report.AvailableRatio < 0.4 {
+				t.Errorf("kitchen-sink availability %.3f collapsed", r.Report.AvailableRatio)
+			}
+		default:
+			// Graceful, not catastrophic: every other single-fault scenario
+			// keeps a usable channel.
+			if r.Report.AvailableRatio < 0.5 {
+				t.Errorf("%s availability %.3f collapsed", r.Scenario, r.Report.AvailableRatio)
+			}
+		}
+	}
+	drop := get("capture-drop")
+	if drop.Degrade.GapFrames == 0 {
+		t.Error("capture-drop produced no gap frames")
+	}
+	if drop.Degrade.Resyncs == 0 {
+		t.Error("capture-drop produced no resyncs")
+	}
+	dup := get("capture-dup")
+	if dup.Degrade.GapFrames != 0 {
+		t.Errorf("capture-dup produced %d gap frames", dup.Degrade.GapFrames)
+	}
+}

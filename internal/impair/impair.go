@@ -1,0 +1,393 @@
+// Package impair injects deterministic channel faults into the simulated
+// screen→camera link. The clean simulator (display + camera) models a
+// well-behaved lab setup — the paper's fixed tripod at 50 cm — while real
+// deployments suffer free-running clock drift, dropped and duplicated
+// captures, ambient-light ramps, 50/60 Hz mains flicker, auto-exposure gain
+// hunting, sensor-noise bursts, motion blur and partial occlusion.
+//
+// Every impairment is an independent stage keyed by (Seed, stage, capture
+// index): enabling or disabling one stage never shifts another stage's
+// random stream, and nothing depends on worker identity or wall-clock time,
+// so an impaired simulation is bit-identical at any worker count and across
+// runs. Stages apply in a fixed canonical order (see Stack.ApplyFrame and
+// Stack.ApplySequence).
+//
+// The pixel-domain stages corrupt the camera's finished 8-bit output — a
+// post-ISP fault model. That keeps the stack composable with any camera
+// configuration: it never needs to reach inside the exposure integral.
+package impair
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"inframe/internal/frame"
+)
+
+// Config enables and parameterizes the impairment stages. The zero value
+// disables everything; a nil *Config behaves the same wherever one is
+// accepted.
+type Config struct {
+	// Seed drives every stage's random stream. Two runs with equal Config
+	// produce identical impairments.
+	Seed int64
+
+	// ClockDriftPPM skews the camera's frame period by the given parts per
+	// million (positive = slow camera clock, longer period). Real phone
+	// oscillators drift tens of ppm against the display's.
+	ClockDriftPPM float64
+	// StartJitter is the half-width (seconds) of a uniform per-capture
+	// exposure-start jitter, modelling scheduling noise in the capture
+	// pipeline. Each capture's jitter is independent.
+	StartJitter float64
+
+	// DropRate is the probability that a capture is lost in the delivery
+	// pipeline (buffer overrun, USB stall). Dropped captures are returned
+	// to the frame pool; the receiver sees a timing gap.
+	DropRate float64
+	// DupRate is the probability that a capture is delivered twice: the
+	// duplicate carries the original's pixels but the next period's
+	// timestamp — a stale repeat, exactly what a stalled camera HAL emits.
+	DupRate float64
+
+	// AmbientRamp adds a linear ambient-light ramp of the given 8-bit
+	// levels per second (positive = brightening room) to every pixel.
+	AmbientRamp float64
+	// FlickerAmp and FlickerHz add mains-powered lighting flicker: a
+	// sinusoid of the given 8-bit amplitude, integrated over the exposure
+	// window (lamps flicker at twice the mains frequency — pass 100 or
+	// 120, not 50 or 60). FlickerAmp > 0 requires FlickerHz > 0.
+	FlickerAmp float64
+	FlickerHz  float64
+
+	// GainAmp and GainHz model auto-exposure gain hunting: a slow
+	// multiplicative oscillation 1 + GainAmp·sin(2π·GainHz·t) applied to
+	// every pixel. GainAmp must stay below 1; GainAmp > 0 requires
+	// GainHz > 0.
+	GainAmp float64
+	GainHz  float64
+
+	// BurstRate is the per-capture probability of a sensor-noise burst
+	// (read-out glitch, compression artifact): additive Gaussian noise of
+	// BurstSigma 8-bit levels across the whole capture.
+	BurstRate  float64
+	BurstSigma float64
+
+	// MotionBlurLen smears each capture horizontally with a box kernel of
+	// radius MotionBlurLen pixels (camera shake). 0 disables.
+	MotionBlurLen int
+
+	// OccludeX, OccludeY, OccludeW, OccludeH place a static occluding
+	// rectangle (a hand, a passer-by) as fractions of the capture size;
+	// occluded pixels read OccludeLevel. Width and height must be set
+	// together; both zero disables.
+	OccludeX, OccludeY float64
+	OccludeW, OccludeH float64
+	// OccludeLevel is the 8-bit value occluded pixels read (0 = black).
+	OccludeLevel float64
+}
+
+// Enabled reports whether any stage is active. A nil config is disabled.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return math.Abs(c.ClockDriftPPM) > 0 ||
+		c.StartJitter > 0 ||
+		c.DropRate > 0 ||
+		c.DupRate > 0 ||
+		math.Abs(c.AmbientRamp) > 0 ||
+		c.FlickerAmp > 0 ||
+		c.GainAmp > 0 ||
+		c.BurstRate > 0 ||
+		c.MotionBlurLen > 0 ||
+		(c.OccludeW > 0 && c.OccludeH > 0)
+}
+
+// Validate reports whether the configuration is usable. A nil config is
+// valid (everything disabled).
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.StartJitter < 0 {
+		return fmt.Errorf("impair: StartJitter must be non-negative, got %v", c.StartJitter)
+	}
+	if c.DropRate < 0 || c.DropRate >= 1 {
+		return fmt.Errorf("impair: DropRate must be in [0,1), got %v", c.DropRate)
+	}
+	if c.DupRate < 0 || c.DupRate >= 1 {
+		return fmt.Errorf("impair: DupRate must be in [0,1), got %v", c.DupRate)
+	}
+	if c.FlickerAmp < 0 {
+		return fmt.Errorf("impair: FlickerAmp must be non-negative, got %v", c.FlickerAmp)
+	}
+	if c.FlickerAmp > 0 && c.FlickerHz <= 0 {
+		return fmt.Errorf("impair: FlickerAmp needs FlickerHz > 0, got %v", c.FlickerHz)
+	}
+	if c.GainAmp < 0 || c.GainAmp >= 1 {
+		return fmt.Errorf("impair: GainAmp must be in [0,1), got %v", c.GainAmp)
+	}
+	if c.GainAmp > 0 && c.GainHz <= 0 {
+		return fmt.Errorf("impair: GainAmp needs GainHz > 0, got %v", c.GainHz)
+	}
+	if c.BurstRate < 0 || c.BurstRate >= 1 {
+		return fmt.Errorf("impair: BurstRate must be in [0,1), got %v", c.BurstRate)
+	}
+	if c.BurstRate > 0 && c.BurstSigma <= 0 {
+		return fmt.Errorf("impair: BurstRate needs BurstSigma > 0, got %v", c.BurstSigma)
+	}
+	if c.BurstSigma < 0 {
+		return fmt.Errorf("impair: BurstSigma must be non-negative, got %v", c.BurstSigma)
+	}
+	if c.MotionBlurLen < 0 {
+		return fmt.Errorf("impair: MotionBlurLen must be non-negative, got %d", c.MotionBlurLen)
+	}
+	if (c.OccludeW > 0) != (c.OccludeH > 0) {
+		return fmt.Errorf("impair: occlusion needs both OccludeW and OccludeH, got %v x %v", c.OccludeW, c.OccludeH)
+	}
+	if c.OccludeX < 0 || c.OccludeY < 0 || c.OccludeW < 0 || c.OccludeH < 0 ||
+		c.OccludeX > 1 || c.OccludeY > 1 || c.OccludeW > 1 || c.OccludeH > 1 {
+		return fmt.Errorf("impair: occlusion rectangle must use fractions in [0,1]")
+	}
+	if c.OccludeLevel < 0 || c.OccludeLevel > 255 {
+		return fmt.Errorf("impair: OccludeLevel must be in [0,255], got %v", c.OccludeLevel)
+	}
+	return nil
+}
+
+// Stage identifiers key the per-stage random streams; they are part of the
+// determinism contract (reordering them changes every seeded outcome) and
+// must never be renumbered.
+const (
+	stageJitter = 1
+	stageDrop   = 2
+	stageDup    = 3
+	stageBurst  = 4
+)
+
+// Stack is an instantiated impairment pipeline.
+type Stack struct {
+	cfg Config
+}
+
+// New builds a stack. The configuration must have passed Validate.
+func New(cfg Config) *Stack { return &Stack{cfg: cfg} }
+
+// Config returns the stack configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Names lists the active stages in canonical application order — the order
+// ApplyFrame and ApplySequence use. Timing stages (drift, jitter) come
+// first because they decide when each capture happens, then the
+// pixel-domain stages, then the sequence stages.
+func (s *Stack) Names() []string {
+	var out []string
+	if math.Abs(s.cfg.ClockDriftPPM) > 0 {
+		out = append(out, "clock-drift")
+	}
+	if s.cfg.StartJitter > 0 {
+		out = append(out, "start-jitter")
+	}
+	if s.cfg.MotionBlurLen > 0 {
+		out = append(out, "motion-blur")
+	}
+	if s.cfg.OccludeW > 0 && s.cfg.OccludeH > 0 {
+		out = append(out, "occlusion")
+	}
+	if s.cfg.GainAmp > 0 {
+		out = append(out, "gain-drift")
+	}
+	if math.Abs(s.cfg.AmbientRamp) > 0 {
+		out = append(out, "ambient-ramp")
+	}
+	if s.cfg.FlickerAmp > 0 {
+		out = append(out, "flicker")
+	}
+	if s.cfg.BurstRate > 0 {
+		out = append(out, "noise-burst")
+	}
+	if s.cfg.DropRate > 0 {
+		out = append(out, "capture-drop")
+	}
+	if s.cfg.DupRate > 0 {
+		out = append(out, "capture-dup")
+	}
+	return out
+}
+
+// rng returns the random stream of one (stage, capture index) cell. The
+// seed mix is a splitmix64-style finalizer so adjacent indices land far
+// apart in seed space; keying by index — never worker identity — is what
+// keeps impaired runs bit-identical at any worker count.
+func (s *Stack) rng(stage, index int) *rand.Rand {
+	h := uint64(s.cfg.Seed) ^ uint64(stage)*0x9E3779B97F4A7C15
+	h += uint64(index) * 0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Period returns the impaired camera frame period: the nominal period skewed
+// by the configured clock drift.
+func (s *Stack) Period(base float64) float64 {
+	return base * (1 + s.cfg.ClockDriftPPM*1e-6)
+}
+
+// CaptureTime returns capture i's exposure start: the drift-skewed schedule
+// plus this capture's independent uniform start jitter.
+func (s *Stack) CaptureTime(i int, start, period float64) float64 {
+	t := start + float64(i)*period
+	if s.cfg.StartJitter > 0 {
+		t += (2*s.rng(stageJitter, i).Float64() - 1) * s.cfg.StartJitter
+	}
+	return t
+}
+
+// ApplyFrame corrupts one finished capture in place. index is the capture's
+// position in the sequence (keys the random streams), t its exposure start
+// and exposure the per-row integration time (used by the flicker integral).
+// Stages apply in canonical order: motion blur, occlusion, gain drift,
+// ambient ramp + flicker, noise burst; if any stage fired, the frame is
+// re-quantized to 8 bits (the corruption happens in the camera's integer
+// output domain).
+func (s *Stack) ApplyFrame(f *frame.Frame, index int, t, exposure float64) {
+	touched := false
+	if s.cfg.MotionBlurLen > 0 {
+		motionBlur(f, s.cfg.MotionBlurLen)
+		touched = true
+	}
+	if s.cfg.OccludeW > 0 && s.cfg.OccludeH > 0 {
+		s.occlude(f)
+		touched = true
+	}
+	if s.cfg.GainAmp > 0 {
+		g := 1 + s.cfg.GainAmp*math.Sin(2*math.Pi*s.cfg.GainHz*t)
+		scale := float32(g)
+		for i := range f.Pix {
+			f.Pix[i] *= scale
+		}
+		touched = true
+	}
+	offset := 0.0
+	if math.Abs(s.cfg.AmbientRamp) > 0 {
+		offset += s.cfg.AmbientRamp * t
+	}
+	if s.cfg.FlickerAmp > 0 {
+		offset += s.flickerLevel(t, exposure)
+	}
+	if math.Abs(offset) > 0 {
+		add := float32(offset)
+		for i := range f.Pix {
+			f.Pix[i] += add
+		}
+		touched = true
+	}
+	if s.cfg.BurstRate > 0 {
+		rng := s.rng(stageBurst, index)
+		if rng.Float64() < s.cfg.BurstRate {
+			sigma := s.cfg.BurstSigma
+			for i := range f.Pix {
+				f.Pix[i] += float32(rng.NormFloat64() * sigma)
+			}
+			touched = true
+		}
+	}
+	if touched {
+		f.Quantize()
+	}
+}
+
+// flickerLevel is the mean flicker contribution over the exposure window
+// [t, t+e]: the integral of amp·sin(ωt′) divided by e, which correctly
+// attenuates flicker when the exposure spans whole flicker cycles. A
+// non-positive exposure degrades to the instantaneous value.
+func (s *Stack) flickerLevel(t, e float64) float64 {
+	omega := 2 * math.Pi * s.cfg.FlickerHz
+	if e <= 0 {
+		return s.cfg.FlickerAmp * math.Sin(omega*t)
+	}
+	return s.cfg.FlickerAmp * (math.Cos(omega*t) - math.Cos(omega*(t+e))) / (omega * e)
+}
+
+// occlude paints the configured rectangle with OccludeLevel.
+func (s *Stack) occlude(f *frame.Frame) {
+	x0 := int(s.cfg.OccludeX * float64(f.W))
+	y0 := int(s.cfg.OccludeY * float64(f.H))
+	x1 := x0 + int(s.cfg.OccludeW*float64(f.W))
+	y1 := y0 + int(s.cfg.OccludeH*float64(f.H))
+	if x1 > f.W {
+		x1 = f.W
+	}
+	if y1 > f.H {
+		y1 = f.H
+	}
+	level := float32(s.cfg.OccludeLevel)
+	for y := y0; y < y1; y++ {
+		row := f.Row(y)
+		for x := x0; x < x1; x++ {
+			row[x] = level
+		}
+	}
+}
+
+// motionBlur smears each row with a horizontal box filter of radius r
+// (replicate padding), the separable half of a camera-shake kernel.
+func motionBlur(f *frame.Frame, r int) {
+	w := f.W
+	src := make([]float32, w)
+	inv := 1 / float32(2*r+1)
+	for y := 0; y < f.H; y++ {
+		row := f.Row(y)
+		copy(src, row)
+		var sum float32
+		for i := -r; i <= r; i++ {
+			sum += src[clampIdx(i, w)]
+		}
+		for x := 0; x < w; x++ {
+			row[x] = sum * inv
+			sum += src[clampIdx(x+r+1, w)] - src[clampIdx(x-r, w)]
+		}
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// ApplySequence runs the delivery-pipeline stages over a finished capture
+// sequence: per-capture drop (the frame goes back to the pool) and
+// duplication (a pool-drawn clone delivered one period later with stale
+// pixels). Decisions are keyed by the capture's original index, so whether
+// capture i survives never depends on what happened to captures before it.
+// The returned slices are freshly built; the inputs must not be reused.
+func (s *Stack) ApplySequence(caps []*frame.Frame, times []float64, period float64, p *frame.Pool) ([]*frame.Frame, []float64) {
+	if s.cfg.DropRate <= 0 && s.cfg.DupRate <= 0 {
+		return caps, times
+	}
+	outCaps := make([]*frame.Frame, 0, len(caps))
+	outTimes := make([]float64, 0, len(times))
+	for i, f := range caps {
+		if s.cfg.DropRate > 0 && s.rng(stageDrop, i).Float64() < s.cfg.DropRate {
+			p.Put(f)
+			continue
+		}
+		outCaps = append(outCaps, f)
+		outTimes = append(outTimes, times[i])
+		if s.cfg.DupRate > 0 && s.rng(stageDup, i).Float64() < s.cfg.DupRate {
+			dup := p.Get(f.W, f.H)
+			f.CloneInto(dup)
+			outCaps = append(outCaps, dup)
+			outTimes = append(outTimes, times[i]+period)
+		}
+	}
+	return outCaps, outTimes
+}

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"inframe/internal/core"
 )
@@ -112,6 +113,79 @@ func Compute(s *GOBStats, layout core.Layout, tau int, refreshHz float64) Report
 func (r Report) String() string {
 	return fmt.Sprintf("throughput=%.1fkbps avail=%.1f%% err=%.1f%% raw=%.1fkbps goodput=%.1fkbps",
 		r.ThroughputBps/1000, 100*r.AvailableRatio, 100*r.ErrorRate, r.RawBps/1000, r.GoodputBps/1000)
+}
+
+// DegradationStats accumulates the graceful-degradation figures of decoded
+// runs: how many GOBs were erased and why, how the link quality evolved, and
+// how often the receiver lost and regained the capture stream. It is the
+// metrics-side companion of core.DecodeReport.
+type DegradationStats struct {
+	// Runs counts accumulated reports.
+	Runs int
+	// Causes tallies GOB outcomes by erasure cause; index with
+	// core.ErasureCause (core.CauseNone counts delivered GOBs).
+	Causes [core.NumErasureCauses]int
+	// GapFrames, Resyncs and ExcludedCaptures sum the reports' counters.
+	GapFrames        int
+	Resyncs          int
+	ExcludedCaptures int
+	// Quality collects the per-capture link-quality scores of every scored
+	// capture across runs.
+	Quality Series
+}
+
+// AddReport accumulates one decode report.
+func (d *DegradationStats) AddReport(rep *core.DecodeReport) {
+	d.Runs++
+	counts := rep.CauseCounts()
+	for c, n := range counts {
+		d.Causes[c] += n
+	}
+	d.GapFrames += rep.GapFrames
+	d.Resyncs += rep.Resyncs
+	d.ExcludedCaptures += rep.ExcludedCaptures
+	for _, q := range rep.Quality {
+		if q.Scored {
+			d.Quality.Add(q.Quality)
+		}
+	}
+}
+
+// TotalGOBs returns the number of GOB observations across all reports.
+func (d *DegradationStats) TotalGOBs() int {
+	n := 0
+	for _, c := range d.Causes {
+		n += c
+	}
+	return n
+}
+
+// DeliveredRatio returns the fraction of GOB observations that decoded and
+// passed parity (0 when empty).
+func (d *DegradationStats) DeliveredRatio() float64 {
+	total := d.TotalGOBs()
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Causes[core.CauseNone]) / float64(total)
+}
+
+// String renders the erasure breakdown and degradation counters on one line.
+func (d *DegradationStats) String() string {
+	total := d.TotalGOBs()
+	if total == 0 {
+		return "degradation: no GOBs observed"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "delivered=%.1f%%", 100*d.DeliveredRatio())
+	for c := core.CauseParity; int(c) < core.NumErasureCauses; c++ {
+		if n := d.Causes[c]; n > 0 {
+			fmt.Fprintf(&b, " %s=%.1f%%", c, 100*float64(n)/float64(total))
+		}
+	}
+	fmt.Fprintf(&b, " gaps=%d resyncs=%d excluded=%d quality=%.2f",
+		d.GapFrames, d.Resyncs, d.ExcludedCaptures, d.Quality.Mean())
+	return b.String()
 }
 
 // Series summarizes repeated scalar measurements.

@@ -146,3 +146,55 @@ func TestSeries(t *testing.T) {
 		t.Fatalf("CI95 = %v, want %v", ci, want)
 	}
 }
+
+func TestDegradationStats(t *testing.T) {
+	l := testLayout() // 6 GOBs
+	fd, _ := fakeDecode(t, l, 4, 1)
+	rep := &core.DecodeReport{
+		Frames: []*core.FrameDecode{fd},
+		Quality: []core.CaptureQuality{
+			{Index: 0, Quality: 0.9, Scored: true, Used: true},
+			{Index: 1, Quality: 0.1, Scored: true, Excluded: true},
+			{Index: 2}, // unscored: must not enter the quality series
+		},
+		GapFrames:        2,
+		Resyncs:          1,
+		ExcludedCaptures: 1,
+	}
+	var d DegradationStats
+	d.AddReport(rep)
+	d.AddReport(rep)
+	if d.Runs != 2 || d.TotalGOBs() != 12 {
+		t.Fatalf("runs=%d total=%d", d.Runs, d.TotalGOBs())
+	}
+	// Per report: 4 available GOBs of which 1 fails parity → 3 delivered,
+	// 1 parity, 2 low-confidence (the undecided-score erasures).
+	if d.Causes[core.CauseNone] != 6 || d.Causes[core.CauseParity] != 2 || d.Causes[core.CauseLowConfidence] != 4 {
+		t.Fatalf("causes = %v", d.Causes)
+	}
+	if math.Abs(d.DeliveredRatio()-0.5) > 1e-12 {
+		t.Fatalf("delivered ratio %v, want 0.5", d.DeliveredRatio())
+	}
+	if d.GapFrames != 4 || d.Resyncs != 2 || d.ExcludedCaptures != 2 {
+		t.Fatalf("gaps=%d resyncs=%d excluded=%d", d.GapFrames, d.Resyncs, d.ExcludedCaptures)
+	}
+	if d.Quality.N() != 4 || math.Abs(d.Quality.Mean()-0.5) > 1e-12 {
+		t.Fatalf("quality N=%d mean=%v", d.Quality.N(), d.Quality.Mean())
+	}
+	s := d.String()
+	for _, want := range []string{"delivered=50.0%", "parity=16.7%", "low-confidence=33.3%", "gaps=4", "resyncs=2", "excluded=2", "quality=0.50"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("degradation %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDegradationStatsEmpty(t *testing.T) {
+	var d DegradationStats
+	if d.DeliveredRatio() != 0 || d.TotalGOBs() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+	if !strings.Contains(d.String(), "no GOBs") {
+		t.Fatalf("empty string = %q", d.String())
+	}
+}

@@ -5,15 +5,17 @@
 # under the race detector (the worker pools in internal/parallel make data
 # races a correctness class, not a theoretical one), the steady-state
 # allocation tests without instrumentation (so AllocsPerRun sees the real
-# counts the benchmark baselines record), one iteration of the
-# sequential-vs-parallel benchmarks as a smoke test, and the
-# inframe-benchdiff regression gate against the committed BENCH_*.json
-# baseline (+15% ns/op tolerance, allocs/op gated alongside).
+# counts the benchmark baselines record), the fault-injection robustness
+# matrix under -race plus a short fuzz smoke of the decode entry points,
+# one iteration of the sequential-vs-parallel benchmarks as a smoke test,
+# and the inframe-benchdiff regression gate against the committed
+# BENCH_*.json baseline (+15% ns/op tolerance, allocs/op gated alongside).
 #
 # Usage: ./verify.sh [-short]
 #   -short  gate the race run on `go test -short` (skips the long
-#           full-pipeline experiment suites) and skip the benchmark smoke
-#           and benchdiff stages entirely; use for quick iteration.
+#           full-pipeline experiment suites) and skip the robustness,
+#           benchmark smoke and benchdiff stages entirely; use for quick
+#           iteration.
 #
 # Each stage prints its wall-clock time on completion so slow stages are
 # visible; a summary repeats all of them — including skipped stages — at
@@ -69,6 +71,17 @@ run_alloc_tests() {
 	go test -run 'TestSteadyStateFrameBufferAllocs|TestMultiplexerRenderAllocs|TestReceiverMeasureAllocs' -count=1 .
 }
 
+run_robustness() {
+	# The fault-injection gate in isolation: the deterministic impairment
+	# matrix (pinned availability/BER bounds, worker invariance, clean-path
+	# bit-identity) rerun under the race detector, then a short
+	# coverage-guided shake of the two decode entry points. The fuzz smokes
+	# extend the committed corpora, they do not replace a long fuzz run.
+	go test -race -count=1 -run 'TestRobustnessMatrix|TestZeroImpairConfigIsCleanPath|TestImpairedDegradationAccounting' .
+	go test -run '^$' -fuzz '^FuzzDecodeCaptures$' -fuzztime 10s ./internal/core
+	go test -run '^$' -fuzz '^FuzzGOBParity$' -fuzztime 10s ./internal/core
+}
+
 run_bench_smoke() {
 	go test -run '^$' -bench 'EndToEnd|DecodeCaptures' -benchtime=1x .
 }
@@ -84,9 +97,11 @@ stage "inframe-lint ./..." go run ./cmd/inframe-lint ./...
 stage "go test -race $short ./..." run_tests
 stage "steady-state alloc tests" run_alloc_tests
 if [[ -n "$short" ]]; then
+	skip "robustness matrix + fuzz smoke"
 	skip "benchmarks (1 iteration smoke)"
 	skip "inframe-benchdiff"
 else
+	stage "robustness matrix + fuzz smoke" run_robustness
 	stage "benchmarks (1 iteration smoke)" run_bench_smoke
 	stage "inframe-benchdiff" run_benchdiff
 fi
