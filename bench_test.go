@@ -12,11 +12,13 @@ import (
 	"runtime"
 	"testing"
 
+	"inframe/internal/benchcmp"
 	"inframe/internal/camera"
 	"inframe/internal/channel"
 	"inframe/internal/core"
 	"inframe/internal/display"
 	"inframe/internal/experiments"
+	"inframe/internal/fleet"
 	"inframe/internal/frame"
 	"inframe/internal/hvs"
 	"inframe/internal/video"
@@ -289,6 +291,33 @@ func BenchmarkDecodeCaptures(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
 			}
+		})
+	}
+}
+
+// BenchmarkFleet measures the broadcast harness: one rendered 4·τ stream
+// decoded by the default 8-receiver population sharing a capped pool — the
+// same shape the Fleet baseline entries record — and reports receivers/sec,
+// the fleet scaling headline.
+func BenchmarkFleet(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg, err := benchcmp.FleetConfig(2, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = res.N
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)/(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e9), "receivers/s")
 		})
 	}
 }

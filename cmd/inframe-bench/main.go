@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	inframe-bench [-exp all|fig3|fig5|fig6a|fig6b|fig7|ablations|speedup] \
+//	inframe-bench [-exp all|fig3|fig5|fig6a|fig6b|fig7|ablations|robustness|fleet|speedup] \
 //	              [-seconds 2.0] [-flicker-seconds 1.0] [-seed 1] [-scale 2] \
-//	              [-workers 0] [-json path]
+//	              [-workers 0] [-fleet-n 16] [-json path]
 //
 // -workers bounds every simulation worker pool (0 = GOMAXPROCS, 1 =
 // sequential); outputs are bit-identical at any value. -exp speedup times the
 // end-to-end pipeline sequentially and with the full pool and reports the
 // ratio, verifying on the way that both runs produced identical captures.
+// -exp fleet renders the multiplexed stream once and decodes it with an
+// N-receiver population (-fleet-n), printing the availability/BER/TTFD
+// distributions and the receivers/sec headline.
 //
 // -json <path> skips the figure tables and instead writes a machine-readable
 // baseline (conventionally BENCH_<date>.json at the repo root): ns/op for
@@ -36,13 +39,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, speedup")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, fleet, speedup")
 	seconds := flag.Float64("seconds", 2.0, "simulated seconds per throughput setting")
 	flickerSeconds := flag.Float64("flicker-seconds", 1.0, "simulated seconds per flicker rating")
 	seed := flag.Int64("seed", 1, "global random seed")
 	scale := flag.Int("scale", 2, "paper-geometry divisor (1 = full 1080p, 2 = half)")
 	workers := flag.Int("workers", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential)")
-	jsonPath := flag.String("json", "", "write a BENCH_*.json baseline (EndToEnd and DecodeCaptures ns/op at workers=1 and GOMAXPROCS) to this path and exit")
+	fleetN := flag.Int("fleet-n", 16, "fleet experiment population size")
+	jsonPath := flag.String("json", "", "write a BENCH_*.json baseline (EndToEnd, DecodeCaptures and Fleet ns/op at workers=1 and GOMAXPROCS) to this path and exit")
 	flag.Parse()
 
 	if *jsonPath != "" {
@@ -244,8 +248,22 @@ func main() {
 			return nil
 		})
 	}
+	if want("fleet") {
+		run("Fleet — one rendered stream, N-receiver broadcast population", func() error {
+			start := time.Now()
+			res, err := experiments.Fleet(s, *fleetN)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start).Seconds()
+			experiments.WriteFleet(os.Stdout, res)
+			fmt.Printf("receivers/sec: %.2f (N=%d in %.1fs, render included)\n",
+				float64(res.N)/elapsed, res.N, elapsed)
+			return nil
+		})
+	}
 	if !matched {
-		fatal(fmt.Errorf("unknown experiment %q (use all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness or speedup)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (use all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, fleet or speedup)", *exp))
 	}
 }
 

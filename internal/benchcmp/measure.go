@@ -7,9 +7,30 @@ import (
 
 	"inframe/internal/channel"
 	"inframe/internal/core"
+	"inframe/internal/fleet"
 	"inframe/internal/frame"
 	"inframe/internal/video"
 )
+
+// FleetReceivers is the population size of the Fleet baseline entries; the
+// receivers/sec headline is FleetReceivers / (ns-per-op · 1e-9).
+const FleetReceivers = 8
+
+// FleetConfig returns the baseline fleet shape: one rendered 4·τ stream on
+// the scaled paper geometry decoded by a FleetReceivers-member default
+// population, sharing a capped pool and the given worker budget — the same
+// shape BenchmarkFleet measures.
+func FleetConfig(scale, w int) (fleet.Config, error) {
+	l, err := core.ScaledPaperLayout(scale)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	cfg := fleet.DefaultConfig(l, 1280/scale, 720/scale, FleetReceivers, 1)
+	cfg.Seconds = float64(4*cfg.Params.Tau) / cfg.Display.RefreshHz
+	cfg.Workers = w
+	cfg.PoolCap = 4
+	return cfg, nil
+}
 
 // pipeline builds the scaled paper pipeline with every stage's worker pool
 // set to w and one shared frame pool — the same shape benchPipeline gives
@@ -112,6 +133,34 @@ func Measure(scale int) (*Baseline, error) {
 		})
 		base.Benchmarks = append(base.Benchmarks, Entry{
 			Name:        fmt.Sprintf("DecodeCaptures/workers=%d", w),
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	// Fleet: render once, decode a FleetReceivers-member population — the
+	// receivers/sec scaling headline.
+	for _, w := range counts {
+		cfg, err := FleetConfig(scale, w)
+		if err != nil {
+			return nil, err
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(cfg); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		base.Benchmarks = append(base.Benchmarks, Entry{
+			Name:        fmt.Sprintf("Fleet/workers=%d", w),
 			Iterations:  r.N,
 			NsPerOp:     r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),

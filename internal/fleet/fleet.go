@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"inframe/internal/camera"
+	"inframe/internal/core"
+	"inframe/internal/display"
+	"inframe/internal/frame"
+	"inframe/internal/impair"
+	"inframe/internal/metrics"
+	"inframe/internal/parallel"
+	"inframe/internal/video"
+)
+
+// Config describes one broadcast-fleet run: a single rendered transmission
+// and the population that decodes it.
+type Config struct {
+	// Params is the transmitter configuration. Pool and Workers are
+	// managed by Run (the render shares the fleet pool and the one worker
+	// budget).
+	Params core.Params
+	// Display is the monitor model.
+	Display display.Config
+	// Source is the carried video; nil plays uniform gray, the
+	// experiments' standard carrier.
+	Source video.Source
+	// Seconds is the rendered transmission length.
+	Seconds float64
+	// StreamSeed keys the random payload stream.
+	StreamSeed int64
+	// Camera is the base capture template the population specializes
+	// (geometry, exposure, noise and seed are overridden per receiver).
+	Camera camera.Config
+	// Pop is the receiver population.
+	Pop Population
+	// Workers is the fleet's total effective worker budget: receivers fan
+	// out across min(Resolve(Workers), N) goroutines and each receiver's
+	// capture and decode stages get the per-receiver share from
+	// parallel.Split, so total concurrency never exceeds one resolved
+	// budget. 0 means GOMAXPROCS; 1 forces the sequential path. Results
+	// are bit-identical at any value.
+	Workers int
+	// PoolCap bounds the shared frame pool's per-size free lists
+	// (frame.Pool.SetMaxPerSize); 0 leaves them unbounded. A fleet of
+	// heterogeneous geometries keys one free list per distinct W×H, so a
+	// cap is what keeps retained memory flat as sizes multiply.
+	PoolCap int
+	// MinCaptureQuality and RecalibrateEvery configure the receivers'
+	// graceful-degradation decode (see core.ReceiverConfig).
+	MinCaptureQuality float64
+	RecalibrateEvery  int
+	// Uncapped disables the nested-parallelism budget: every receiver's
+	// inner stages resolve Workers=0 to GOMAXPROCS, reproducing the
+	// oversubscribed fan-out the budget fixes. Decode output is
+	// bit-identical either way (the regression test proves it); only
+	// scheduling pressure differs. Benchmark knob, not a production mode.
+	Uncapped bool
+}
+
+// DefaultConfig returns a fleet run over the standard experiment link: the
+// layout's gray carrier at 120 Hz with instant pixel response, the default
+// 30 FPS camera with no optical blur, and DefaultPopulation(seed, n) around
+// the given capture geometry.
+func DefaultConfig(l core.Layout, capW, capH, n int, seed int64) Config {
+	dcfg := display.DefaultConfig()
+	dcfg.ResponseTime = 0 // keep long renders in memory; see display docs
+	ccfg := camera.DefaultConfig(capW, capH)
+	ccfg.BlurRadius = 0
+	return Config{
+		Params:            core.DefaultParams(l),
+		Display:           dcfg,
+		Seconds:           1,
+		StreamSeed:        seed,
+		Camera:            ccfg,
+		Pop:               DefaultPopulation(seed, n, capW, capH),
+		MinCaptureQuality: 0.1,
+		RecalibrateEvery:  10,
+	}
+}
+
+// ReceiverResult is one fleet member's outcome.
+type ReceiverResult struct {
+	// Index and Profile identify the sampled spec.
+	Index   int
+	Profile string
+	// CaptureW, CaptureH and Start echo the sampled camera geometry and
+	// join offset.
+	CaptureW, CaptureH int
+	Start              float64
+	// Captures is how many captures reached the decoder (after any
+	// drop/duplicate impairments).
+	Captures int
+	// Avail is the available-GOB ratio over all data frames (gaps count
+	// unavailable); BER is the confident-bit error rate over decided
+	// Blocks, verified against the transmitted payload.
+	Avail, BER float64
+	// TTFD is the time from this receiver's start to the display-side end
+	// of the first data frame it decoded any GOB of; +Inf when the
+	// receiver never decoded (Decoded false).
+	TTFD    float64
+	Decoded bool
+	// GapFrames and Resyncs echo the receiver's decode report.
+	GapFrames int
+	Resyncs   int
+}
+
+// Dist summarizes one per-receiver metric across the fleet. Percentiles are
+// exact sort-then-index order statistics (metrics.Series.Percentile), not
+// interpolations.
+type Dist struct {
+	Mean, P50, P95, P99 float64
+}
+
+func distOf(s *metrics.Series) Dist {
+	return Dist{
+		Mean: s.Mean(),
+		P50:  s.Percentile(0.50),
+		P95:  s.Percentile(0.95),
+		P99:  s.Percentile(0.99),
+	}
+}
+
+// Result aggregates a fleet run.
+type Result struct {
+	// N, DataFrames and DisplayFrames fix the run's scale.
+	N             int
+	DataFrames    int
+	DisplayFrames int
+	// Receivers holds every member's outcome, indexed by receiver.
+	Receivers []ReceiverResult
+	// Avail, BER and TTFD are the fleet distributions. TTFD summarizes
+	// only receivers that decoded; NeverDecoded counts the rest.
+	Avail, BER, TTFD Dist
+	NeverDecoded     int
+	// Degrade merges every receiver's degradation stats in index order.
+	Degrade metrics.DegradationStats
+	// Pool and PoolHighWater snapshot the shared frame pool after the
+	// run. Gets/Puts/Evicted and the high-water are deterministic for a
+	// fixed config at Workers=1; under concurrent receivers the Hit/Miss
+	// split (and therefore the exact high-water) depends on interleaving,
+	// while every decode output remains bit-identical.
+	Pool          frame.PoolStats
+	PoolHighWater frame.PoolHighWater
+}
+
+// Run renders the transmission once and decodes it with every receiver in
+// the population. Receiver outcomes are written to index-addressed slots
+// and aggregated in index order, so the entire Result — distributions,
+// merged degradation stats, every per-receiver row — is bit-identical at
+// any worker count.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Pop.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Seconds <= 0 {
+		return nil, fmt.Errorf("fleet: Seconds must be positive, got %v", cfg.Seconds)
+	}
+	nDisplay := int(cfg.Seconds * cfg.Display.RefreshHz)
+	nData := nDisplay / cfg.Params.Tau
+	if nData <= 0 {
+		return nil, fmt.Errorf("fleet: %v s at %v Hz holds no complete data frame (tau %d)",
+			cfg.Seconds, cfg.Display.RefreshHz, cfg.Params.Tau)
+	}
+
+	// One shared pool for render, every capture and every decode. The cap
+	// (when set) bounds each size key's free list so the union of N
+	// geometries cannot grow retained memory without bound.
+	pool := frame.NewPool()
+	if cfg.PoolCap > 0 {
+		pool.SetMaxPerSize(cfg.PoolCap)
+	}
+
+	// Render the multiplexed stream exactly once. The display keeps the
+	// full drive history and is safe for any number of concurrent
+	// light-field readers, so N receivers capture from it directly.
+	p := cfg.Params
+	p.Pool = pool
+	p.Workers = cfg.Workers
+	stream := core.NewRandomStream(p.Layout, cfg.StreamSeed)
+	src := cfg.Source
+	if src == nil {
+		src = video.Gray(p.Layout.FrameW, p.Layout.FrameH)
+	}
+	m, err := core.NewMultiplexer(p, src, stream)
+	if err != nil {
+		return nil, err
+	}
+	d, err := display.New(cfg.Display)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.PushTo(d, nDisplay); err != nil {
+		return nil, err
+	}
+	// Materialize the oracle frames before the fan-out: RandomStream's
+	// lazy cache is not safe for concurrent first touches, and every
+	// receiver scores against the same nData frames.
+	oracle := make([]*core.DataFrame, nData)
+	for i := range oracle {
+		oracle[i] = stream.DataFrame(i)
+	}
+
+	// The worker budget: receivers take min(Resolve(Workers), N) outer
+	// slots and each receiver's capture/decode stages share the remainder,
+	// so the fleet never runs more than one resolved budget of goroutines.
+	// (Uncapped reproduces the pre-budget oversubscription for the
+	// regression test and benchmark comparison.)
+	n := cfg.Pop.N
+	outer := parallel.Resolve(cfg.Workers)
+	if outer > n {
+		outer = n
+	}
+	inner := parallel.Split(cfg.Workers, outer)
+	if cfg.Uncapped {
+		inner = 0
+	}
+
+	recvs := make([]ReceiverResult, n)
+	stats := make([]metrics.DegradationStats, n)
+	errs := make([]error, n)
+	parallel.For(cfg.Workers, n, func(i int) {
+		recvs[i], stats[i], errs[i] = cfg.runReceiver(i, d, pool, oracle, inner)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: receiver %d: %w", i, err)
+		}
+	}
+
+	// Aggregate strictly in receiver-index order: Merge's quality series
+	// and the distributions' float sums are order-sensitive, and index
+	// order is what makes the aggregate bit-identical at any worker count.
+	res := &Result{
+		N:             n,
+		DataFrames:    nData,
+		DisplayFrames: nDisplay,
+		Receivers:     recvs,
+	}
+	var availS, berS, ttfdS metrics.Series
+	for i := range recvs {
+		res.Degrade.Merge(&stats[i])
+		availS.Add(recvs[i].Avail)
+		berS.Add(recvs[i].BER)
+		if recvs[i].Decoded {
+			ttfdS.Add(recvs[i].TTFD)
+		} else {
+			res.NeverDecoded++
+		}
+	}
+	res.Avail = distOf(&availS)
+	res.BER = distOf(&berS)
+	res.TTFD = distOf(&ttfdS)
+	res.Pool = pool.Stats()
+	res.PoolHighWater = pool.HighWater()
+	return res, nil
+}
+
+// runReceiver captures and decodes one fleet member against the already
+// rendered display. Everything it does is keyed by the receiver index: the
+// sampled spec, the camera noise, the impairment streams. inner is this
+// receiver's worker share from the fleet budget (0 = legacy uncapped).
+func (cfg *Config) runReceiver(i int, d *display.Display, pool *frame.Pool, oracle []*core.DataFrame, inner int) (ReceiverResult, metrics.DegradationStats, error) {
+	base := cfg.Camera
+	base.Pool = pool
+	base.Workers = 1 // rows stay sequential; parallelism lives at capture granularity
+	spec := cfg.Pop.Spec(i, base)
+	cam, err := camera.New(spec.Camera)
+	if err != nil {
+		return ReceiverResult{}, metrics.DegradationStats{}, err
+	}
+
+	// Capture-count arithmetic replicates channel.CaptureAll and
+	// simulateImpaired exactly (same expressions, same float order), so a
+	// fleet member decodes bit-identically to a standalone channel run
+	// with the same spec.
+	dur := d.Duration()
+	period := cam.FramePeriod()
+	exposureSpan := spec.Camera.Exposure + spec.Camera.ReadoutTime
+	var st *impair.Stack
+	if spec.Impair.Enabled() {
+		if err := spec.Impair.Validate(); err != nil {
+			return ReceiverResult{}, metrics.DegradationStats{}, err
+		}
+		st = impair.New(*spec.Impair)
+		period = st.Period(period)
+	}
+	budget := dur - spec.Start - exposureSpan
+	if st != nil {
+		budget -= spec.Impair.StartJitter
+	}
+	nCaps := int(budget / period)
+
+	// A receiver whose start offset leaves no room for a single capture
+	// decodes an empty sequence: every data frame comes back an
+	// all-CauseNoCapture erasure, never a panic.
+	var caps []*frame.Frame
+	var times []float64
+	if nCaps > 0 {
+		caps = make([]*frame.Frame, nCaps)
+		times = make([]float64, nCaps)
+		for j := range times {
+			if st != nil {
+				times[j] = st.CaptureTime(j, spec.Start, period)
+			} else {
+				times[j] = spec.Start + float64(j)*period
+			}
+		}
+		parallel.For(inner, nCaps, func(j int) {
+			f := cam.Capture(d, times[j], j)
+			if st != nil {
+				st.ApplyFrame(f, j, times[j], spec.Camera.Exposure)
+			}
+			caps[j] = f
+		})
+		if st != nil {
+			caps, times = st.ApplySequence(caps, times, period, pool)
+		}
+	}
+
+	rcfg := core.DefaultReceiverConfig(cfg.Params, spec.Camera.W, spec.Camera.H)
+	rcfg.RefreshHz = cfg.Display.RefreshHz
+	rcfg.Exposure = spec.Camera.Exposure
+	rcfg.ReadoutTime = spec.Camera.ReadoutTime
+	rcfg.Workers = inner
+	rcfg.Pool = pool
+	rcfg.MinCaptureQuality = cfg.MinCaptureQuality
+	rcfg.RecalibrateEvery = cfg.RecalibrateEvery
+	rcv, err := core.NewReceiver(rcfg)
+	if err != nil {
+		return ReceiverResult{}, metrics.DegradationStats{}, err
+	}
+	decoded, rep := rcv.DecodeCapturesReport(caps, times, spec.Camera.Exposure, len(oracle))
+	// The captures' borrow ends with the decode; hand the buffers back so
+	// the next receiver of this geometry reuses them.
+	for _, f := range caps {
+		pool.Put(f)
+	}
+
+	rr := ReceiverResult{
+		Index:    i,
+		Profile:  spec.Profile,
+		CaptureW: spec.Camera.W,
+		CaptureH: spec.Camera.H,
+		Start:    spec.Start,
+		Captures: len(caps),
+
+		GapFrames: rep.GapFrames,
+		Resyncs:   rep.Resyncs,
+	}
+	rr.Avail, rr.BER = score(decoded, oracle, cfg.Params.Layout)
+	rr.TTFD, rr.Decoded = timeToFirstDecode(decoded, cfg.Params.Tau, cfg.Display.RefreshHz, spec.Start)
+	var deg metrics.DegradationStats
+	deg.AddReport(rep)
+	return rr, deg, nil
+}
+
+// score tallies availability over all data frames (gap frames count as
+// unavailable) and the confident-bit error rate of decided Blocks against
+// the transmitted payload — the fleet-side twin of the robustness oracle.
+func score(decoded []*core.FrameDecode, oracle []*core.DataFrame, l core.Layout) (avail, ber float64) {
+	availGOBs, totalGOBs := 0, 0
+	wrong, decided := 0, 0
+	for d, fd := range decoded {
+		totalGOBs += l.NumGOBs()
+		availGOBs += fd.AvailableGOBs()
+		want := oracle[d]
+		for j, dec := range fd.Decided {
+			if !dec {
+				continue
+			}
+			decided++
+			if fd.Bits.Bits[j] != want.Bits[j] {
+				wrong++
+			}
+		}
+	}
+	if totalGOBs > 0 {
+		avail = float64(availGOBs) / float64(totalGOBs)
+	}
+	if decided > 0 {
+		ber = float64(wrong) / float64(decided)
+	}
+	return avail, ber
+}
+
+// timeToFirstDecode returns how long after its own start a receiver first
+// delivered any GOB, measured to the display-side end of that data frame
+// ((d+1)·τ/refresh). A receiver that never decodes reports +Inf, false.
+func timeToFirstDecode(decoded []*core.FrameDecode, tau int, refreshHz, start float64) (float64, bool) {
+	for d, fd := range decoded {
+		if fd.AvailableGOBs() > 0 {
+			end := float64((d+1)*tau) / refreshHz
+			return end - start, true
+		}
+	}
+	return math.Inf(1), false
+}

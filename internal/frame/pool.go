@@ -19,9 +19,13 @@ import (
 //     and GC-dependent) and no background goroutines (the repo-wide
 //     goroutine lint invariant confines spawning to internal/parallel).
 //   - Explicit sizing. The free list only ever holds frames that were Put;
-//     nothing is preallocated speculatively and nothing is evicted. Memory
-//     high-water = peak simultaneous borrows, which the ownership rules in
-//     DESIGN.md §5e keep small and constant.
+//     nothing is preallocated speculatively and nothing is evicted behind
+//     the caller's back. Retained memory = peak simultaneous borrows, which
+//     the ownership rules in DESIGN.md §5e keep small and constant for a
+//     single pipeline. Heterogeneous sharers (a fleet of receivers with
+//     distinct capture geometries, each keying its own W×H list) bound the
+//     union explicitly with SetMaxPerSize or release it with Trim, and the
+//     HighWater accounting proves the bound held.
 //   - Loud misuse. Put panics on a double Put or a corrupt frame
 //     (dimension/buffer mismatch). Both are wiring bugs — the pooled
 //     pipeline hands frames between stages, and silently aliasing one
@@ -41,14 +45,35 @@ type Pool struct {
 	free   map[[2]int][]*Frame
 	pooled map[*Frame]struct{} // frames currently in the free list
 	stats  PoolStats
+	// maxPerSize caps each size key's free list; 0 = unbounded. Puts
+	// arriving at a full list drop the frame (counted in stats.Evicted).
+	maxPerSize int
+	// pix is the pixel count currently resident in the free lists; high is
+	// its peak alongside the peak resident frame count. Together they are
+	// the pool's memory high-water: under heterogeneous borrowers (a fleet
+	// of receivers with distinct capture geometries) every distinct W×H
+	// keys its own list, and without a cap the union grows without bound.
+	pix  int64
+	high PoolHighWater
 }
 
 // PoolStats counts pool traffic. Gets and Puts are exact call counts; Hits
 // are Gets served from the free list, Misses are Gets that allocated.
-// Under concurrent Gets the Hit/Miss split depends on interleaving; the
-// totals do not.
+// Evicted counts Puts dropped by the per-size cap (the frame went to the
+// GC instead of the free list). Under concurrent Gets the Hit/Miss split
+// depends on interleaving; the totals do not.
 type PoolStats struct {
-	Gets, Puts, Hits, Misses uint64
+	Gets, Puts, Hits, Misses, Evicted uint64
+}
+
+// PoolHighWater is the peak free-list residency observed so far: the
+// maximum number of frames (and their total pixel count) that sat in the
+// pool at once. It measures retained memory, not traffic — a fleet run
+// whose high-water stays flat as receivers are added proves the free lists
+// are bounded.
+type PoolHighWater struct {
+	Frames int
+	Pixels int64
 }
 
 // NewPool returns an empty pool.
@@ -76,6 +101,7 @@ func (p *Pool) Get(w, h int) *Frame {
 		f := list[len(list)-1]
 		p.free[key] = list[:len(list)-1]
 		delete(p.pooled, f)
+		p.pix -= int64(len(f.Pix))
 		p.stats.Hits++
 		p.mu.Unlock()
 		// Zero outside the lock: the frame is exclusively ours now, and
@@ -94,6 +120,10 @@ func (p *Pool) Get(w, h int) *Frame {
 // handed out. Put panics if f is already in the free list (double Put: two
 // owners of one buffer) or if f's buffer does not match its dimensions
 // (corruption or a hand-built Frame). A nil pool, or a nil f, is a no-op.
+// When a per-size cap is set (SetMaxPerSize) and f's size list is already
+// full, the frame is dropped for the GC instead of retained, and the drop
+// is counted in the Evicted statistic — semantically identical to a nil
+// pool's Put, so callers never branch on whether their Put "stuck".
 func (p *Pool) Put(f *Frame) {
 	if p == nil || f == nil {
 		return
@@ -106,10 +136,98 @@ func (p *Pool) Put(f *Frame) {
 	if _, dup := p.pooled[f]; dup {
 		panic("frame.Pool.Put: double Put (frame is already in the pool)")
 	}
-	p.pooled[f] = struct{}{}
-	key := [2]int{f.W, f.H}
-	p.free[key] = append(p.free[key], f)
 	p.stats.Puts++
+	key := [2]int{f.W, f.H}
+	if p.maxPerSize > 0 && len(p.free[key]) >= p.maxPerSize {
+		p.stats.Evicted++
+		return
+	}
+	p.pooled[f] = struct{}{}
+	p.free[key] = append(p.free[key], f)
+	p.pix += int64(len(f.Pix))
+	if n := len(p.pooled); n > p.high.Frames {
+		p.high.Frames = n
+	}
+	if p.pix > p.high.Pixels {
+		p.high.Pixels = p.pix
+	}
+}
+
+// SetMaxPerSize caps every size key's free list at n frames; 0 restores the
+// unbounded default. The cap applies immediately: existing lists longer
+// than n are trimmed (trimmed frames count as Evicted), and subsequent Puts
+// into a full list drop their frame. Determinism is unaffected — Get still
+// zeroes every frame it returns, so whether a particular buffer was
+// retained or evicted can never reach the pixel data.
+func (p *Pool) SetMaxPerSize(n int) {
+	if p == nil {
+		return
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("frame.Pool.SetMaxPerSize: negative cap %d", n))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maxPerSize = n
+	if n > 0 {
+		p.trimLocked(n)
+	}
+}
+
+// Trim evicts free-list frames so no size key retains more than perSize
+// frames, returning how many were dropped. Unlike SetMaxPerSize it is a
+// one-shot release — the standing cap is unchanged, so a fleet can Trim
+// between waves without capping steady-state reuse inside a wave. Trim(0)
+// empties the pool. A nil pool trims nothing.
+func (p *Pool) Trim(perSize int) int {
+	if p == nil {
+		return 0
+	}
+	if perSize < 0 {
+		panic(fmt.Sprintf("frame.Pool.Trim: negative cap %d", perSize))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.trimLocked(perSize)
+}
+
+// trimLocked drops frames beyond perSize per size key; callers hold mu.
+// Eviction takes the oldest entries (the front of each list), keeping the
+// most recently Put — and therefore most cache-warm — frames available.
+// The eviction count is order-independent, so iterating the free map here
+// feeds no ordered output.
+func (p *Pool) trimLocked(perSize int) int {
+	evicted := 0
+	for key, list := range p.free {
+		if len(list) <= perSize {
+			continue
+		}
+		drop := list[:len(list)-perSize]
+		for _, f := range drop {
+			delete(p.pooled, f)
+			p.pix -= int64(len(f.Pix))
+			evicted++
+		}
+		keep := list[len(list)-perSize:]
+		if perSize == 0 {
+			delete(p.free, key)
+		} else {
+			p.free[key] = append(list[:0], keep...)
+		}
+	}
+	p.stats.Evicted += uint64(evicted)
+	return evicted
+}
+
+// HighWater returns the peak free-list residency (frames and pixels) seen
+// so far. A nil pool reports zero.
+func (p *Pool) HighWater() PoolHighWater {
+	if p == nil {
+		return PoolHighWater{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.high
 }
 
 // Stats returns a snapshot of the pool's counters. Stats on a nil pool is

@@ -119,6 +119,149 @@ func TestNilPool(t *testing.T) {
 	}
 }
 
+// TestPoolMaxPerSize pins the per-size cap: Puts beyond the cap drop their
+// frame (counted as Evicted), Gets after eviction allocate fresh, and the
+// cap is keyed per size — one full list must not block another size's Puts.
+func TestPoolMaxPerSize(t *testing.T) {
+	p := NewPool()
+	p.SetMaxPerSize(2)
+	frames := []*Frame{p.Get(4, 4), p.Get(4, 4), p.Get(4, 4), p.Get(8, 2)}
+	for _, f := range frames {
+		p.Put(f)
+	}
+	if got := p.Stats().Evicted; got != 1 {
+		t.Fatalf("Evicted = %d, want 1 (third 4x4 Put over the cap)", got)
+	}
+	if n := p.Len(); n != 3 {
+		t.Fatalf("Len = %d, want 3 (two 4x4 + one 8x2 retained)", n)
+	}
+	// The evicted frame is gone: two hits drain the 4x4 list, the third
+	// Get must miss.
+	p.Get(4, 4)
+	p.Get(4, 4)
+	before := p.Stats().Misses
+	p.Get(4, 4)
+	if got := p.Stats().Misses; got != before+1 {
+		t.Fatalf("Get after eviction hit the free list (misses %d -> %d)", before, got)
+	}
+}
+
+// TestPoolSetMaxPerSizeTrimsExisting verifies the cap applies retroactively:
+// lists longer than the new cap shrink immediately and the evictions are
+// accounted.
+func TestPoolSetMaxPerSizeTrimsExisting(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 5; i++ {
+		p.Put(New(4, 4))
+	}
+	p.SetMaxPerSize(2)
+	if n := p.Len(); n != 2 {
+		t.Fatalf("Len after SetMaxPerSize(2) = %d, want 2", n)
+	}
+	if got := p.Stats().Evicted; got != 3 {
+		t.Fatalf("Evicted = %d, want 3", got)
+	}
+}
+
+// TestPoolTrim pins the one-shot release: Trim drops beyond the given
+// per-size count without installing a standing cap, keeps the most recently
+// Put frames, and Trim(0) empties the pool.
+func TestPoolTrim(t *testing.T) {
+	p := NewPool()
+	var last *Frame
+	for i := 0; i < 4; i++ {
+		last = New(6, 3)
+		p.Put(last)
+	}
+	if got := p.Trim(1); got != 3 {
+		t.Fatalf("Trim(1) evicted %d, want 3", got)
+	}
+	// LIFO retention: the surviving frame is the most recently Put.
+	if g := p.Get(6, 3); &g.Pix[0] != &last.Pix[0] {
+		t.Fatalf("Trim did not keep the most recently Put frame")
+	}
+	// No standing cap: both frames stick.
+	p.Put(New(6, 3))
+	p.Put(New(6, 3))
+	if n := p.Len(); n != 2 {
+		t.Fatalf("Len after post-Trim Puts = %d, want 2 (Trim must not cap)", n)
+	}
+	if got := p.Trim(0); got != 2 {
+		t.Fatalf("Trim(0) evicted %d, want 2", got)
+	}
+	if n := p.Len(); n != 0 {
+		t.Fatalf("Len after Trim(0) = %d, want 0", n)
+	}
+}
+
+// TestPoolHighWater pins the residency accounting across a mixed-size
+// sequence: the peak tracks the largest simultaneous free-list population,
+// in frames and pixels, and never decreases.
+func TestPoolHighWater(t *testing.T) {
+	p := NewPool()
+	a, b, c := New(4, 4), New(4, 4), New(10, 2) // 16+16+20 pixels
+	p.Put(a)
+	p.Put(b)
+	p.Put(c)
+	want := PoolHighWater{Frames: 3, Pixels: 52}
+	if hw := p.HighWater(); hw != want {
+		t.Fatalf("HighWater = %+v, want %+v", hw, want)
+	}
+	// Draining does not lower the recorded peak.
+	p.Get(4, 4)
+	p.Get(4, 4)
+	p.Get(10, 2)
+	if hw := p.HighWater(); hw != want {
+		t.Fatalf("HighWater after drain = %+v, want %+v", hw, want)
+	}
+	// A capped pool's high-water is bounded by the cap even as Puts churn.
+	q := NewPool()
+	q.SetMaxPerSize(1)
+	for i := 0; i < 10; i++ {
+		q.Put(New(4, 4))
+		q.Put(New(8, 8))
+	}
+	if hw := q.HighWater(); hw.Frames != 2 || hw.Pixels != 16+64 {
+		t.Fatalf("capped HighWater = %+v, want 2 frames / 80 pixels", hw)
+	}
+	var nilPool *Pool
+	if hw := nilPool.HighWater(); hw != (PoolHighWater{}) {
+		t.Fatalf("nil pool HighWater = %+v", hw)
+	}
+	if nilPool.Trim(0) != 0 {
+		t.Fatalf("nil pool Trim evicted frames")
+	}
+	nilPool.SetMaxPerSize(3) // must not panic
+}
+
+// TestPoolCapDeterminism proves eviction cannot reach pixel data: a capped
+// pool and an unbounded pool hand out bit-identical (zeroed) frames for the
+// same Get/Put sequence, whatever was evicted in between.
+func TestPoolCapDeterminism(t *testing.T) {
+	run := func(p *Pool) []float32 {
+		var out []float32
+		for i := 0; i < 6; i++ {
+			f := p.Get(4, 2)
+			for j := range f.Pix {
+				out = append(out, f.Pix[j])
+				f.Pix[j] = float32(i*10 + j) // dirty before returning
+			}
+			p.Put(f)
+		}
+		return out
+	}
+	capped := NewPool()
+	capped.SetMaxPerSize(1)
+	a := run(capped)
+	b := run(NewPool())
+	for i := range a {
+		//lint:ignore floateq the contract under test is bit-identity, so the comparison must be exact
+		if a[i] != b[i] {
+			t.Fatalf("capped and unbounded pools diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 // TestFillPixNegativeZero guards the fill fast path: -0 has a non-zero bit
 // pattern, so it must not be routed through the memclr (which would write
 // +0 and silently break bit-identity between filled and stored planes).

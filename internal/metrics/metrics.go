@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"inframe/internal/core"
@@ -134,8 +135,14 @@ type DegradationStats struct {
 	Quality Series
 }
 
-// AddReport accumulates one decode report.
+// AddReport accumulates one decode report. A nil report is a no-op: a
+// fleet receiver that produced nothing (camera started past the rendered
+// stream, decode path bailed) must not crash the aggregation or count as a
+// run.
 func (d *DegradationStats) AddReport(rep *core.DecodeReport) {
+	if rep == nil {
+		return
+	}
 	d.Runs++
 	counts := rep.CauseCounts()
 	for c, n := range counts {
@@ -149,6 +156,29 @@ func (d *DegradationStats) AddReport(rep *core.DecodeReport) {
 			d.Quality.Add(q.Quality)
 		}
 	}
+}
+
+// Merge folds another accumulation into d, for combining per-receiver
+// statistics gathered independently (each fleet receiver accumulates its
+// own DegradationStats, then the harness merges them in receiver-index
+// order). Counter fields sum; the quality series concatenates in the
+// other's observation order, so merging a fixed sequence of stats in a
+// fixed order yields a bit-identical aggregate — float sums in Mean/Std
+// depend on observation order, which is why callers must merge in a
+// deterministic order (by receiver index, never map iteration). A nil
+// other is a no-op.
+func (d *DegradationStats) Merge(other *DegradationStats) {
+	if other == nil {
+		return
+	}
+	d.Runs += other.Runs
+	for c := range other.Causes {
+		d.Causes[c] += other.Causes[c]
+	}
+	d.GapFrames += other.GapFrames
+	d.Resyncs += other.Resyncs
+	d.ExcludedCaptures += other.ExcludedCaptures
+	d.Quality.AddSeries(&other.Quality)
 }
 
 // TotalGOBs returns the number of GOB observations across all reports.
@@ -193,6 +223,42 @@ type Series struct{ xs []float64 }
 
 // Add appends one observation.
 func (s *Series) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddSeries appends every observation of other, in other's order. A nil
+// other is a no-op.
+func (s *Series) AddSeries(other *Series) {
+	if other == nil {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+}
+
+// Percentile returns the exact p-quantile (p in [0, 1]) by sort-then-index
+// over a copy of the observations: nearest-rank, idx = ceil(p·n)−1, so
+// Percentile(0.5) of [1 2 3 4] is 2 and Percentile(1) is the maximum. No
+// interpolation, no map iteration — the value returned is always one of
+// the observations, chosen deterministically. An empty series returns 0
+// (matching Mean's empty convention); p outside [0, 1] panics.
+func (s *Series) Percentile(p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("metrics: percentile %v outside [0,1]", p))
+	}
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.xs)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
 
 // N returns the observation count.
 func (s *Series) N() int { return len(s.xs) }

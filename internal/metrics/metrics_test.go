@@ -198,3 +198,136 @@ func TestDegradationStatsEmpty(t *testing.T) {
 		t.Fatalf("empty string = %q", d.String())
 	}
 }
+
+// TestDegradationStatsNilReport pins the cross-receiver merge guard: a nil
+// report (a receiver that produced nothing) is a no-op, not a panic and not
+// a counted run.
+func TestDegradationStatsNilReport(t *testing.T) {
+	var d DegradationStats
+	d.AddReport(nil)
+	if d.Runs != 0 || d.TotalGOBs() != 0 {
+		t.Fatalf("nil report counted: runs=%d total=%d", d.Runs, d.TotalGOBs())
+	}
+}
+
+// TestDegradationStatsMerge drives the cross-receiver aggregation table:
+// merging per-receiver stats must equal accumulating the same reports into
+// one stats object in the same order, empty and nil merges must be no-ops,
+// and the rendered string must be identical (ordering determinism).
+func TestDegradationStatsMerge(t *testing.T) {
+	l := testLayout()
+	fdA, _ := fakeDecode(t, l, 4, 1)
+	fdB, _ := fakeDecode(t, l, 6, 0)
+	repA := &core.DecodeReport{
+		Frames:    []*core.FrameDecode{fdA},
+		Quality:   []core.CaptureQuality{{Index: 0, Quality: 0.8, Scored: true, Used: true}},
+		GapFrames: 3, Resyncs: 1, ExcludedCaptures: 2,
+	}
+	repB := &core.DecodeReport{
+		Frames:  []*core.FrameDecode{fdB},
+		Quality: []core.CaptureQuality{{Index: 0, Quality: 0.4, Scored: true, Used: true}},
+	}
+	cases := []struct {
+		name    string
+		batches [][]*core.DecodeReport // one DegradationStats per batch, merged in order
+	}{
+		{name: "two-receivers", batches: [][]*core.DecodeReport{{repA}, {repB}}},
+		{name: "empty-middle", batches: [][]*core.DecodeReport{{repA}, {}, {repB}}},
+		{name: "nil-report-inside", batches: [][]*core.DecodeReport{{repA, nil}, {repB}}},
+		{name: "all-in-one", batches: [][]*core.DecodeReport{{repA, repB}}},
+	}
+	var want DegradationStats
+	want.AddReport(repA)
+	want.AddReport(repB)
+	for _, tc := range cases {
+		var merged DegradationStats
+		for _, batch := range tc.batches {
+			var per DegradationStats
+			for _, rep := range batch {
+				per.AddReport(rep)
+			}
+			merged.Merge(&per)
+		}
+		merged.Merge(nil) // must be a no-op
+		if merged.Runs != want.Runs || merged.Causes != want.Causes ||
+			merged.GapFrames != want.GapFrames || merged.Resyncs != want.Resyncs ||
+			merged.ExcludedCaptures != want.ExcludedCaptures {
+			t.Errorf("%s: merged counters = %+v, want %+v", tc.name, merged, want)
+		}
+		if merged.Quality.N() != want.Quality.N() {
+			t.Errorf("%s: quality N=%d, want %d", tc.name, merged.Quality.N(), want.Quality.N())
+		}
+		if got := merged.String(); got != want.String() {
+			t.Errorf("%s: merged string %q != accumulated %q", tc.name, got, want.String())
+		}
+	}
+}
+
+// TestSeriesPercentile pins the sort-then-index quantiles, including the
+// empty, single-observation, unsorted-input and out-of-range cases.
+func TestSeriesPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{name: "empty", xs: nil, p: 0.5, want: 0},
+		{name: "single", xs: []float64{7}, p: 0.99, want: 7},
+		{name: "median-even", xs: []float64{4, 1, 3, 2}, p: 0.5, want: 2},
+		{name: "median-odd", xs: []float64{5, 1, 3}, p: 0.5, want: 3},
+		{name: "p0-is-min", xs: []float64{9, 2, 5}, p: 0, want: 2},
+		{name: "p1-is-max", xs: []float64{9, 2, 5}, p: 1, want: 9},
+		{name: "p95-of-100", xs: seq100(), p: 0.95, want: 94},
+		{name: "p99-of-100", xs: seq100(), p: 0.99, want: 98},
+		{name: "inf-tail", xs: []float64{1, 2, math.Inf(1)}, p: 1, want: math.Inf(1)},
+	}
+	for _, tc := range cases {
+		var s Series
+		for _, x := range tc.xs {
+			s.Add(x)
+		}
+		got := s.Percentile(tc.p)
+		//lint:ignore floateq percentile returns an exact element of the input, so the comparison is exact
+		if got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	// Percentile must not mutate the series (it sorts a copy).
+	var s Series
+	s.Add(3)
+	s.Add(1)
+	s.Percentile(0.5)
+	if s.xs[0] != 3 {
+		t.Fatal("Percentile sorted the series in place")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range percentile did not panic")
+		}
+	}()
+	s.Percentile(1.5)
+}
+
+// seq100 returns 0..99 in scrambled (deterministic) order.
+func seq100() []float64 {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64((i*37 + 11) % 100)
+	}
+	return xs
+}
+
+// TestSeriesAddSeries pins concatenation order: AddSeries appends other's
+// observations after the receiver's, preserving both orders.
+func TestSeriesAddSeries(t *testing.T) {
+	var a, b Series
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	a.AddSeries(&b)
+	a.AddSeries(nil)
+	if a.N() != 3 || a.xs[0] != 1 || a.xs[1] != 2 || a.xs[2] != 3 {
+		t.Fatalf("AddSeries order = %v", a.xs)
+	}
+}

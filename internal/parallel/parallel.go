@@ -35,6 +35,29 @@ func Resolve(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Split divides one effective worker budget across parts concurrent
+// subtasks, returning the per-subtask worker count. It exists for nested
+// fan-out: an outer loop that runs parts subtasks concurrently, each of
+// which owns inner worker pools, must not let every subtask resolve its own
+// Workers=0 to GOMAXPROCS — parts × GOMAXPROCS goroutines oversubscribe the
+// machine without producing different results (outputs are index-keyed, so
+// they are bit-identical either way; only scheduling pressure changes).
+//
+// The returned count is floor(Resolve(workers)/parts), clamped to at least
+// 1, so outer × inner never exceeds the single budget when the outer width
+// is min(Resolve(workers), parts). Non-positive parts count as 1.
+func Split(workers, parts int) int {
+	w := Resolve(workers)
+	if parts < 1 {
+		parts = 1
+	}
+	per := w / parts
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // For runs fn(i) for every i in [0, n), distributing indices across
 // Resolve(workers) goroutines via a shared atomic cursor (dynamic load
 // balancing: iterations of very different cost still pack well). With one

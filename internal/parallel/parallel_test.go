@@ -110,3 +110,46 @@ func TestPoolSequentialRunsInline(t *testing.T) {
 		t.Fatal("sequential pool deferred the task")
 	}
 }
+
+// TestSplitCapsNestedBudget pins the nested-fan-out budget: for any outer
+// width chosen as min(Resolve(workers), parts), outer × Split never exceeds
+// the single budget, and a starved budget still grants every subtask one
+// worker (the sequential path).
+func TestSplitCapsNestedBudget(t *testing.T) {
+	cases := []struct {
+		workers, parts, want int
+	}{
+		{workers: 8, parts: 4, want: 2},
+		{workers: 8, parts: 8, want: 1},
+		{workers: 8, parts: 3, want: 2},  // floor(8/3), 3×2 ≤ 8
+		{workers: 4, parts: 16, want: 1}, // more parts than workers → sequential subtasks
+		{workers: 1, parts: 5, want: 1},
+		{workers: 6, parts: 0, want: 6}, // degenerate parts counts as 1
+		{workers: 6, parts: -2, want: 6},
+	}
+	for _, c := range cases {
+		got := Split(c.workers, c.parts)
+		if got != c.want {
+			t.Errorf("Split(%d, %d) = %d, want %d", c.workers, c.parts, got, c.want)
+		}
+		outer := Resolve(c.workers)
+		parts := c.parts
+		if parts < 1 {
+			parts = 1
+		}
+		if outer > parts {
+			outer = parts
+		}
+		if outer*got > Resolve(c.workers) && got != 1 {
+			t.Errorf("Split(%d, %d): outer %d × inner %d oversubscribes budget %d",
+				c.workers, c.parts, outer, got, Resolve(c.workers))
+		}
+	}
+}
+
+// TestSplitZeroResolvesGomaxprocs: Workers=0 follows Resolve's convention.
+func TestSplitZeroResolvesGomaxprocs(t *testing.T) {
+	if got, want := Split(0, 1), Resolve(0); got != want {
+		t.Fatalf("Split(0, 1) = %d, want Resolve(0) = %d", got, want)
+	}
+}

@@ -7,15 +7,17 @@
 # allocation tests without instrumentation (so AllocsPerRun sees the real
 # counts the benchmark baselines record), the fault-injection robustness
 # matrix under -race plus a short fuzz smoke of the decode entry points,
-# one iteration of the sequential-vs-parallel benchmarks as a smoke test,
-# and the inframe-benchdiff regression gate against the committed
-# BENCH_*.json baseline (+15% ns/op tolerance, allocs/op gated alongside).
+# the broadcast-fleet determinism suite under -race (N concurrent
+# receivers sharing one pool and one display), one iteration of the
+# sequential-vs-parallel benchmarks as a smoke test, and the
+# inframe-benchdiff regression gate against the committed BENCH_*.json
+# baseline (+15% ns/op tolerance, allocs/op gated alongside).
 #
 # Usage: ./verify.sh [-short]
 #   -short  gate the race run on `go test -short` (skips the long
 #           full-pipeline experiment suites) and skip the robustness,
-#           benchmark smoke and benchdiff stages entirely; use for quick
-#           iteration.
+#           fleet, benchmark smoke and benchdiff stages entirely; use
+#           for quick iteration.
 #
 # Each stage prints its wall-clock time on completion so slow stages are
 # visible; a summary repeats all of them — including skipped stages — at
@@ -82,8 +84,18 @@ run_robustness() {
 	go test -run '^$' -fuzz '^FuzzGOBParity$' -fuzztime 10s ./internal/core
 }
 
+run_fleet() {
+	# The broadcast-fleet gate in isolation under the race detector: a
+	# small-N fleet is the repo's richest cross-goroutine surface (nested
+	# fan-out, one shared pool, one display read by every receiver), and
+	# its tests pin worker invariance, the render-once pool accounting,
+	# the concurrency-budget bit-identity and the late-start all-erasure
+	# path.
+	go test -race -count=1 ./internal/fleet/
+}
+
 run_bench_smoke() {
-	go test -run '^$' -bench 'EndToEnd|DecodeCaptures' -benchtime=1x .
+	go test -run '^$' -bench 'EndToEnd|DecodeCaptures|Fleet' -benchtime=1x .
 }
 
 run_benchdiff() {
@@ -98,10 +110,12 @@ stage "go test -race $short ./..." run_tests
 stage "steady-state alloc tests" run_alloc_tests
 if [[ -n "$short" ]]; then
 	skip "robustness matrix + fuzz smoke"
+	skip "fleet determinism (race)"
 	skip "benchmarks (1 iteration smoke)"
 	skip "inframe-benchdiff"
 else
 	stage "robustness matrix + fuzz smoke" run_robustness
+	stage "fleet determinism (race)" run_fleet
 	stage "benchmarks (1 iteration smoke)" run_bench_smoke
 	stage "inframe-benchdiff" run_benchdiff
 fi
