@@ -1,33 +1,42 @@
 // Command inframe-lint runs the repository's custom static-analysis suite
 // (internal/analysis): a registry of analyzers that enforce the pipeline's
-// determinism, clamp, concurrency and hot-loop performance invariants
-// across every non-test package of the module.
+// determinism, ownership, clamp, concurrency and hot-loop performance
+// invariants across every non-test package of the module.
 //
 // Usage:
 //
-//	inframe-lint [-list] [-format text|json] [packages]
+//	inframe-lint [-list] [-only name[,name...]] [-format text|json] [packages]
 //
 // The package pattern is accepted for familiarity (verify.sh invokes
 // `inframe-lint ./...`) but the tool always loads and checks the whole
 // module — the invariants are global, and partial runs would let a
 // violation hide in an unchecked package.
 //
-// -format json emits the findings as a JSON array of
-// {analyzer, file, line, message} records on stdout (an empty array when
-// clean) so CI can annotate pull requests; the default text output and the
-// exit codes are unchanged.
+// -only restricts the run to a comma-separated subset of the registry
+// (use -list for the names); directives naming analyzers outside the
+// subset are neither unknown nor stale in such a run.
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check failure.
-// Suppress a single finding with a trailing or preceding comment:
+// -format json emits a {registry, counts, findings} object on stdout:
+// the analyzer registry that ran, per-analyzer finding counts (zero
+// entries included, so CI trend lines never lose a series), and the
+// findings as {analyzer, file, line, message} records. The default text
+// output and the exit codes are unchanged.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check or
+// usage failure. Suppress a single finding with a trailing or preceding
+// comment:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// A directive that no longer suppresses anything is itself reported.
 package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"inframe/internal/analysis"
 )
@@ -40,53 +49,149 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// jsonReport is the -format json output: the registry that ran, the
+// per-analyzer finding counts (zeros included), and the findings.
+type jsonReport struct {
+	Registry []string       `json:"registry"`
+	Counts   map[string]int `json:"counts"`
+	Findings []jsonFinding  `json:"findings"`
+}
+
+// config is one parsed invocation.
+type config struct {
+	list   bool
+	only   string
+	format string
+	dir    string
+}
+
 func main() {
-	list := flag.Bool("list", false, "list registered analyzers and exit")
-	format := flag.String("format", "text", "output format: text or json")
-	flag.Parse()
+	os.Exit(run(parseArgs(os.Args[1:]), os.Stdout, os.Stderr))
+}
 
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "inframe-lint: unknown format %q (use text or json)\n", *format)
-		os.Exit(2)
-	}
-
-	analyzers := analysis.DefaultAnalyzers()
-	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+// parseArgs parses flags without the global flag set so run stays
+// testable; unknown flags surface through config validation in run.
+func parseArgs(args []string) config {
+	cfg := config{format: "text", dir: "."}
+	i := 0
+	next := func() string {
+		if i+1 < len(args) {
+			i++
+			return args[i]
 		}
-		return
+		return ""
+	}
+	for ; i < len(args); i++ {
+		arg := strings.TrimPrefix(args[i], "-")
+		arg = strings.TrimPrefix(arg, "-")
+		switch {
+		case args[i] == arg:
+			// Package patterns (./...) are accepted and ignored: the tool
+			// always checks the whole module.
+		case arg == "list":
+			cfg.list = true
+		case arg == "only":
+			cfg.only = next()
+		case strings.HasPrefix(arg, "only="):
+			cfg.only = strings.TrimPrefix(arg, "only=")
+		case arg == "format":
+			cfg.format = next()
+		case strings.HasPrefix(arg, "format="):
+			cfg.format = strings.TrimPrefix(arg, "format=")
+		}
+	}
+	return cfg
+}
+
+// run executes one lint invocation and returns the process exit code.
+func run(cfg config, stdout, stderr io.Writer) int {
+	if cfg.format != "text" && cfg.format != "json" {
+		fmt.Fprintf(stderr, "inframe-lint: unknown format %q (use text or json)\n", cfg.format)
+		return 2
 	}
 
-	mod, err := analysis.LoadModule(".")
+	analyzers, err := selectAnalyzers(cfg.only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "inframe-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "inframe-lint:", err)
+		return 2
+	}
+
+	if cfg.list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	mod, err := analysis.LoadModule(cfg.dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "inframe-lint:", err)
+		return 2
 	}
 	diags := analysis.Run(mod, analyzers)
-	if *format == "json" {
-		findings := make([]jsonFinding, 0, len(diags))
+
+	if cfg.format == "json" {
+		report := jsonReport{
+			Registry: make([]string, 0, len(analyzers)),
+			Counts:   make(map[string]int, len(analyzers)+1),
+			Findings: make([]jsonFinding, 0, len(diags)),
+		}
+		for _, a := range analyzers {
+			report.Registry = append(report.Registry, a.Name)
+			report.Counts[a.Name] = 0
+		}
 		for _, d := range diags {
-			findings = append(findings, jsonFinding{
+			report.Counts[d.Analyzer]++
+			report.Findings = append(report.Findings, jsonFinding{
 				Analyzer: d.Analyzer,
 				File:     d.Pos.Filename,
 				Line:     d.Pos.Line,
 				Message:  d.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintln(os.Stderr, "inframe-lint:", err)
-			os.Exit(2)
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "inframe-lint:", err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "inframe-lint: %d finding(s) across %d analyzer(s)\n", len(diags), len(analyzers))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "inframe-lint: %d finding(s) across %d analyzer(s)\n", len(diags), len(analyzers))
+		return 1
 	}
+	return 0
+}
+
+// selectAnalyzers resolves -only against the registry; an empty spec
+// selects everything.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.DefaultAnalyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("-only names unknown analyzer %q (use -list for the registry)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return out, nil
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"inframe/internal/analysis"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		args []string
+		want config
+	}{
+		{nil, config{format: "text", dir: "."}},
+		{[]string{"./..."}, config{format: "text", dir: "."}},
+		{[]string{"-list"}, config{list: true, format: "text", dir: "."}},
+		{[]string{"--list"}, config{list: true, format: "text", dir: "."}},
+		{[]string{"-only", "poolown"}, config{only: "poolown", format: "text", dir: "."}},
+		{[]string{"-only=poolown,stagekey"}, config{only: "poolown,stagekey", format: "text", dir: "."}},
+		{[]string{"-format", "json", "./..."}, config{format: "json", dir: "."}},
+		{[]string{"--format=json"}, config{format: "json", dir: "."}},
+	}
+	for _, c := range cases {
+		if got := parseArgs(c.args); got != c.want {
+			t.Errorf("parseArgs(%q) = %+v, want %+v", c.args, got, c.want)
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatalf("empty -only: %v", err)
+	}
+	if len(all) != len(analysis.DefaultAnalyzers()) {
+		t.Errorf("empty -only selected %d analyzers, want the full registry", len(all))
+	}
+	subset, err := selectAnalyzers("poolown, stagekey")
+	if err != nil {
+		t.Fatalf("subset: %v", err)
+	}
+	if len(subset) != 2 || subset[0].Name != "poolown" || subset[1].Name != "stagekey" {
+		t.Errorf("subset = %v", subset)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Error("unknown analyzer name did not error")
+	}
+	if _, err := selectAnalyzers(","); err == nil {
+		t.Error("empty selection did not error")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(config{list: true, format: "text", dir: "."}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if want := len(analysis.DefaultAnalyzers()); len(lines) != want {
+		t.Errorf("-list printed %d analyzers, want %d", len(lines), want)
+	}
+	for _, name := range []string{"poolown", "stagekey", "splitbudget"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestRunListOnly(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(config{list: true, only: "poolown", format: "text", dir: "."}, &out, &errOut); code != 0 {
+		t.Fatalf("-list -only exited %d: %s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); !strings.HasPrefix(got, "poolown") || strings.Contains(got, "\n") {
+		t.Errorf("-list -only poolown printed %q, want the one analyzer", got)
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(config{format: "yaml", dir: "."}, &out, &errOut); code != 2 {
+		t.Errorf("bad -format exited %d, want 2", code)
+	}
+	if code := run(config{only: "nosuch", format: "text", dir: "."}, &out, &errOut); code != 2 {
+		t.Errorf("unknown -only exited %d, want 2", code)
+	}
+}
+
+// TestRunModuleJSON runs the real module through -format json and pins
+// the report shape: full registry, a count entry per analyzer (zeros
+// included), empty findings, exit 0.
+func TestRunModuleJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check in -short mode")
+	}
+	var out, errOut strings.Builder
+	if code := run(config{format: "json", dir: "."}, &out, &errOut); code != 0 {
+		t.Fatalf("module lint exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	want := len(analysis.DefaultAnalyzers())
+	if len(report.Registry) != want {
+		t.Errorf("registry has %d entries, want %d", len(report.Registry), want)
+	}
+	if len(report.Counts) != want {
+		t.Errorf("counts has %d entries, want %d (zero entries included)", len(report.Counts), want)
+	}
+	for name, n := range report.Counts {
+		if n != 0 {
+			t.Errorf("analyzer %s reports %d findings on a clean tree", name, n)
+		}
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("clean tree produced findings: %v", report.Findings)
+	}
+}
+
+// TestRunModuleOnly pins that a subset run works end to end: one
+// analyzer in the registry, zero findings, exit 0.
+func TestRunModuleOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check in -short mode")
+	}
+	var out, errOut strings.Builder
+	if code := run(config{only: "splitbudget", format: "json", dir: "."}, &out, &errOut); code != 0 {
+		t.Fatalf("-only splitbudget exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(report.Registry) != 1 || report.Registry[0] != "splitbudget" {
+		t.Errorf("registry = %v, want [splitbudget]", report.Registry)
+	}
+}

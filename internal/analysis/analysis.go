@@ -91,6 +91,9 @@ func DefaultAnalyzers() []*Analyzer {
 		LoopInvariantAnalyzer,
 		MapRangeAnalyzer,
 		PreallocateAnalyzer,
+		Poolown,
+		Stagekey,
+		Splitbudget,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
@@ -98,13 +101,11 @@ func DefaultAnalyzers() []*Analyzer {
 
 // Run applies every analyzer to every package of the module, applies
 // //lint:ignore suppression, and returns the surviving diagnostics sorted
-// by position. Malformed or unknown-analyzer directives are reported as
-// diagnostics from the pseudo-analyzer "lint".
+// by position. Malformed or unknown-analyzer directives, and directives
+// that no longer suppress anything, are reported as diagnostics from the
+// pseudo-analyzer "lint".
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
+	known := knownNames(analyzers)
 	var out []Diagnostic
 	for _, pkg := range mod.Packages {
 		out = append(out, runPackage(mod.Fset, pkg, analyzers, known)...)
@@ -118,18 +119,32 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 // It is the single-package core of Run, exposed for the fixture-driven
 // analyzer tests.
 func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-	out := runPackage(fset, pkg, analyzers, known)
+	out := runPackage(fset, pkg, analyzers, knownNames(analyzers))
 	sortDiagnostics(out)
 	return out
 }
 
+// knownNames is the set of analyzer names a directive may legitimately
+// reference: the full registry plus whatever is being run (fixture-only
+// analyzers included). The union matters for subset runs (-only): a
+// directive naming a registered analyzer that merely is not running this
+// time is neither unknown nor checkable for staleness.
+func knownNames(analyzers []*Analyzer) map[string]bool {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
+}
+
 func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
 	dirs, out := collectDirectives(fset, pkg.Files, known)
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     fset,
@@ -146,6 +161,11 @@ func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known 
 		}
 		a.Run(pass)
 	}
+	// Suppression hygiene: a directive whose analyzer ran but reported
+	// nothing on the covered lines is stale — the code it excused has
+	// moved or been fixed, and a dangling excuse will silently swallow
+	// the next real finding there.
+	out = append(out, dirs.unused(ran)...)
 	return out
 }
 
@@ -169,15 +189,57 @@ func sortDiagnostics(out []Diagnostic) {
 
 const directivePrefix = "//lint:ignore"
 
-// directiveIndex maps file → analyzer name → set of suppressed lines.
-type directiveIndex map[string]map[string]map[int]bool
+// directive is one //lint:ignore occurrence. It suppresses the named
+// analyzer on its own line and the following one, and records whether it
+// ever did.
+type directive struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
+// covers reports whether the directive's window includes line.
+func (d *directive) covers(line int) bool {
+	return line == d.pos.Line || line == d.pos.Line+1
+}
+
+// directiveIndex maps file → analyzer name → directives in that file.
+type directiveIndex map[string]map[string][]*directive
 
 func (idx directiveIndex) suppresses(d Diagnostic) bool {
-	byName := idx[d.Pos.Filename]
-	if byName == nil {
-		return false
+	found := false
+	for _, dir := range idx[d.Pos.Filename][d.Analyzer] {
+		if dir.covers(d.Pos.Line) {
+			dir.used = true
+			found = true
+		}
 	}
-	return byName[d.Analyzer][d.Pos.Line]
+	return found
+}
+
+// unused reports every directive naming an analyzer that ran over the
+// package without it suppressing anything.
+func (idx directiveIndex) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, byName := range idx {
+		for name, dirs := range byName {
+			if !ran[name] {
+				continue
+			}
+			for _, dir := range dirs {
+				if dir.used {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "lint",
+					Message: fmt.Sprintf(
+						"//lint:ignore %s suppresses nothing here; delete the stale directive", name),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // collectDirectives scans every comment of the package for //lint:ignore
@@ -216,16 +278,10 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 				}
 				byName := idx[pos.Filename]
 				if byName == nil {
-					byName = make(map[string]map[int]bool)
+					byName = make(map[string][]*directive)
 					idx[pos.Filename] = byName
 				}
-				lines := byName[name]
-				if lines == nil {
-					lines = make(map[int]bool)
-					byName[name] = lines
-				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
+				byName[name] = append(byName[name], &directive{pos: pos, name: name})
 			}
 		}
 	}

@@ -113,12 +113,13 @@ func TestIgnoreDirective(t *testing.T) {
 	checkGolden(t, diags, wants)
 }
 
-// TestDirectiveHygiene checks that a directive without a reason and a
-// directive naming an unregistered analyzer are reported.
+// TestDirectiveHygiene checks that a directive without a reason, a
+// directive naming an unregistered analyzer, and a directive that no
+// longer suppresses anything are all reported.
 func TestDirectiveHygiene(t *testing.T) {
 	fset, pkg, _ := loadFixture(t, "ignorebad", "ignorebad")
 	diags := RunPackage(fset, pkg, DefaultAnalyzers())
-	var malformed, unknown bool
+	var malformed, unknown, stale bool
 	for _, d := range diags {
 		if d.Analyzer != "lint" {
 			t.Errorf("unexpected diagnostic: %s", d)
@@ -129,6 +130,8 @@ func TestDirectiveHygiene(t *testing.T) {
 			malformed = true
 		case strings.Contains(d.Message, "unknown analyzer"):
 			unknown = true
+		case strings.Contains(d.Message, "suppresses nothing"):
+			stale = true
 		}
 	}
 	if !malformed {
@@ -136,6 +139,25 @@ func TestDirectiveHygiene(t *testing.T) {
 	}
 	if !unknown {
 		t.Error("unknown-analyzer directive was not reported")
+	}
+	if !stale {
+		t.Error("stale directive was not reported as unused")
+	}
+}
+
+// TestUnusedDirectiveScopedToRunSet pins the -only interaction: a subset
+// run must not call a directive stale when its analyzer did not run, and
+// must not call its name unknown either.
+func TestUnusedDirectiveScopedToRunSet(t *testing.T) {
+	fset, pkg, _ := loadFixture(t, "ignorebad", "ignorebad")
+	diags := RunPackage(fset, pkg, []*Analyzer{analyzerByName(t, "detrand")})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppresses nothing") {
+			t.Errorf("floateq did not run, yet its directive was called stale: %s", d)
+		}
+		if strings.Contains(d.Message, `unknown analyzer "floateq"`) {
+			t.Errorf("registered analyzer reported unknown in subset run: %s", d)
+		}
 	}
 }
 
@@ -175,17 +197,26 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(mod.Packages) < 20 {
 		t.Fatalf("loaded only %d packages, expected the whole module", len(mod.Packages))
 	}
-	for _, d := range Run(mod, DefaultAnalyzers()) {
+	analyzers := DefaultAnalyzers()
+	if len(analyzers) != registrySize {
+		t.Fatalf("self-lint ran %d analyzers, want %d", len(analyzers), registrySize)
+	}
+	for _, d := range Run(mod, analyzers) {
 		t.Errorf("%s", d)
 	}
 }
 
-// TestDefaultAnalyzersRegistry pins the registry contract: at least five
-// analyzers, sorted, unique names, docs present.
+// registrySize pins the registry: growing or shrinking it is a deliberate
+// act that updates this constant, README § Lint, and DESIGN.md §5h
+// together.
+const registrySize = 14
+
+// TestDefaultAnalyzersRegistry pins the registry contract: exactly
+// registrySize analyzers, sorted, unique names, docs present.
 func TestDefaultAnalyzersRegistry(t *testing.T) {
 	as := DefaultAnalyzers()
-	if len(as) < 5 {
-		t.Fatalf("registry has %d analyzers, want >= 5", len(as))
+	if len(as) != registrySize {
+		t.Fatalf("registry has %d analyzers, want exactly %d (update registrySize, README § Lint and DESIGN.md §5h together)", len(as), registrySize)
 	}
 	seen := make(map[string]bool)
 	for i, a := range as {
@@ -234,13 +265,8 @@ func TestSuppressionIsLineScoped(t *testing.T) {
 	var file string
 	var line int
 	for f, byName := range idx {
-		for name, lines := range byName {
-			if name != "detrand" {
-				continue
-			}
-			for l := range lines {
-				file, line = f, l
-			}
+		for _, dir := range byName["detrand"] {
+			file, line = f, dir.pos.Line
 		}
 	}
 	if file == "" {

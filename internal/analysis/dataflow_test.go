@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The dataflow layer is tested with a miniature ownership client: `x :=
+// get()` makes x owned, `put(x)` releases it, and exits report what is
+// still owned. This isolates the path engine's fork/merge/loop semantics
+// from the full poolown analyzer, so a failure here points at the engine.
+
+// ownState is the test client's abstract store.
+type ownState struct {
+	owned map[string]bool
+}
+
+func (s *ownState) clone() *ownState {
+	c := &ownState{owned: make(map[string]bool, len(s.owned))}
+	for k, v := range s.owned {
+		c.owned[k] = v
+	}
+	return c
+}
+
+func (s *ownState) fingerprint() string {
+	keys := make([]string, 0, len(s.owned))
+	for k, v := range s.owned {
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// runOwnPaths parses src as a function body, runs the path engine with
+// the miniature client, and returns the fingerprint of each exit state
+// (sorted), each back-edge leak observed, and whether the engine bailed.
+func runOwnPaths(t *testing.T, body string) (exits []string, backLeaks []string, bailed bool) {
+	t.Helper()
+	src := "package p\nfunc f(cond bool, n int) {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+
+	interp := func(s ast.Stmt, st *ownState) {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "put" {
+						if arg, ok := call.Args[0].(*ast.Ident); ok {
+							st.owned[arg.Name] = false
+						}
+					}
+				}
+			}
+			return
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "get" && i < len(as.Lhs) {
+				if lhs, ok := as.Lhs[i].(*ast.Ident); ok {
+					st.owned[lhs.Name] = true
+				}
+			}
+		}
+	}
+
+	hooks := pathHooks{
+		copy: func(st pathState) pathState { return st.(*ownState).clone() },
+		key:  func(st pathState) string { return st.(*ownState).fingerprint() },
+		stmt: func(s ast.Stmt, st pathState) { interp(s, st.(*ownState)) },
+		cond: func(e ast.Expr, st pathState) {},
+		exit: func(ret *ast.ReturnStmt, end token.Pos, st pathState) {
+			exits = append(exits, st.(*ownState).fingerprint())
+		},
+		loopBack: func(loop ast.Stmt, entry any, st pathState) {
+			before := entry.(map[string]bool)
+			for name, owned := range st.(*ownState).owned {
+				if owned && !before[name] {
+					backLeaks = append(backLeaks, name)
+				}
+			}
+		},
+		snapshot: func(st pathState) any {
+			snap := make(map[string]bool)
+			for k, v := range st.(*ownState).owned {
+				snap[k] = v
+			}
+			return snap
+		},
+		bail: func() { bailed = true },
+	}
+	execPaths(fd.Body, &ownState{owned: make(map[string]bool)}, hooks)
+	sort.Strings(exits)
+	sort.Strings(backLeaks)
+	return exits, backLeaks, bailed
+}
+
+// TestPathsEarlyReturn is the canonical leak-on-early-return shape: the
+// engine must enumerate both the early exit (x still owned) and the
+// fall-off exit (x released) as distinct paths.
+func TestPathsEarlyReturn(t *testing.T) {
+	exits, _, bailed := runOwnPaths(t, `
+	x := get()
+	if cond {
+		return
+	}
+	put(x)
+`)
+	if bailed {
+		t.Fatal("engine bailed on a two-path function")
+	}
+	want := []string{"", "x"}
+	if len(exits) != 2 || exits[0] != want[0] || exits[1] != want[1] {
+		t.Fatalf("exits = %q, want %q (leaked early return + clean fall-off)", exits, want)
+	}
+}
+
+// TestPathsBranchOnlyPut releases only inside one branch: the else path
+// must still be reported as owning x at function end.
+func TestPathsBranchOnlyPut(t *testing.T) {
+	exits, _, bailed := runOwnPaths(t, `
+	x := get()
+	if cond {
+		put(x)
+	}
+`)
+	if bailed {
+		t.Fatal("engine bailed")
+	}
+	want := []string{"", "x"}
+	if len(exits) != 2 || exits[0] != want[0] || exits[1] != want[1] {
+		t.Fatalf("exits = %q, want %q (put-branch clean, skip-branch leaked)", exits, want)
+	}
+}
+
+// TestPathsBothBranchesPut releases on every path; the dedup must merge
+// the branches back into one clean exit.
+func TestPathsBothBranchesPut(t *testing.T) {
+	exits, _, _ := runOwnPaths(t, `
+	x := get()
+	if cond {
+		put(x)
+	} else {
+		put(x)
+	}
+`)
+	if len(exits) != 1 || exits[0] != "" {
+		t.Fatalf("exits = %q, want one clean exit", exits)
+	}
+}
+
+// TestPathsLoopCarriedLeak is the loop-carried ownership case: a frame
+// acquired inside the body that survives to the back edge (here via
+// continue) must be observed by the loopBack hook.
+func TestPathsLoopCarriedLeak(t *testing.T) {
+	_, backLeaks, bailed := runOwnPaths(t, `
+	for i := 0; i < n; i++ {
+		x := get()
+		if cond {
+			continue
+		}
+		put(x)
+	}
+`)
+	if bailed {
+		t.Fatal("engine bailed")
+	}
+	if len(backLeaks) == 0 || backLeaks[0] != "x" {
+		t.Fatalf("backLeaks = %q, want x leaked across the back edge", backLeaks)
+	}
+}
+
+// TestPathsLoopCleanBody pins the negative: a body that releases before
+// every back edge produces no back-edge leak, and the zero-iteration
+// path still reaches the exit.
+func TestPathsLoopCleanBody(t *testing.T) {
+	exits, backLeaks, _ := runOwnPaths(t, `
+	for i := 0; i < n; i++ {
+		x := get()
+		put(x)
+	}
+`)
+	if len(backLeaks) != 0 {
+		t.Fatalf("backLeaks = %q, want none", backLeaks)
+	}
+	if len(exits) == 0 || exits[0] != "" {
+		t.Fatalf("exits = %q, want clean", exits)
+	}
+}
+
+// TestPathsRangeLoop pins the same back-edge observation for range loops.
+func TestPathsRangeLoop(t *testing.T) {
+	_, backLeaks, _ := runOwnPaths(t, `
+	xs := []int{1, 2}
+	for range xs {
+		x := get()
+		_ = x
+	}
+`)
+	if len(backLeaks) == 0 || backLeaks[0] != "x" {
+		t.Fatalf("backLeaks = %q, want x", backLeaks)
+	}
+}
+
+// TestPathsBreakExitsLoop: a break path must flow to the code after the
+// loop, carrying its state.
+func TestPathsBreakExitsLoop(t *testing.T) {
+	exits, _, _ := runOwnPaths(t, `
+	x := get()
+	for i := 0; i < n; i++ {
+		if cond {
+			break
+		}
+	}
+	put(x)
+`)
+	for _, e := range exits {
+		if e != "" {
+			t.Fatalf("exit %q still owns a frame; break must reach the put after the loop", e)
+		}
+	}
+}
+
+// TestPathsSwitch forks one path per case plus the implicit no-match
+// path when there is no default.
+func TestPathsSwitch(t *testing.T) {
+	exits, _, _ := runOwnPaths(t, `
+	x := get()
+	switch n {
+	case 1:
+		put(x)
+	case 2:
+	}
+`)
+	want := []string{"", "x", "x"} // case 1 clean; case 2 + no-match leaked (deduped to one)
+	_ = want
+	if len(exits) != 2 || exits[0] != "" || exits[1] != "x" {
+		t.Fatalf("exits = %q, want [\"\" \"x\"]", exits)
+	}
+}
+
+// TestPathsSwitchDefault: with a default clause there is no implicit
+// fall-through path, so releasing in every clause is clean.
+func TestPathsSwitchDefault(t *testing.T) {
+	exits, _, _ := runOwnPaths(t, `
+	x := get()
+	switch n {
+	case 1:
+		put(x)
+	default:
+		put(x)
+	}
+`)
+	if len(exits) != 1 || exits[0] != "" {
+		t.Fatalf("exits = %q, want one clean exit", exits)
+	}
+}
+
+// TestPathsBailOnGoto: goto and labels are outside this layer's model;
+// the engine must bail rather than guess.
+func TestPathsBailOnGoto(t *testing.T) {
+	_, _, bailed := runOwnPaths(t, `
+	x := get()
+	goto done
+done:
+	put(x)
+`)
+	if !bailed {
+		t.Fatal("engine did not bail on goto")
+	}
+}
+
+// TestPathsBudgetBail: a fork bomb past maxPathStates must trip the
+// budget instead of hanging. Each if doubles the distinguishable states
+// (a distinct variable becomes owned per branch), defeating the dedup.
+func TestPathsBudgetBail(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 16; i++ {
+		b.WriteString("\tif cond {\n")
+		for j := 0; j < 4; j++ {
+			b.WriteString("\t\t")
+			b.WriteString(varName(i, j))
+			b.WriteString(" := get()\n\t\t_ = ")
+			b.WriteString(varName(i, j))
+			b.WriteString("\n")
+		}
+		b.WriteString("\t}\n")
+	}
+	_, _, bailed := runOwnPaths(t, b.String())
+	if !bailed {
+		t.Fatal("engine did not bail on exponential path growth")
+	}
+}
+
+func varName(i, j int) string {
+	return "v" + string(rune('a'+i)) + string(rune('a'+j))
+}
+
+// --- one-hop summary tests ---
+
+// typecheckSrc parses and type-checks one self-contained file.
+func typecheckSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "sum.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, file, info
+}
+
+const summarySrc = `package p
+
+type Frame struct{ W, H int }
+type Pool struct{}
+
+func (p *Pool) Get(w, h int) *Frame { return &Frame{w, h} }
+func (p *Pool) Put(f *Frame)        {}
+
+// consumes its second parameter
+func drain(pl *Pool, f *Frame) { pl.Put(f) }
+
+// consumes neither parameter (borrow only)
+func inspect(f *Frame) int { return f.W }
+
+// returns a pool-owned frame directly
+func fresh(pl *Pool) *Frame { return pl.Get(1, 1) }
+
+// returns a pool-owned frame through a local
+func freshVia(pl *Pool) *Frame {
+	f := pl.Get(2, 2)
+	f.W = 3
+	return f
+}
+
+// returns a borrowed frame, not pool-owned
+func passthrough(f *Frame) *Frame { return f }
+`
+
+func summaryFor(t *testing.T, sums map[*types.Func]ownSummary, name string) (ownSummary, bool) {
+	t.Helper()
+	for fn, s := range sums {
+		if fn.Name() == name {
+			return s, true
+		}
+	}
+	return ownSummary{}, false
+}
+
+func TestOwnSummaries(t *testing.T) {
+	fset, file, info := typecheckSrc(t, summarySrc)
+	pass := &Pass{Fset: fset, Files: []*ast.File{file}, Info: info}
+	sums := collectOwnSummaries(pass)
+
+	drain, ok := summaryFor(t, sums, "drain")
+	if !ok || !drain.consumes[1] {
+		t.Errorf("drain: want consumes[1], got %+v (found=%v)", drain, ok)
+	}
+	if drain.consumes[0] {
+		t.Errorf("drain: pool parameter wrongly marked consumed")
+	}
+	if _, ok := summaryFor(t, sums, "inspect"); ok {
+		t.Errorf("inspect: borrow-only function should have no summary entry")
+	}
+	fresh, ok := summaryFor(t, sums, "fresh")
+	if !ok || !fresh.returnsOwned {
+		t.Errorf("fresh: want returnsOwned, got %+v (found=%v)", fresh, ok)
+	}
+	freshVia, ok := summaryFor(t, sums, "freshVia")
+	if !ok || !freshVia.returnsOwned {
+		t.Errorf("freshVia: want returnsOwned through local, got %+v (found=%v)", freshVia, ok)
+	}
+	if _, ok := summaryFor(t, sums, "passthrough"); ok {
+		t.Errorf("passthrough: borrowed return should not be marked pool-owned")
+	}
+}
+
+func TestIsPoolGetCallRequiresPoolType(t *testing.T) {
+	src := `package p
+type Frame struct{}
+type Bucket struct{}
+func (b *Bucket) Get(w, h int) *Frame { return nil }
+func f(b *Bucket) *Frame { return b.Get(1, 1) }
+`
+	_, file, info := typecheckSrc(t, src)
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isPoolGetCall(info, call) {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		t.Error("Get on a non-Pool type wrongly recognized as ownership grant")
+	}
+}

@@ -1,0 +1,623 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Poolown enforces the frame-pool ownership discipline (DESIGN.md §5e) on
+// top of the dataflow layer: every frame drawn from a Pool.Get — directly
+// or through a same-package callee whose summary says it returns a
+// pool-owned frame — must on every control-flow path either reach a
+// Put/Recycle or transfer ownership out of the function (be returned,
+// stored into a structure, sent on a channel, or handed to a callee whose
+// summary consumes it). Three defect classes are reported:
+//
+//   - leak-on-path: a path to a return (typically an early error return)
+//     or to a loop back edge on which an owned frame is never released;
+//   - double-release: a path on which one frame reaches Put/Recycle twice
+//     (frame.Pool panics at runtime; this finds it at lint time);
+//   - use-after-release: a path that touches a frame after handing it
+//     back to the pool.
+//
+// The analysis is path-sensitive per function and one hop deep across
+// calls: summaries cover same-package callees only (plus the universal
+// Put/Recycle names), so a frame handed to another package is treated as
+// borrowed, never consumed. Function literals passed to the synchronous
+// parallel helpers (For, ForChunked, Go) run to completion before the
+// caller continues, so releases inside them count; any other literal
+// capturing an owned frame is an ownership escape. Functions using goto
+// or labeled branches, or exceeding the path budget, are skipped rather
+// than guessed at.
+var Poolown = &Analyzer{
+	Name: "poolown",
+	Doc:  "pool frames must be released or transferred on every path",
+	Run:  runPoolown,
+}
+
+// ownStatus is the per-variable ownership state.
+type ownStatus uint8
+
+const (
+	ownHeld     ownStatus = iota // acquired, not yet released
+	ownReleased                  // handed back to the pool
+	ownDeferred                  // release deferred to function exit
+)
+
+// varOwn is one tracked frame variable's state.
+type varOwn struct {
+	status ownStatus
+	get    token.Pos // the acquiring Pool.Get (anchor for leak findings)
+}
+
+// poolState is the abstract store: tracked frame variables only. A
+// variable leaves the map when ownership escapes the function's view.
+type poolState struct {
+	vars map[*types.Var]varOwn
+}
+
+func (s *poolState) clone() *poolState {
+	c := &poolState{vars: make(map[*types.Var]varOwn, len(s.vars))}
+	for v, o := range s.vars {
+		c.vars[v] = o
+	}
+	return c
+}
+
+func (s *poolState) fingerprint() string {
+	return sortedVarNames(s.vars, func(v *types.Var, o varOwn) string {
+		return fmt.Sprintf("%d@%d:%d", v.Pos(), o.get, o.status)
+	})
+}
+
+func runPoolown(pass *Pass) {
+	summaries := collectOwnSummaries(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			resultVars := make(map[types.Object]bool)
+			if fd.Type.Results != nil {
+				for _, field := range fd.Type.Results.List {
+					for _, name := range field.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							resultVars[obj] = true
+						}
+					}
+				}
+			}
+			scanPoolownUnit(pass, summaries, fd.Body, resultVars)
+			// Every function literal is its own scan unit: its locals are
+			// analyzed against its own paths, regardless of how the outer
+			// function treats the literal.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					scanPoolownUnit(pass, summaries, lit.Body, nil)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// poolownUnit carries the per-scan-unit context and accumulates findings,
+// deduplicated by position and text, reported only if no bail fired.
+type poolownUnit struct {
+	pass      *Pass
+	summaries map[*types.Func]ownSummary
+	results   map[types.Object]bool
+	body      *ast.BlockStmt
+	findings  map[string]poolownFinding
+	bailed    bool
+}
+
+type poolownFinding struct {
+	pos token.Pos
+	msg string
+}
+
+func scanPoolownUnit(pass *Pass, summaries map[*types.Func]ownSummary, body *ast.BlockStmt, results map[types.Object]bool) {
+	u := &poolownUnit{
+		pass:      pass,
+		summaries: summaries,
+		results:   results,
+		body:      body,
+		findings:  make(map[string]poolownFinding),
+	}
+	hooks := pathHooks{
+		copy: func(st pathState) pathState { return st.(*poolState).clone() },
+		key:  func(st pathState) string { return st.(*poolState).fingerprint() },
+		stmt: func(s ast.Stmt, st pathState) { u.stmt(s, st.(*poolState)) },
+		cond: func(e ast.Expr, st pathState) { u.expr(e, st.(*poolState)) },
+		exit: func(ret *ast.ReturnStmt, end token.Pos, st pathState) {
+			line := u.pass.Fset.Position(end).Line
+			for _, o := range st.(*poolState).vars {
+				if o.status == ownHeld {
+					u.record(o.get, fmt.Sprintf(
+						"frame from Pool.Get is not released on the path exiting at line %d", line))
+				}
+			}
+		},
+		loopBack: func(loop ast.Stmt, entry any, st pathState) {
+			before := entry.(map[*types.Var]bool)
+			vars := st.(*poolState).vars
+			for v, o := range vars {
+				if o.status == ownHeld && !before[v] {
+					u.record(o.get, "frame from Pool.Get is still held at the loop back edge; release it before the next iteration")
+					// One finding per defect: stop tracking so the exit
+					// hook does not re-report the same frame.
+					delete(vars, v)
+				}
+			}
+		},
+		snapshot: func(st pathState) any {
+			snap := make(map[*types.Var]bool)
+			for v := range st.(*poolState).vars {
+				snap[v] = true
+			}
+			return snap
+		},
+		bail: func() { u.bailed = true },
+	}
+	execPaths(body, &poolState{vars: make(map[*types.Var]varOwn)}, hooks)
+	if u.bailed {
+		return
+	}
+	out := make([]poolownFinding, 0, len(u.findings))
+	for _, f := range u.findings {
+		//lint:ignore maprange the sort below fully orders findings by (pos, msg)
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].msg < out[j].msg
+	})
+	for _, f := range out {
+		u.pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+func (u *poolownUnit) record(pos token.Pos, msg string) {
+	u.findings[fmt.Sprintf("%d|%s", pos, msg)] = poolownFinding{pos, msg}
+}
+
+// lookup resolves an identifier to its variable object.
+func (u *poolownUnit) lookup(id *ast.Ident) *types.Var {
+	obj := u.pass.Info.Uses[id]
+	if obj == nil {
+		obj = u.pass.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// grantsOwnership reports whether rhs hands a pool-owned frame to its
+// assignee: a direct Pool.Get, or a same-package callee summarized as
+// returning an owned frame.
+func (u *poolownUnit) grantsOwnership(rhs ast.Expr) bool {
+	if isPoolGetCall(u.pass.Info, rhs) {
+		return true
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := funcObj(u.pass.Info, call.Fun)
+	if obj == nil {
+		return false
+	}
+	return u.summaries[obj].returnsOwned
+}
+
+// stmt interprets one leaf statement for its ownership effects.
+func (u *poolownUnit) stmt(s ast.Stmt, st *poolState) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		u.assign(s, st)
+	case *ast.ExprStmt:
+		u.expr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						u.assignPair(name, vs.Values[i], st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		u.deferred(s.Call, st)
+	case *ast.GoStmt:
+		// The goroutine outlives this path's view; everything it touches
+		// escapes.
+		u.escapeAllIn(s.Call, st)
+	case *ast.SendStmt:
+		if v := u.identVar(s.Value); v != nil {
+			delete(st.vars, v)
+		} else {
+			u.expr(s.Value, st)
+		}
+		u.expr(s.Chan, st)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if v := u.identVar(res); v != nil {
+				// Ownership transfers to the caller.
+				delete(st.vars, v)
+				continue
+			}
+			u.expr(res, st)
+		}
+	case *ast.IncDecStmt:
+		u.expr(s.X, st)
+	case *ast.RangeStmt:
+		// The engine hands the whole range statement over for its per-
+		// iteration key/value assignment.
+		for _, target := range []ast.Expr{s.Key, s.Value} {
+			if target == nil {
+				continue
+			}
+			if v := u.identVar(target); v != nil {
+				delete(st.vars, v)
+			}
+		}
+	}
+}
+
+// identVar returns the variable behind e if e is a plain identifier,
+// else nil. Deleting an untracked variable from the state is a no-op, so
+// callers use this for transfer/escape targets without a tracked check.
+func (u *poolownUnit) identVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return u.lookup(id)
+}
+
+// assign interprets one assignment statement.
+func (u *poolownUnit) assign(s *ast.AssignStmt, st *poolState) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			u.assignPair(s.Lhs[i], s.Rhs[i], st)
+		}
+		return
+	}
+	// Multi-value form (a, b := f()): no ownership grant is inferred, but
+	// the call's argument effects still apply and overwritten trackers
+	// reset.
+	for _, rhs := range s.Rhs {
+		u.expr(rhs, st)
+	}
+	for _, lhs := range s.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v := u.lookup(id); v != nil {
+				delete(st.vars, v)
+			}
+		}
+	}
+}
+
+// assignPair interprets a single lhs = rhs pair.
+func (u *poolownUnit) assignPair(lhs, rhs ast.Expr, st *poolState) {
+	lhsID, lhsIsIdent := ast.Unparen(lhs).(*ast.Ident)
+	rhs = ast.Unparen(rhs)
+
+	if u.grantsOwnership(rhs) {
+		// Argument effects of the granting call still apply (e.g. a
+		// constructor consuming another frame).
+		u.expr(rhs, st)
+		if lhsIsIdent && lhsID.Name != "_" {
+			if v := u.lookup(lhsID); v != nil && !u.results[v] {
+				st.vars[v] = varOwn{status: ownHeld, get: rhs.Pos()}
+				return
+			}
+		}
+		// Granted frame lands somewhere not trackable (slice element,
+		// field, blank): ownership escapes immediately.
+		return
+	}
+
+	// Alias move: lhs = ownedVar transfers the tracker to lhs.
+	if srcID, ok := rhs.(*ast.Ident); ok {
+		if src := u.lookup(srcID); src != nil {
+			if o, tracked := st.vars[src]; tracked {
+				if o.status != ownHeld {
+					// Aliasing a released frame is a use of it.
+					u.useIdent(srcID, st)
+				}
+				delete(st.vars, src)
+				if lhsIsIdent && lhsID.Name != "_" {
+					if dst := u.lookup(lhsID); dst != nil && !u.results[dst] {
+						st.vars[dst] = o
+						return
+					}
+				}
+				// Stored into a structure: ownership escapes.
+				return
+			}
+		}
+	}
+
+	u.expr(rhs, st)
+	if lhsIsIdent {
+		if v := u.lookup(lhsID); v != nil {
+			// Overwriting a tracker ends its story.
+			delete(st.vars, v)
+		}
+		return
+	}
+	u.expr(lhs, st)
+}
+
+// deferred interprets `defer call`: a deferred Put/Recycle releases at
+// exit (so later uses on the path are fine and exits are clean); any
+// other deferred call escapes its tracked arguments.
+func (u *poolownUnit) deferred(call *ast.CallExpr, st *poolState) {
+	if isConsumeCallee(u.pass.Info, call.Fun) {
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v := u.lookup(id); v != nil {
+				if o, tracked := st.vars[v]; tracked {
+					switch o.status {
+					case ownHeld:
+						o.status = ownDeferred
+						st.vars[v] = o
+					case ownReleased, ownDeferred:
+						u.record(arg.Pos(), fmt.Sprintf(
+							"frame %q is released twice on this path", id.Name))
+					}
+				}
+			}
+		}
+		return
+	}
+	u.escapeAllIn(call, st)
+}
+
+// escapeAllIn removes every tracked variable referenced anywhere in n.
+func (u *poolownUnit) escapeAllIn(n ast.Node, st *poolState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := u.lookup(id); v != nil {
+				delete(st.vars, v)
+			}
+		}
+		return true
+	})
+}
+
+// useIdent flags a read of a released frame.
+func (u *poolownUnit) useIdent(id *ast.Ident, st *poolState) {
+	v := u.lookup(id)
+	if v == nil {
+		return
+	}
+	if o, tracked := st.vars[v]; tracked && o.status == ownReleased {
+		u.record(id.Pos(), fmt.Sprintf(
+			"use of frame %q after it was released to the pool", id.Name))
+	}
+}
+
+// expr interprets one expression for ownership effects. Recursion is
+// explicit (not ast.Inspect) so call arguments and function literals get
+// their targeted handling instead of a blind walk.
+func (u *poolownUnit) expr(e ast.Expr, st *poolState) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		u.useIdent(e, st)
+	case *ast.CallExpr:
+		u.call(e, st)
+	case *ast.FuncLit:
+		// A literal that is a value (stored, returned, passed to an
+		// unknown callee) may run at any later time: captures escape.
+		u.escapeAllIn(e.Body, st)
+	case *ast.ParenExpr:
+		u.expr(e.X, st)
+	case *ast.SelectorExpr:
+		u.expr(e.X, st)
+	case *ast.IndexExpr:
+		u.expr(e.X, st)
+		u.expr(e.Index, st)
+	case *ast.SliceExpr:
+		u.expr(e.X, st)
+		u.expr(e.Low, st)
+		u.expr(e.High, st)
+		u.expr(e.Max, st)
+	case *ast.StarExpr:
+		u.expr(e.X, st)
+	case *ast.UnaryExpr:
+		u.expr(e.X, st)
+	case *ast.BinaryExpr:
+		u.expr(e.X, st)
+		u.expr(e.Y, st)
+	case *ast.TypeAssertExpr:
+		u.expr(e.X, st)
+	case *ast.KeyValueExpr:
+		u.expr(e.Value, st)
+	case *ast.CompositeLit:
+		// A frame placed in a composite literal escapes into it.
+		for _, elt := range e.Elts {
+			inner := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				inner = kv.Value
+			}
+			if id, ok := ast.Unparen(inner).(*ast.Ident); ok {
+				if v := u.lookup(id); v != nil {
+					if _, tracked := st.vars[v]; tracked {
+						delete(st.vars, v)
+						continue
+					}
+				}
+			}
+			u.expr(inner, st)
+		}
+	}
+}
+
+// call interprets one call expression.
+func (u *poolownUnit) call(c *ast.CallExpr, st *poolState) {
+	// Immediately invoked literal runs synchronously: scan it inline.
+	if lit, ok := ast.Unparen(c.Fun).(*ast.FuncLit); ok {
+		u.inlineScan(lit, st)
+		for _, arg := range c.Args {
+			u.expr(arg, st)
+		}
+		return
+	}
+	// Receiver/base effects (flags use-after-release on f.Row(...)).
+	if sel, ok := c.Fun.(*ast.SelectorExpr); ok {
+		u.expr(sel.X, st)
+	}
+
+	// Universal consumers: Put and Recycle by name.
+	if isConsumeCallee(u.pass.Info, c.Fun) {
+		for _, arg := range c.Args {
+			u.consumeArg(arg, st)
+		}
+		return
+	}
+
+	// Builtin append: appended frames escape into the slice.
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "append" {
+		for i, arg := range c.Args {
+			if i == 0 {
+				u.expr(arg, st)
+				continue
+			}
+			if v := u.identTracked(arg, st); v != nil {
+				delete(st.vars, v)
+				continue
+			}
+			u.expr(arg, st)
+		}
+		return
+	}
+
+	obj := funcObj(u.pass.Info, c.Fun)
+	sum, hasSum := ownSummaryFor(u.summaries, obj)
+
+	// Synchronous parallel helpers run their literals to completion
+	// before returning, so releases inside count on this path.
+	syncLit := obj != nil && (obj.Name() == "For" || obj.Name() == "ForChunked" || obj.Name() == "Go")
+
+	for i, arg := range c.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			if syncLit {
+				u.inlineScan(lit, st)
+			} else {
+				u.escapeAllIn(lit.Body, st)
+			}
+			continue
+		}
+		if hasSum && sum.consumes[i] {
+			u.consumeArg(arg, st)
+			continue
+		}
+		// Borrow: the callee may read the frame but the caller still owns
+		// it. A released frame handed out is still a use-after-release.
+		u.expr(arg, st)
+	}
+}
+
+func ownSummaryFor(summaries map[*types.Func]ownSummary, obj *types.Func) (ownSummary, bool) {
+	if obj == nil {
+		return ownSummary{}, false
+	}
+	s, ok := summaries[obj]
+	return s, ok
+}
+
+// identTracked returns the tracked variable behind e, or nil.
+func (u *poolownUnit) identTracked(e ast.Expr, st *poolState) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := u.lookup(id)
+	if v == nil {
+		return nil
+	}
+	if _, tracked := st.vars[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// consumeArg interprets handing arg to a releasing callee.
+func (u *poolownUnit) consumeArg(arg ast.Expr, st *poolState) {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		u.expr(arg, st)
+		return
+	}
+	v := u.lookup(id)
+	if v == nil {
+		return
+	}
+	o, tracked := st.vars[v]
+	if !tracked {
+		return
+	}
+	switch o.status {
+	case ownHeld, ownDeferred:
+		if o.status == ownDeferred {
+			// An explicit release after a deferred one double-frees at
+			// exit.
+			u.record(arg.Pos(), fmt.Sprintf(
+				"frame %q is released twice on this path", id.Name))
+			return
+		}
+		o.status = ownReleased
+		st.vars[v] = o
+	case ownReleased:
+		u.record(arg.Pos(), fmt.Sprintf(
+			"frame %q is released twice on this path", id.Name))
+	}
+}
+
+// inlineScan applies a synchronously executed literal's effects on the
+// outer state: releases of captured frames count, and a captured frame
+// copied out of the literal (assigned somewhere, appended, sent) escapes.
+// Reads — the common case of workers filling a frame's rows — leave
+// ownership with the caller.
+func (u *poolownUnit) inlineScan(lit *ast.FuncLit, st *poolState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isConsumeCallee(u.pass.Info, n.Fun) {
+				for _, arg := range n.Args {
+					u.consumeArg(arg, st)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if v := u.identTracked(rhs, st); v != nil {
+					delete(st.vars, v)
+				}
+			}
+		case *ast.SendStmt:
+			if v := u.identTracked(n.Value, st); v != nil {
+				delete(st.vars, v)
+			}
+		case *ast.GoStmt, *ast.DeferStmt:
+			u.escapeAllIn(n, st)
+		}
+		return true
+	})
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Splitbudget guards against nested worker-pool oversubscription — the
+// bug class fixed in the fleet harness: an inner parallel.For inside a
+// callback that is already running under an outer parallel region, with
+// the inner call handed the full worker budget. On a W-core box that
+// schedules W×W goroutines of CPU-bound work, wrecking cache locality
+// and (worse) hiding determinism bugs behind scheduling noise.
+//
+// The rule: inside a function literal passed to a parallel region
+// spawner (For or ForChunked), any further region must run on a budget
+// threaded through parallel.Split:
+//
+//   - a directly nested For/ForChunked call's workers argument must be
+//     an identifier assigned from Split (or the literal 1, which is
+//     explicitly serial);
+//   - a call to a same-package function that spawns a region keyed by
+//     one of its own parameters must receive a Split-derived value (or
+//     1) in that position;
+//   - a call to a same-package function that spawns a region from
+//     ambient state (a config field, a receiver) is flagged outright —
+//     there is no way to thread a budget into it, which is the defect.
+//
+// Summaries are one hop and same-package, like poolown's: a region
+// hidden behind a cross-package call is invisible, so keep spawning
+// decisions close to the region they feed. The Split test is lenient on
+// purpose: an identifier qualifies if any assignment in the enclosing
+// function draws it from Split, so a documented escape hatch that
+// re-assigns the budget (the fleet Uncapped knob) stays clean without a
+// suppression.
+var Splitbudget = &Analyzer{
+	Name: "splitbudget",
+	Doc:  "nested parallel regions must thread a Split worker budget",
+	Run:  runSplitbudget,
+}
+
+// spawnSummary records how a function spawns parallel regions: by which
+// of its own parameters (budget can be threaded in), or from ambient
+// state (it cannot).
+type spawnSummary struct {
+	byParam map[int]bool
+	ambient bool
+}
+
+// workerOrigin classifies the provenance of a workers argument.
+type workerOrigin int
+
+const (
+	originOther  workerOrigin = iota
+	originParam               // an enclosing function's own parameter
+	originSplit               // assigned from parallel.Split
+	originSerial              // the literal 1: explicitly serial
+)
+
+func runSplitbudget(pass *Pass) {
+	summaries := collectSpawnSummaries(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fc := newSpawnFuncContext(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				lit := regionCallback(pass.Info, call)
+				if lit == nil {
+					return true
+				}
+				checkRegionBody(pass, fc, summaries, lit)
+				return true
+			})
+		}
+	}
+}
+
+// isRegionSpawner reports whether the call starts a parallel region: a
+// callee named For or ForChunked taking a workers count first.
+func isRegionSpawner(info *types.Info, call *ast.CallExpr) bool {
+	obj := funcObj(info, call.Fun)
+	if obj == nil {
+		return false
+	}
+	return (obj.Name() == "For" || obj.Name() == "ForChunked") && len(call.Args) >= 3
+}
+
+// regionCallback returns the function-literal callback of a region
+// spawning call, or nil.
+func regionCallback(info *types.Info, call *ast.CallExpr) *ast.FuncLit {
+	if !isRegionSpawner(info, call) {
+		return nil
+	}
+	lit, _ := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+	return lit
+}
+
+// spawnFuncContext caches per-FuncDecl facts: its parameter objects and
+// the identifiers assigned from Split anywhere in its body.
+type spawnFuncContext struct {
+	pass       *Pass
+	params     map[types.Object]int
+	splitAlias map[types.Object]bool
+}
+
+func newSpawnFuncContext(pass *Pass, fd *ast.FuncDecl) *spawnFuncContext {
+	fc := &spawnFuncContext{
+		pass:       pass,
+		params:     make(map[types.Object]int),
+		splitAlias: make(map[types.Object]bool),
+	}
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					fc.params[obj] = idx
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			obj := funcObj(pass.Info, call.Fun)
+			if obj == nil || obj.Name() != "Split" {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if v := pass.Info.Defs[id]; v != nil {
+					fc.splitAlias[v] = true
+				} else if v := pass.Info.Uses[id]; v != nil {
+					fc.splitAlias[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return fc
+}
+
+// origin classifies one workers expression within the function.
+func (fc *spawnFuncContext) origin(e ast.Expr) workerOrigin {
+	e = ast.Unparen(e)
+	if lit, ok := e.(*ast.BasicLit); ok {
+		if lit.Value == "1" {
+			return originSerial
+		}
+		return originOther
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if obj := funcObj(fc.pass.Info, call.Fun); obj != nil && obj.Name() == "Split" {
+			return originSplit
+		}
+		return originOther
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return originOther
+	}
+	obj := fc.pass.Info.Uses[id]
+	if obj == nil {
+		return originOther
+	}
+	if fc.splitAlias[obj] {
+		return originSplit
+	}
+	if _, isParam := fc.params[obj]; isParam {
+		return originParam
+	}
+	return originOther
+}
+
+// collectSpawnSummaries builds the one-hop spawn summaries of every
+// function declared in the package.
+func collectSpawnSummaries(pass *Pass) map[*types.Func]spawnSummary {
+	out := make(map[*types.Func]spawnSummary)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fc := newSpawnFuncContext(pass, fd)
+			sum := spawnSummary{byParam: make(map[int]bool)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRegionSpawner(pass.Info, call) {
+					return true
+				}
+				switch fc.origin(call.Args[0]) {
+				case originParam:
+					id := ast.Unparen(call.Args[0]).(*ast.Ident)
+					sum.byParam[fc.params[pass.Info.Uses[id]]] = true
+				case originSplit, originSerial:
+					// Budget-disciplined internally; nothing to thread.
+				default:
+					sum.ambient = true
+				}
+				return true
+			})
+			if len(sum.byParam) > 0 || sum.ambient {
+				out[obj] = sum
+			}
+		}
+	}
+	return out
+}
+
+// checkRegionBody walks one region callback and flags unthreaded nested
+// parallelism, directly or one call deep.
+func checkRegionBody(pass *Pass, fc *spawnFuncContext, summaries map[*types.Func]spawnSummary, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isRegionSpawner(pass.Info, call) {
+			switch fc.origin(call.Args[0]) {
+			case originSplit, originSerial:
+			default:
+				pass.Reportf(call.Args[0].Pos(),
+					"nested parallel region inside a parallel callback must run on a Split-derived budget, not the full worker count")
+			}
+			return true
+		}
+		obj := funcObj(pass.Info, call.Fun)
+		if obj == nil {
+			return true
+		}
+		sum, ok := summaries[obj]
+		if !ok {
+			return true
+		}
+		if sum.ambient {
+			pass.Reportf(call.Pos(),
+				"%s spawns a parallel region from ambient state; calling it inside a parallel callback oversubscribes the pool — thread a Split budget through a parameter",
+				obj.Name())
+			return true
+		}
+		for i := range sum.byParam {
+			if i >= len(call.Args) {
+				continue
+			}
+			switch fc.origin(call.Args[i]) {
+			case originSplit, originSerial:
+			default:
+				pass.Reportf(call.Args[i].Pos(),
+					"%s runs a parallel region keyed by this argument; inside a parallel callback it must be Split-derived, not the full worker count",
+					obj.Name())
+			}
+		}
+		return true
+	})
+}

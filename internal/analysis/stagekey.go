@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Stagekey enforces the frozen stream-stage registry behind the
+// determinism contract: every splitmix64 stream derivation — any call
+// whose parameter is the named type Stage — must key off a compile-time
+// constant declared in the registry package (the package that declares
+// the Stage type, internal/detrng in this repo). Renumbering or ad-hoc
+// stage values silently shifts every seeded outcome pinned by the
+// robustness matrix and the fleet distribution tests, so the analyzer
+// rejects:
+//
+//   - stage arguments that are literals, conversions (Stage(7)) or
+//     non-constant expressions;
+//   - arithmetic on stage values (base+1 recreates the renumbering
+//     hazard the registry exists to kill);
+//   - Stage constants declared outside the registry package;
+//   - duplicate IDs within one registry const block (one block = one
+//     seed domain; domains may reuse IDs, a domain may not);
+//   - iota in registry declarations (an insertion renumbers everything
+//     below it — IDs must be explicit literals).
+//
+// Forwarding is the one sanctioned indirection: passing an enclosing
+// function's own Stage parameter onward (the impair/fleet rng wrappers)
+// is clean, because the obligation moves to that function's callers,
+// where the same check applies.
+var Stagekey = &Analyzer{
+	Name: "stagekey",
+	Doc:  "stream stages must be frozen registry constants",
+	Run:  runStagekey,
+}
+
+func runStagekey(pass *Pass) {
+	stagePkg := stageHomePackage(pass)
+	for _, f := range pass.Files {
+		checkStageDecls(pass, f, stagePkg)
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			params := stageParams(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkStageCall(pass, call, params)
+				return true
+			})
+			return false
+		})
+	}
+}
+
+// stageHomePackage returns the package object declaring the named type
+// Stage if this pass's package declares it, else nil.
+func stageHomePackage(pass *Pass) *types.Package {
+	if pass.Pkg == nil {
+		return nil
+	}
+	if obj := pass.Pkg.Scope().Lookup("Stage"); obj != nil {
+		if _, ok := obj.(*types.TypeName); ok {
+			return pass.Pkg
+		}
+	}
+	return nil
+}
+
+// isStageType reports whether t is (a named type called) Stage, and
+// returns the declaring package.
+func isStageType(t types.Type) (*types.Package, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Stage" {
+		return nil, false
+	}
+	return named.Obj().Pkg(), true
+}
+
+// stageParams collects fd's own parameters of type Stage (receiver
+// included); forwarding one of them is sanctioned.
+func stageParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, ok := isStageType(obj.Type()); ok {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return out
+}
+
+// checkStageDecls runs the registry-side rules over one file: Stage
+// constants must live in the registry package, use explicit literal
+// values (no iota), and be unique within their const block.
+func checkStageDecls(pass *Pass, f *ast.File, homePkg *types.Package) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		// One const block is one seed domain: values must be unique in it.
+		seen := make(map[string]*ast.Ident)
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj, ok := pass.Info.Defs[name].(*types.Const)
+				if !ok {
+					continue
+				}
+				declPkg, isStage := isStageType(obj.Type())
+				if !isStage {
+					continue
+				}
+				if homePkg == nil || declPkg != pass.Pkg {
+					pass.Reportf(name.Pos(),
+						"stage constant %s declared outside the registry package %s; all stage IDs live in one frozen registry",
+						name.Name, declPkg.Path())
+					continue
+				}
+				if usesIota(vs) {
+					pass.Reportf(name.Pos(),
+						"stage constant %s uses iota; stage IDs must be explicit literals so insertions never renumber the registry",
+						name.Name)
+					continue
+				}
+				val := obj.Val().ExactString()
+				if prev, dup := seen[val]; dup {
+					pass.Reportf(name.Pos(),
+						"stage constant %s duplicates the ID of %s in the same domain; IDs must be unique within a const block",
+						name.Name, prev.Name)
+					continue
+				}
+				seen[val] = name
+			}
+		}
+	}
+}
+
+// usesIota reports whether any value expression of the spec mentions iota.
+func usesIota(vs *ast.ValueSpec) bool {
+	if len(vs.Values) == 0 {
+		// Implicit repetition inherits the previous spec's expression,
+		// which in a const block only works with iota.
+		return true
+	}
+	found := false
+	for _, v := range vs.Values {
+		ast.Inspect(v, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "iota" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// checkStageCall validates every Stage-typed argument of one call.
+func checkStageCall(pass *Pass, call *ast.CallExpr, fnStageParams map[types.Object]bool) {
+	obj := funcObj(pass.Info, call.Fun)
+	if obj == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if params.At(i) == nil {
+			continue
+		}
+		pt := params.At(i).Type()
+		if i == params.Len()-1 && sig.Variadic() {
+			if slice, ok := pt.(*types.Slice); ok {
+				pt = slice.Elem()
+			}
+		}
+		stagePkg, isStage := isStageType(pt)
+		if !isStage {
+			continue
+		}
+		checkStageArg(pass, call.Args[i], stagePkg, fnStageParams)
+	}
+}
+
+func checkStageArg(pass *Pass, arg ast.Expr, stagePkg *types.Package, fnStageParams map[types.Object]bool) {
+	e := ast.Unparen(arg)
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		pass.Reportf(arg.Pos(),
+			"arithmetic on stage values; derive nothing — add an explicit constant to the registry instead")
+		return
+	case *ast.BasicLit:
+		pass.Reportf(arg.Pos(),
+			"unregistered stage literal %s; stages must be named constants from the registry", e.Value)
+		return
+	case *ast.CallExpr:
+		// A conversion like Stage(7) manufactures an unregistered ID; a
+		// function result is not a compile-time constant either way.
+		pass.Reportf(arg.Pos(),
+			"stage argument is not a registry constant; only named constants from the registry package key a stream")
+		return
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = e.(*ast.Ident)
+		}
+		obj := pass.Info.Uses[id]
+		if c, ok := obj.(*types.Const); ok {
+			if c.Pkg() != stagePkg {
+				pass.Reportf(arg.Pos(),
+					"stage constant %s is declared outside the registry package; move it into the registry", id.Name)
+			}
+			return
+		}
+		if obj != nil && fnStageParams[obj] {
+			// Sanctioned forwarding of the enclosing function's own
+			// Stage parameter; the obligation sits with its callers.
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(),
+		"stage argument is not a compile-time registry constant; streams must be keyed by frozen stage IDs")
+}

@@ -11,3 +11,8 @@ func unknownName() int {
 	//lint:ignore nosuchanalyzer the name above is not registered
 	return 1
 }
+
+func staleDirective() int {
+	//lint:ignore floateq nothing on the next line trips floateq anymore
+	return 2
+}

@@ -1,0 +1,218 @@
+// Package poolown is the fixture for the poolown analyzer: pool-owned
+// frames must be released or transferred on every control-flow path. The
+// local Frame and Pool stand in for internal/frame (fixtures cannot
+// import repo packages); the analyzer matches Get on a type named Pool
+// returning *Frame, and Put/Recycle by name, so these stand-ins exercise
+// the production matching exactly.
+package poolown
+
+type Frame struct {
+	W, H int
+	Pix  []float32
+}
+
+func (f *Frame) Row(y int) []float32 { return f.Pix[y*f.W : (y+1)*f.W] }
+
+type Pool struct{ free []*Frame }
+
+func (p *Pool) Get(w, h int) *Frame {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
+	}
+	return &Frame{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+func (p *Pool) Put(f *Frame) { p.free = append(p.free, f) }
+
+// parallelFor mimics internal/parallel.For: the callee name For marks the
+// literal as running synchronously, so releases inside it count.
+type runner struct{}
+
+func (runner) For(workers, n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// drain's one-hop summary marks parameter 1 as consumed: handing a frame
+// to it transfers ownership.
+func drain(p *Pool, f *Frame) { p.Put(f) }
+
+// fresh's one-hop summary marks its return as pool-owned.
+func fresh(p *Pool) *Frame { return p.Get(4, 4) }
+
+// inspect borrows: callers keep ownership.
+func inspect(f *Frame) float32 { return f.Pix[0] }
+
+// LeakOnEarlyReturn is the canonical defect: the error path exits with
+// the frame still held.
+func LeakOnEarlyReturn(p *Pool, fail bool) error {
+	f := p.Get(8, 8) // want "not released on the path exiting at line"
+	if fail {
+		return errFailed
+	}
+	p.Put(f)
+	return nil
+}
+
+// LeakViaSummary: the frame arrives through a summarized same-package
+// callee instead of a direct Get; the early return still leaks it.
+func LeakViaSummary(p *Pool, fail bool) error {
+	f := fresh(p) // want "not released on the path exiting at line"
+	if fail {
+		return errFailed
+	}
+	p.Put(f)
+	return nil
+}
+
+// BranchOnlyPut releases on one branch only; the fall-through path leaks.
+func BranchOnlyPut(p *Pool, done bool) {
+	f := p.Get(8, 8) // want "not released on the path exiting at line"
+	if done {
+		p.Put(f)
+	}
+}
+
+// DoublePut releases twice on the done path.
+func DoublePut(p *Pool, done bool) {
+	f := p.Get(8, 8)
+	if done {
+		p.Put(f)
+	}
+	p.Put(f) // want "released twice on this path"
+}
+
+// UseAfterPut touches the frame after handing it back.
+func UseAfterPut(p *Pool) float32 {
+	f := p.Get(8, 8)
+	p.Put(f)
+	return f.Pix[0] // want "after it was released"
+}
+
+// LoopCarried holds the frame across the back edge on the continue path.
+func LoopCarried(p *Pool, n int) {
+	for i := 0; i < n; i++ {
+		f := p.Get(8, 8) // want "still held at the loop back edge"
+		if i%2 == 0 {
+			continue
+		}
+		p.Put(f)
+	}
+}
+
+// Negatives: every path below is clean and must produce no findings.
+
+var errFailed error
+
+// CleanStraightLine releases before returning.
+func CleanStraightLine(p *Pool) {
+	f := p.Get(8, 8)
+	inspect(f)
+	p.Put(f)
+}
+
+// CleanEarlyRelease releases before the early return.
+func CleanEarlyRelease(p *Pool, fail bool) error {
+	f := p.Get(8, 8)
+	if fail {
+		p.Put(f)
+		return errFailed
+	}
+	p.Put(f)
+	return nil
+}
+
+// CleanTransferReturn hands ownership to the caller.
+func CleanTransferReturn(p *Pool) *Frame {
+	f := p.Get(8, 8)
+	f.Pix[0] = 1
+	return f
+}
+
+// CleanTransferConsume hands ownership to a summarized consumer.
+func CleanTransferConsume(p *Pool) {
+	f := p.Get(8, 8)
+	drain(p, f)
+}
+
+// CleanDefer releases at exit on every path.
+func CleanDefer(p *Pool, fail bool) error {
+	f := p.Get(8, 8)
+	defer p.Put(f)
+	if fail {
+		return errFailed
+	}
+	f.Pix[0] = 1
+	return nil
+}
+
+// CleanAliasMove re-homes ownership through an alias, production
+// camera-pipeline style: the old buffer is released, the name re-used.
+func CleanAliasMove(p *Pool, blur bool) *Frame {
+	lin := p.Get(8, 8)
+	if blur {
+		blurred := p.Get(8, 8)
+		inspect(lin)
+		p.Put(lin)
+		lin = blurred
+	}
+	return lin
+}
+
+// CleanEscapeAppend: ownership escapes into the slice the caller owns.
+func CleanEscapeAppend(p *Pool, out []*Frame) []*Frame {
+	f := p.Get(8, 8)
+	return append(out, f)
+}
+
+// CleanLoopRelease releases before every back edge.
+func CleanLoopRelease(p *Pool, n int) {
+	for i := 0; i < n; i++ {
+		f := p.Get(8, 8)
+		inspect(f)
+		p.Put(f)
+	}
+}
+
+// CleanSyncParallel fills the frame inside a synchronous For literal and
+// releases after: the literal borrows, the function stays clean.
+func CleanSyncParallel(p *Pool, r runner) {
+	f := p.Get(8, 8)
+	r.For(4, f.H, func(y int) {
+		row := f.Row(y)
+		for x := range row {
+			row[x] = 1
+		}
+	})
+	p.Put(f)
+}
+
+// CleanReleaseInsideSyncLit releases inside the synchronous literal; the
+// release counts on the caller's path.
+func CleanReleaseInsideSyncLit(p *Pool, r runner) {
+	f := p.Get(8, 8)
+	r.For(1, 1, func(int) {
+		p.Put(f)
+	})
+}
+
+// CleanEscapeClosure: the literal is stored and may run later, so the
+// frame's ownership escapes with it — no leak is reported.
+func CleanEscapeClosure(p *Pool) func() {
+	f := p.Get(8, 8)
+	return func() { p.Put(f) }
+}
+
+// IgnoredLeak documents a sanctioned leak: the suppression covers it.
+func IgnoredLeak(p *Pool, fail bool) error {
+	//lint:ignore poolown fixture: frame intentionally handed to the test harness
+	f := p.Get(8, 8)
+	if fail {
+		return errFailed
+	}
+	p.Put(f)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package stagekey is the fixture for the stagekey analyzer: stream
+// derivations must key off frozen registry constants. The local Stage
+// type stands in for internal/detrng.Stage — the analyzer matches the
+// named type, so this package doubles as its own registry, exactly like
+// the production layout.
+package stagekey
+
+// Stage mimics detrng.Stage; this package is its registry.
+type Stage uint64
+
+// Domain one: a clean const block with explicit, unique IDs.
+const (
+	StageJitter Stage = 1
+	StageDrop   Stage = 2
+	StageDup    Stage = 3
+)
+
+// Domain two: IDs may repeat across blocks (separate seed domains)...
+const (
+	StageSize  Stage = 1
+	StageNoise Stage = 2
+	// ...but never within one.
+	StageClash Stage = 2 // want "duplicates the ID of StageNoise"
+)
+
+// Iota renumbers everything below an insertion point, the exact hazard
+// the registry freezes out.
+const (
+	StageIotaA Stage = iota // want "uses iota"
+	StageIotaB              // want "uses iota"
+)
+
+// mix mimics detrng.Mix: its Stage parameter is what the analyzer keys
+// call-site checks off.
+func mix(seed int64, stage Stage, index int) int64 {
+	return seed ^ int64(stage)*0x5851F42D + int64(index)
+}
+
+// forward mimics the impair/fleet rng wrappers: passing one's own Stage
+// parameter onward is the sanctioned indirection.
+func forward(seed int64, stage Stage, index int) int64 {
+	return mix(seed, stage, index)
+}
+
+// Positives: every derivation below dodges the registry.
+func Positives(seed int64, i int) int64 {
+	var s int64
+	s += mix(seed, 7, i)             // want "unregistered stage literal 7"
+	s += mix(seed, Stage(9), i)      // want "not a registry constant"
+	s += mix(seed, StageJitter+1, i) // want "arithmetic on stage values"
+	dynamic := StageDrop
+	s += mix(seed, dynamic, i) // want "not a compile-time registry constant"
+	return s
+}
+
+// Negatives: registry constants and sanctioned forwarding.
+func Negatives(seed int64, i int) int64 {
+	var s int64
+	s += mix(seed, StageJitter, i)
+	s += mix(seed, StageDrop, i)
+	s += forward(seed, StageDup, i)
+	s += mix(seed, (StageSize), i)
+	return s
+}
+
+// Ignored documents a sanctioned off-registry derivation.
+func Ignored(seed int64, i int) int64 {
+	//lint:ignore stagekey fixture: legacy stream kept for a pinned-output comparison
+	return mix(seed, 99, i)
+}

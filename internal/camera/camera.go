@@ -158,6 +158,14 @@ func (c *Camera) FramePeriod() float64 { return 1 / c.cfg.FPS }
 // drawn from the camera's pool; the caller owns it and may Put it back to
 // that pool when done with it.
 func (c *Camera) Capture(d *display.Display, t0 float64, index int) *frame.Frame {
+	return c.captureWith(d, t0, index, c.cfg.Workers)
+}
+
+// captureWith is Capture with an explicit worker budget for the row
+// sweep, so callers that are themselves inside a parallel region
+// (CaptureSequence) can thread a Split share instead of handing every
+// capture the full worker count.
+func (c *Camera) captureWith(d *display.Display, t0 float64, index, rowWorkers int) *frame.Frame {
 	dw, dh := d.Size()
 	if dw == 0 || dh == 0 {
 		panic("camera: display has no frames")
@@ -174,7 +182,7 @@ func (c *Camera) Capture(d *display.Display, t0 float64, index int) *frame.Frame
 	if c.cfg.H > 1 {
 		rowDt = c.cfg.ReadoutTime / float64(c.cfg.H)
 	}
-	parallel.ForChunked(c.cfg.Workers, dh, func(lo, hi int) {
+	parallel.ForChunked(rowWorkers, dh, func(lo, hi int) {
 		for y := lo; y < hi; y++ {
 			sensorRow := y * c.cfg.H / dh
 			a := t0 + float64(sensorRow)*rowDt
@@ -240,9 +248,16 @@ func (c *Camera) CaptureSequence(d *display.Display, start float64, n int) ([]*f
 	frames := make([]*frame.Frame, n)
 	times := make([]float64, n)
 	period := c.FramePeriod()
+	// Split the budget between the capture fan-out and each capture's row
+	// sweep: n captures × full-worker sweeps oversubscribes the pool W-fold.
+	outer := parallel.Resolve(c.cfg.Workers)
+	if outer > n {
+		outer = n
+	}
+	inner := parallel.Split(c.cfg.Workers, outer)
 	parallel.For(c.cfg.Workers, n, func(i int) {
 		t := start + float64(i)*period
-		frames[i] = c.Capture(d, t, i)
+		frames[i] = c.captureWith(d, t, i, inner)
 		times[i] = t
 	})
 	return frames, times

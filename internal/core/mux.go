@@ -282,6 +282,9 @@ func (m *Multiplexer) PushTo(d *display.Display, n int) error {
 	for k := 0; k < n; k++ {
 		f := m.Frame(k)
 		if err := d.Push(f); err != nil {
+			// The display rejected the frame without consuming it; hand it
+			// back before surfacing the error or the pool leaks a buffer.
+			m.Recycle(f)
 			//lint:ignore hotalloc error path runs at most once, then the loop exits
 			return fmt.Errorf("core: pushing frame %d: %w", k, err)
 		}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"inframe/internal/camera"
+	"inframe/internal/detrng"
 	"inframe/internal/impair"
 )
 
@@ -123,30 +124,17 @@ func (p *Population) Validate() error {
 	return nil
 }
 
-// Population sampling stages key the per-attribute random streams, exactly
-// like internal/impair's stage constants: adding, removing or toggling one
-// sampled attribute never shifts another attribute's stream, and the values
-// must never be renumbered.
-const (
-	stageSize       = 1
-	stageStart      = 2
-	stageExposure   = 3
-	stageNoise      = 4
-	stageProfile    = 5
-	stageCamSeed    = 6
-	stageImpairSeed = 7
-)
+// Population sampling stages key the per-attribute random streams; they
+// live in the frozen registry (internal/detrng, fleet domain), exactly
+// like internal/impair's: adding, removing or toggling one sampled
+// attribute never shifts another attribute's stream, and the stagekey
+// analyzer rejects derivations that do not key off a registry constant.
 
-// rng returns the random stream of one (stage, receiver index) cell, using
-// the same splitmix64-style finalizer as impair.Stack so adjacent receivers
-// land far apart in seed space.
-func (p *Population) rng(stage, index int) *rand.Rand {
-	h := uint64(p.Seed) ^ uint64(stage)*0x9E3779B97F4A7C15
-	h += uint64(index) * 0xBF58476D1CE4E5B9
-	h ^= h >> 31
-	h *= 0x94D049BB133111EB
-	h ^= h >> 29
-	return rand.New(rand.NewSource(int64(h)))
+// rng returns the random stream of one (stage, receiver index) cell via
+// the shared splitmix64 finalizer (detrng.Mix), the same mix impair.Stack
+// uses, so adjacent receivers land far apart in seed space.
+func (p *Population) rng(stage detrng.Stage, index int) *rand.Rand {
+	return detrng.Rand(p.Seed, stage, index)
 }
 
 // ReceiverSpec is one sampled fleet member: a concrete camera, a start
@@ -173,20 +161,20 @@ type ReceiverSpec struct {
 // receiver i never consumes receiver j's stream.
 func (p *Population) Spec(i int, base camera.Config) ReceiverSpec {
 	cam := base
-	sz := p.Sizes[p.rng(stageSize, i).Intn(len(p.Sizes))]
+	sz := p.Sizes[p.rng(detrng.FleetSize, i).Intn(len(p.Sizes))]
 	cam.W, cam.H = sz[0], sz[1]
 	if p.ExposureJitter > 0 {
-		cam.Exposure = base.Exposure * (1 + p.ExposureJitter*(2*p.rng(stageExposure, i).Float64()-1))
+		cam.Exposure = base.Exposure * (1 + p.ExposureJitter*(2*p.rng(detrng.FleetExposure, i).Float64()-1))
 	}
-	cam.NoiseSigma = p.NoiseMin + (p.NoiseMax-p.NoiseMin)*p.rng(stageNoise, i).Float64()
-	cam.Seed = p.rng(stageCamSeed, i).Int63()
-	start := p.StartMin + (p.StartMax-p.StartMin)*p.rng(stageStart, i).Float64()
+	cam.NoiseSigma = p.NoiseMin + (p.NoiseMax-p.NoiseMin)*p.rng(detrng.FleetNoise, i).Float64()
+	cam.Seed = p.rng(detrng.FleetCamSeed, i).Int63()
+	start := p.StartMin + (p.StartMax-p.StartMin)*p.rng(detrng.FleetStart, i).Float64()
 
 	spec := ReceiverSpec{Index: i, Camera: cam, Start: start, Profile: "clean"}
-	prng := p.rng(stageProfile, i)
+	prng := p.rng(detrng.FleetProfile, i)
 	if prng.Float64() >= p.CleanFrac && len(p.Profiles) > 0 {
 		cfg := p.Profiles[prng.Intn(len(p.Profiles))]
-		cfg.Seed = p.rng(stageImpairSeed, i).Int63()
+		cfg.Seed = p.rng(detrng.FleetImpairSeed, i).Int63()
 		spec.Impair = &cfg
 		if names := impair.New(cfg).Names(); len(names) > 0 {
 			spec.Profile = strings.Join(names, "+")

@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 
+	"inframe/internal/detrng"
 	"inframe/internal/frame"
 )
 
@@ -157,15 +158,11 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Stage identifiers key the per-stage random streams; they are part of the
-// determinism contract (reordering them changes every seeded outcome) and
-// must never be renumbered.
-const (
-	stageJitter = 1
-	stageDrop   = 2
-	stageDup    = 3
-	stageBurst  = 4
-)
+// Stage identifiers key the per-stage random streams; they live in the
+// frozen registry (internal/detrng, impair domain) because they are part
+// of the determinism contract: reordering them changes every seeded
+// outcome, and the stagekey analyzer rejects stream derivations that do
+// not key off a registry constant.
 
 // Stack is an instantiated impairment pipeline.
 type Stack struct {
@@ -217,17 +214,12 @@ func (s *Stack) Names() []string {
 	return out
 }
 
-// rng returns the random stream of one (stage, capture index) cell. The
-// seed mix is a splitmix64-style finalizer so adjacent indices land far
-// apart in seed space; keying by index — never worker identity — is what
-// keeps impaired runs bit-identical at any worker count.
-func (s *Stack) rng(stage, index int) *rand.Rand {
-	h := uint64(s.cfg.Seed) ^ uint64(stage)*0x9E3779B97F4A7C15
-	h += uint64(index) * 0xBF58476D1CE4E5B9
-	h ^= h >> 31
-	h *= 0x94D049BB133111EB
-	h ^= h >> 29
-	return rand.New(rand.NewSource(int64(h)))
+// rng returns the random stream of one (stage, capture index) cell via
+// the shared splitmix64 finalizer (detrng.Mix), so adjacent indices land
+// far apart in seed space; keying by index — never worker identity — is
+// what keeps impaired runs bit-identical at any worker count.
+func (s *Stack) rng(stage detrng.Stage, index int) *rand.Rand {
+	return detrng.Rand(s.cfg.Seed, stage, index)
 }
 
 // Period returns the impaired camera frame period: the nominal period skewed
@@ -241,7 +233,7 @@ func (s *Stack) Period(base float64) float64 {
 func (s *Stack) CaptureTime(i int, start, period float64) float64 {
 	t := start + float64(i)*period
 	if s.cfg.StartJitter > 0 {
-		t += (2*s.rng(stageJitter, i).Float64() - 1) * s.cfg.StartJitter
+		t += (2*s.rng(detrng.ImpairJitter, i).Float64() - 1) * s.cfg.StartJitter
 	}
 	return t
 }
@@ -286,7 +278,7 @@ func (s *Stack) ApplyFrame(f *frame.Frame, index int, t, exposure float64) {
 		touched = true
 	}
 	if s.cfg.BurstRate > 0 {
-		rng := s.rng(stageBurst, index)
+		rng := s.rng(detrng.ImpairBurst, index)
 		if rng.Float64() < s.cfg.BurstRate {
 			sigma := s.cfg.BurstSigma
 			for i := range f.Pix {
@@ -376,13 +368,13 @@ func (s *Stack) ApplySequence(caps []*frame.Frame, times []float64, period float
 	outCaps := make([]*frame.Frame, 0, len(caps))
 	outTimes := make([]float64, 0, len(times))
 	for i, f := range caps {
-		if s.cfg.DropRate > 0 && s.rng(stageDrop, i).Float64() < s.cfg.DropRate {
+		if s.cfg.DropRate > 0 && s.rng(detrng.ImpairDrop, i).Float64() < s.cfg.DropRate {
 			p.Put(f)
 			continue
 		}
 		outCaps = append(outCaps, f)
 		outTimes = append(outTimes, times[i])
-		if s.cfg.DupRate > 0 && s.rng(stageDup, i).Float64() < s.cfg.DupRate {
+		if s.cfg.DupRate > 0 && s.rng(detrng.ImpairDup, i).Float64() < s.cfg.DupRate {
 			dup := p.Get(f.W, f.H)
 			f.CloneInto(dup)
 			outCaps = append(outCaps, dup)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"inframe/internal/detrng"
 	"inframe/internal/frame"
 )
 
@@ -181,11 +182,11 @@ func TestApplySequenceDropAndDup(t *testing.T) {
 	st := pool.Stats()
 	dropped, dups := 0, 0
 	for i := 0; i < n; i++ {
-		if s.rng(stageDrop, i).Float64() < 0.25 {
+		if s.rng(detrng.ImpairDrop, i).Float64() < 0.25 {
 			dropped++
 			continue
 		}
-		if s.rng(stageDup, i).Float64() < 0.25 {
+		if s.rng(detrng.ImpairDup, i).Float64() < 0.25 {
 			dups++
 		}
 	}
