@@ -8,7 +8,13 @@
 // Usage:
 //
 //	inframe-benchdiff [-baseline path] [-current path] [-tolerance 0.15] \
-//	                  [-scale N] [-report path]
+//	                  [-scale N] [-report path] [-history]
+//
+// -history skips the gate entirely and prints a trend report across
+// every committed BENCH_*.json (oldest schema included): one markdown
+// table row per baseline with ns/op and delta-vs-previous per pipeline
+// stage, closed by a newest-vs-oldest summary row. The table is the
+// source of the "Benchmark baselines" section in EXPERIMENTS.md.
 //
 // -baseline defaults to the newest BENCH_*.json (by name) in the current
 // directory — the files are date-stamped, so lexical order is age order.
@@ -38,8 +44,17 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "fractional ns/op slowdown allowed before failing")
 	scale := flag.Int("scale", 0, "paper-geometry divisor for the fresh run (0 = match baseline)")
 	reportPath := flag.String("report", "", "also write the comparison report as JSON to this path")
+	history := flag.Bool("history", false, "print a trend table across every BENCH_*.json and exit")
 	flag.Parse()
 
+	if *history {
+		h, err := benchcmp.LoadHistory(".")
+		if err != nil {
+			fatal(err)
+		}
+		h.WriteMarkdown(os.Stdout)
+		return
+	}
 	if *tolerance < 0 {
 		fatal(fmt.Errorf("tolerance must be non-negative, got %v", *tolerance))
 	}

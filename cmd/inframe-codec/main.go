@@ -84,11 +84,15 @@ func encode(args []string) {
 	}
 	n := *cycles * tx.DisplayFramesPerCycle()
 	for k := 0; k < n; k++ {
-		f := tx.Multiplexer().Frame(k)
+		m := tx.Multiplexer()
+		f := m.Frame(k)
 		path := filepath.Join(*out, fmt.Sprintf("frame-%05d.png", k))
 		if err := frame.WritePNG(path, f); err != nil {
 			fatal(err)
 		}
+		// The PNG encoder has consumed the pixels; hand the buffer back so
+		// a long export reuses one frame instead of allocating n of them.
+		m.Recycle(f)
 	}
 	fmt.Printf("wrote %d frames (%d packets × %d cycles) to %s\n",
 		n, tx.Packets(), *cycles, *out)

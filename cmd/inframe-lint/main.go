@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	inframe-lint [-list] [-only name[,name...]] [-format text|json] [packages]
+//	inframe-lint [-list] [-only name[,name...]] [-format text|json|sarif] [-timings] [packages]
 //
 // The package pattern is accepted for familiarity (verify.sh invokes
 // `inframe-lint ./...`) but the tool always loads and checks the whole
@@ -14,13 +14,24 @@
 //
 // -only restricts the run to a comma-separated subset of the registry
 // (use -list for the names); directives naming analyzers outside the
-// subset are neither unknown nor stale in such a run.
+// subset are neither unknown nor stale in such a run. Whatever the
+// subset, diagnostics come from the same module-wide summary fixpoint
+// as a full run, so a subset's findings are always a slice of the full
+// run's.
 //
 // -format json emits a {registry, counts, findings} object on stdout:
 // the analyzer registry that ran, per-analyzer finding counts (zero
 // entries included, so CI trend lines never lose a series), and the
 // findings as {analyzer, file, line, message} records. The default text
 // output and the exit codes are unchanged.
+//
+// -format sarif emits a SARIF 2.1.0 log on stdout — one run, one rule
+// per registered analyzer, one result per finding with module-relative
+// file URIs — for upload to code-scanning services.
+//
+// -timings prints a per-analyzer wall-clock attribution table on
+// stderr after the run (the shared summary fixpoint appears as its own
+// "summaries" row), composing with any -format on stdout.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check or
 // usage failure. Suppress a single finding with a trailing or preceding
@@ -36,7 +47,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"inframe/internal/analysis"
 )
@@ -57,12 +70,69 @@ type jsonReport struct {
 	Findings []jsonFinding  `json:"findings"`
 }
 
+// sarifLog is a minimal SARIF 2.1.0 document: one run of one tool.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
 // config is one parsed invocation.
 type config struct {
-	list   bool
-	only   string
-	format string
-	dir    string
+	list    bool
+	only    string
+	format  string
+	dir     string
+	timings bool
 }
 
 func main() {
@@ -98,6 +168,8 @@ func parseArgs(args []string) config {
 			cfg.format = next()
 		case strings.HasPrefix(arg, "format="):
 			cfg.format = strings.TrimPrefix(arg, "format=")
+		case arg == "timings":
+			cfg.timings = true
 		}
 	}
 	return cfg
@@ -105,8 +177,8 @@ func parseArgs(args []string) config {
 
 // run executes one lint invocation and returns the process exit code.
 func run(cfg config, stdout, stderr io.Writer) int {
-	if cfg.format != "text" && cfg.format != "json" {
-		fmt.Fprintf(stderr, "inframe-lint: unknown format %q (use text or json)\n", cfg.format)
+	if cfg.format != "text" && cfg.format != "json" && cfg.format != "sarif" {
+		fmt.Fprintf(stderr, "inframe-lint: unknown format %q (use text, json or sarif)\n", cfg.format)
 		return 2
 	}
 
@@ -128,9 +200,27 @@ func run(cfg config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "inframe-lint:", err)
 		return 2
 	}
-	diags := analysis.Run(mod, analyzers)
+	var diags []analysis.Diagnostic
+	if cfg.timings {
+		var timings []analysis.AnalyzerTiming
+		diags, timings = analysis.RunTimed(mod, analyzers, time.Now)
+		var total time.Duration
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "inframe-lint: timing %-14s %8.1fms\n", tm.Name, float64(tm.Elapsed)/1e6)
+			total += tm.Elapsed
+		}
+		fmt.Fprintf(stderr, "inframe-lint: timing %-14s %8.1fms\n", "total", float64(total)/1e6)
+	} else {
+		diags = analysis.Run(mod, analyzers)
+	}
 
-	if cfg.format == "json" {
+	switch cfg.format {
+	case "sarif":
+		if err := writeSARIF(stdout, mod.Root, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, "inframe-lint:", err)
+			return 2
+		}
+	case "json":
 		report := jsonReport{
 			Registry: make([]string, 0, len(analyzers)),
 			Counts:   make(map[string]int, len(analyzers)+1),
@@ -155,7 +245,7 @@ func run(cfg config, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "inframe-lint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -165,6 +255,52 @@ func run(cfg config, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeSARIF renders the findings as a SARIF 2.1.0 log: one run, one
+// rule per registered analyzer, one result per diagnostic. File URIs
+// are module-relative (uriBaseId SRCROOT) so the log uploads cleanly
+// from any checkout location.
+func writeSARIF(w io.Writer, root string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	driver := sarifDriver{
+		Name:  "inframe-lint",
+		Rules: make([]sarifRule, 0, len(analyzers)),
+	}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }
 
 // selectAnalyzers resolves -only against the registry; an empty spec

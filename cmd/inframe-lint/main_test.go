@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
 
@@ -21,6 +22,8 @@ func TestParseArgs(t *testing.T) {
 		{[]string{"-only=poolown,stagekey"}, config{only: "poolown,stagekey", format: "text", dir: "."}},
 		{[]string{"-format", "json", "./..."}, config{format: "json", dir: "."}},
 		{[]string{"--format=json"}, config{format: "json", dir: "."}},
+		{[]string{"-format=sarif"}, config{format: "sarif", dir: "."}},
+		{[]string{"-timings", "./..."}, config{format: "text", dir: ".", timings: true}},
 	}
 	for _, c := range cases {
 		if got := parseArgs(c.args); got != c.want {
@@ -117,6 +120,85 @@ func TestRunModuleJSON(t *testing.T) {
 	}
 	if len(report.Findings) != 0 {
 		t.Errorf("clean tree produced findings: %v", report.Findings)
+	}
+}
+
+// TestWriteSARIF pins the SARIF 2.1.0 shape without a module load: one
+// run, a rule per analyzer, module-relative URIs, and a non-nil results
+// array even when empty.
+func TestWriteSARIF(t *testing.T) {
+	analyzers := analysis.DefaultAnalyzers()
+	diags := []analysis.Diagnostic{{
+		Pos:      token.Position{Filename: "/mod/internal/core/mux.go", Line: 12, Column: 3},
+		Analyzer: "poolown",
+		Message:  "frame leaked",
+	}}
+	var out strings.Builder
+	if err := writeSARIF(&out, "/mod", analyzers, diags); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if got, want := len(run.Tool.Driver.Rules), len(analyzers); got != want {
+		t.Errorf("rules = %d, want %d", got, want)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "poolown" || r.Level != "error" || r.Message.Text != "frame leaked" {
+		t.Errorf("result = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/mux.go" {
+		t.Errorf("uri = %q, want module-relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+
+	// An empty diagnostic set must still serialize "results": [] — SARIF
+	// consumers reject a null results array.
+	out.Reset()
+	if err := writeSARIF(&out, "/mod", analyzers, nil); err != nil {
+		t.Fatalf("writeSARIF(empty): %v", err)
+	}
+	if !strings.Contains(out.String(), `"results": []`) {
+		t.Error("empty findings did not serialize as an empty results array")
+	}
+}
+
+// TestRunModuleSARIF runs the real module through -format sarif with
+// -timings: a clean tree yields an empty results array on stdout and a
+// per-analyzer timing table (with the summaries row) on stderr.
+func TestRunModuleSARIF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check in -short mode")
+	}
+	var out, errOut strings.Builder
+	if code := run(config{format: "sarif", dir: ".", timings: true}, &out, &errOut); code != 0 {
+		t.Fatalf("module lint exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean tree produced SARIF results: %+v", log.Runs)
+	}
+	for _, want := range []string{"timing summaries", "timing intrange", "timing total"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("timing output missing %q:\n%s", want, errOut.String())
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned for file:line:col reporting and
@@ -63,6 +64,10 @@ type Pass struct {
 	Pkg  *types.Package
 	Info *types.Info
 
+	// summaries is the module-wide fixpoint summary set (summaries.go),
+	// shared across every pass of a Run; see Pass.moduleSummaries.
+	summaries *moduleSummaries
+
 	report func(Diagnostic)
 }
 
@@ -91,6 +96,7 @@ func DefaultAnalyzers() []*Analyzer {
 		LoopInvariantAnalyzer,
 		MapRangeAnalyzer,
 		PreallocateAnalyzer,
+		Intrange,
 		Poolown,
 		Stagekey,
 		Splitbudget,
@@ -105,21 +111,64 @@ func DefaultAnalyzers() []*Analyzer {
 // that no longer suppress anything, are reported as diagnostics from the
 // pseudo-analyzer "lint".
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	out, _ := run(mod, analyzers, nil)
+	return out
+}
+
+// AnalyzerTiming is one row of RunTimed's wall-clock attribution: the
+// cumulative time one analyzer spent across every package, plus the
+// pseudo-row "summaries" for the shared fixpoint summary computation.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus per-analyzer wall-clock attribution. The clock is
+// injected by the caller (the pipeline packages themselves are forbidden
+// to read wall time — detrand enforces it — so the cmd layer passes
+// time.Now in).
+func RunTimed(mod *Module, analyzers []*Analyzer, now func() time.Time) ([]Diagnostic, []AnalyzerTiming) {
+	return run(mod, analyzers, now)
+}
+
+func run(mod *Module, analyzers []*Analyzer, now func() time.Time) ([]Diagnostic, []AnalyzerTiming) {
 	known := knownNames(analyzers)
+	clock := now
+	if clock == nil {
+		clock = func() time.Time { return time.Time{} }
+	}
+	elapsed := make(map[string]time.Duration)
+	t0 := clock()
+	sums := mod.Summaries()
+	elapsed["summaries"] = clock().Sub(t0)
 	var out []Diagnostic
 	for _, pkg := range mod.Packages {
-		out = append(out, runPackage(mod.Fset, pkg, analyzers, known)...)
+		out = append(out, runPackage(mod.Fset, pkg, sums, analyzers, known, clock, elapsed)...)
 	}
 	sortDiagnostics(out)
-	return out
+	if now == nil {
+		return out, nil
+	}
+	names := make([]string, 0, len(elapsed))
+	for name := range elapsed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	timings := make([]AnalyzerTiming, 0, len(names))
+	for _, name := range names {
+		timings = append(timings, AnalyzerTiming{Name: name, Elapsed: elapsed[name]})
+	}
+	return out, timings
 }
 
 // RunPackage applies the analyzers to one loaded package, honoring
 // //lint:ignore directives, and returns the diagnostics sorted by position.
 // It is the single-package core of Run, exposed for the fixture-driven
-// analyzer tests.
+// analyzer tests; summaries are computed over that one package with the
+// same fixpoint engine the whole-module run uses.
 func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	out := runPackage(fset, pkg, analyzers, knownNames(analyzers))
+	sums := computeSummaries(fset, []*Package{pkg})
+	out := runPackage(fset, pkg, sums, analyzers, knownNames(analyzers), nil, nil)
 	sortDiagnostics(out)
 	return out
 }
@@ -140,18 +189,19 @@ func knownNames(analyzers []*Analyzer) map[string]bool {
 	return known
 }
 
-func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+func runPackage(fset *token.FileSet, pkg *Package, sums *moduleSummaries, analyzers []*Analyzer, known map[string]bool, clock func() time.Time, elapsed map[string]time.Duration) []Diagnostic {
 	dirs, out := collectDirectives(fset, pkg.Files, known)
 	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		ran[a.Name] = true
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    pkg.Files,
-			Path:     pkg.Path,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			summaries: sums,
 		}
 		pass.report = func(d Diagnostic) {
 			if dirs.suppresses(d) {
@@ -159,7 +209,13 @@ func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known 
 			}
 			out = append(out, d)
 		}
-		a.Run(pass)
+		if clock == nil {
+			a.Run(pass)
+		} else {
+			t := clock()
+			a.Run(pass)
+			elapsed[a.Name] += clock().Sub(t)
+		}
 	}
 	// Suppression hygiene: a directive whose analyzer ran but reported
 	// nothing on the covered lines is stale — the code it excused has

@@ -58,6 +58,12 @@ type pathHooks struct {
 	// cond interprets an expression evaluated for control flow (an if or
 	// loop condition, a switch tag, a case expression, a ranged operand).
 	cond func(e ast.Expr, st pathState)
+	// branch, when non-nil, observes a condition's polarity on the state
+	// that took it: after an if or for condition forks the paths, the hook
+	// runs with taken=true on the then/body state and taken=false on the
+	// else/exit state, so clients can refine their store by what the
+	// comparison just proved (intrange narrows variable intervals here).
+	branch func(cond ast.Expr, taken bool, st pathState)
 	// exit observes a function exit: an explicit return (ret non-nil,
 	// already interpreted for its result expressions) or falling off the
 	// end of the body (ret nil, end is the closing brace).
@@ -198,6 +204,8 @@ func (e *pathEngine) execStmt(s ast.Stmt, st pathState) []pathFlow {
 		}
 		e.hooks.cond(s.Cond, st)
 		thenSt := e.hooks.copy(st)
+		e.refine(s.Cond, true, thenSt)
+		e.refine(s.Cond, false, st)
 		flows := e.execBlock(s.Body.List, []pathState{thenSt})
 		if s.Else != nil {
 			flows = append(flows, e.execStmt(s.Else, st)...)
@@ -214,7 +222,7 @@ func (e *pathEngine) execStmt(s ast.Stmt, st pathState) []pathFlow {
 		if s.Cond != nil {
 			e.hooks.cond(s.Cond, st)
 		}
-		return e.execLoop(s, s.Body, st, s.Cond != nil, func(backSt pathState) {
+		return e.execLoop(s, s.Body, st, s.Cond != nil, s.Cond, func(backSt pathState) {
 			if s.Post != nil {
 				e.hooks.stmt(s.Post, backSt)
 			}
@@ -227,7 +235,7 @@ func (e *pathEngine) execStmt(s ast.Stmt, st pathState) []pathFlow {
 		e.hooks.cond(s.X, st)
 		// The key/value clause assigns on every iteration; the client sees
 		// the whole RangeStmt as one leaf to interpret those targets.
-		return e.execLoop(s, s.Body, st, true, func(backSt pathState) {
+		return e.execLoop(s, s.Body, st, true, nil, func(backSt pathState) {
 			e.hooks.stmt(s, backSt)
 		})
 
@@ -315,20 +323,32 @@ func (e *pathEngine) execStmt(s ast.Stmt, st pathState) []pathFlow {
 	}
 }
 
+// refine applies the branch hook, if the client installed one.
+func (e *pathEngine) refine(cond ast.Expr, taken bool, st pathState) {
+	if e.hooks.branch != nil && cond != nil {
+		e.hooks.branch(cond, taken, st)
+	}
+}
+
 // execLoop runs a loop body for up to maxLoopIters abstract iterations.
 // canSkip reports whether zero iterations are possible (a condition or
-// range that may be immediately exhausted); back runs the post/condition
-// work on each state that reaches the back edge.
-func (e *pathEngine) execLoop(loop ast.Stmt, body *ast.BlockStmt, st pathState, canSkip bool, back func(pathState)) []pathFlow {
+// range that may be immediately exhausted); cond is the for condition (nil
+// for range loops), refined true into the body and false onto the exits;
+// back runs the post/condition work on each state that reaches the back
+// edge.
+func (e *pathEngine) execLoop(loop ast.Stmt, body *ast.BlockStmt, st pathState, canSkip bool, cond ast.Expr, back func(pathState)) []pathFlow {
 	var after []pathFlow
 	entry := e.hooks.snapshot(st)
 	if canSkip {
-		after = append(after, pathFlow{flowFall, e.hooks.copy(st)})
+		exitSt := e.hooks.copy(st)
+		e.refine(cond, false, exitSt)
+		after = append(after, pathFlow{flowFall, exitSt})
 	}
 	cur := []pathState{st}
 	for iter := 0; iter < maxLoopIters && len(cur) > 0 && !e.dead; iter++ {
 		var backStates []pathState
 		for _, s := range cur {
+			e.refine(cond, true, s)
 			for _, f := range e.execBlock(body.List, []pathState{s}) {
 				switch f.kind {
 				case flowFall, flowContinue:
@@ -337,7 +357,9 @@ func (e *pathEngine) execLoop(loop ast.Stmt, body *ast.BlockStmt, st pathState, 
 					backStates = append(backStates, f.st)
 					// The condition may also exit here.
 					if canSkip {
-						after = append(after, pathFlow{flowFall, e.hooks.copy(f.st)})
+						exitSt := e.hooks.copy(f.st)
+						e.refine(cond, false, exitSt)
+						after = append(after, pathFlow{flowFall, exitSt})
 					}
 				case flowBreak:
 					after = append(after, pathFlow{flowFall, f.st})
@@ -400,12 +422,15 @@ func isFallthrough(s ast.Stmt) bool {
 	return ok && b.Tok == token.FALLTHROUGH
 }
 
-// --- one-hop ownership summaries ---
+// --- ownership summaries ---
 
-// ownSummary is the one-hop interprocedural summary of one function: which
-// of its pointer-to-Frame parameters it consumes (hands to a Put/Recycle,
-// ending the caller's borrow) and whether it returns a pool-owned frame
-// (a *Frame drawn from a Pool.Get that the caller must release).
+// ownSummary is the interprocedural summary of one function: which of its
+// pointer-to-Frame parameters it consumes (hands to a Put/Recycle — or,
+// transitively, to a callee whose summary consumes that position — ending
+// the caller's borrow) and whether it returns a pool-owned frame (a *Frame
+// drawn from a Pool.Get, directly or through a summarized callee, that the
+// caller must release). Summaries are computed module-wide in import-DAG
+// order by the fixpoint engine in summaries.go.
 type ownSummary struct {
 	// consumes maps parameter index (receiver excluded) to true when the
 	// body releases that parameter.
@@ -414,33 +439,24 @@ type ownSummary struct {
 	returnsOwned bool
 }
 
-// collectOwnSummaries builds the summaries for every function declared in
-// the package. One hop only: a summary reflects the function's own body,
-// not its callees' (beyond the universal Put/Recycle names), which keeps
-// the analysis linear and its verdicts easy to trace by eye.
-func collectOwnSummaries(pass *Pass) map[*types.Func]ownSummary {
-	out := make(map[*types.Func]ownSummary)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			sum := summarizeFunc(pass.Info, fd)
-			if len(sum.consumes) > 0 || sum.returnsOwned {
-				out[obj] = sum
-			}
+// equal reports summary equality, the fixpoint termination test.
+func (s ownSummary) equal(o ownSummary) bool {
+	if s.returnsOwned != o.returnsOwned || len(s.consumes) != len(o.consumes) {
+		return false
+	}
+	for i := range s.consumes {
+		if !o.consumes[i] {
+			return false
 		}
 	}
-	return out
+	return true
 }
 
-// summarizeFunc scans one declaration body syntactically.
-func summarizeFunc(info *types.Info, fd *ast.FuncDecl) ownSummary {
+// summarizeOwnFunc scans one declaration body syntactically, consulting
+// the global summary map for callee effects. With global fixed it is
+// monotone in global (consume sets and returnsOwned only grow), which is
+// what lets the engine iterate call cycles to a fixpoint.
+func summarizeOwnFunc(info *types.Info, fd *ast.FuncDecl, global map[*types.Func]ownSummary) ownSummary {
 	sum := ownSummary{consumes: make(map[int]bool)}
 	// Frame-pointer parameters by object, with their positional index.
 	params := make(map[types.Object]int)
@@ -459,13 +475,40 @@ func summarizeFunc(info *types.Info, fd *ast.FuncDecl) ownSummary {
 			}
 		}
 	}
-	// Local variables assigned from a Pool.Get, for the returnsOwned scan.
+	// grantsOwned reports whether e yields a pool-owned frame: a direct
+	// Pool.Get or a call to a callee summarized as returning one.
+	grantsOwned := func(e ast.Expr) bool {
+		if isPoolGetCall(info, e) {
+			return true
+		}
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		obj := funcObj(info, call.Fun)
+		return obj != nil && global[obj].returnsOwned
+	}
+	// consumeParam records that the identifier arg, if a Frame parameter,
+	// is consumed.
+	consumeParam := func(arg ast.Expr) {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := info.Uses[id]; obj != nil {
+			if pi, ok := params[obj]; ok {
+				sum.consumes[pi] = true
+			}
+		}
+	}
+	// Local variables holding a pool-owned frame, for the returnsOwned
+	// scan.
 	owned := make(map[types.Object]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
-				if i < len(n.Lhs) && isPoolGetCall(info, rhs) {
+				if i < len(n.Lhs) && grantsOwned(rhs) {
 					if id, ok := n.Lhs[i].(*ast.Ident); ok {
 						if obj := info.Defs[id]; obj != nil {
 							owned[obj] = true
@@ -476,24 +519,28 @@ func summarizeFunc(info *types.Info, fd *ast.FuncDecl) ownSummary {
 				}
 			}
 		case *ast.CallExpr:
-			if !isConsumeCallee(info, n.Fun) {
+			if isConsumeCallee(info, n.Fun) {
+				for _, arg := range n.Args {
+					consumeParam(arg)
+				}
 				return true
 			}
-			for _, arg := range n.Args {
-				id, ok := ast.Unparen(arg).(*ast.Ident)
-				if !ok {
-					continue
-				}
-				if obj := info.Uses[id]; obj != nil {
-					if pi, ok := params[obj]; ok {
-						sum.consumes[pi] = true
+			// A parameter handed to a callee position the callee's summary
+			// consumes is consumed here too — the transfer chain ends in a
+			// Put/Recycle further down.
+			if obj := funcObj(info, n.Fun); obj != nil {
+				if callee, ok := global[obj]; ok {
+					for i, arg := range n.Args {
+						if callee.consumes[i] {
+							consumeParam(arg)
+						}
 					}
 				}
 			}
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
 				res = ast.Unparen(res)
-				if isPoolGetCall(info, res) {
+				if grantsOwned(res) {
 					sum.returnsOwned = true
 				}
 				if id, ok := res.(*ast.Ident); ok {

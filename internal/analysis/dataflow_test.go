@@ -375,8 +375,8 @@ func summaryFor(t *testing.T, sums map[*types.Func]ownSummary, name string) (own
 
 func TestOwnSummaries(t *testing.T) {
 	fset, file, info := typecheckSrc(t, summarySrc)
-	pass := &Pass{Fset: fset, Files: []*ast.File{file}, Info: info}
-	sums := collectOwnSummaries(pass)
+	pkg := &Package{Path: "p", Files: []*ast.File{file}, Info: info}
+	sums := computeSummaries(fset, []*Package{pkg}).own
 
 	drain, ok := summaryFor(t, sums, "drain")
 	if !ok || !drain.consumes[1] {

@@ -1,0 +1,894 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Intrange is the overflow gate for the float→fixed-point cutover
+// (ROADMAP item 2): interval analysis over integer arithmetic in hot
+// code, riding the same bounded path engine as poolown. For every
+// function in scope it tracks a [lo, hi] interval per numeric variable,
+// narrows intervals through branch conditions (the engine's branch hook),
+// widens loop-carried growth by the loop's trip bound, and then demands
+// proof at the points where fixed-point arithmetic wraps:
+//
+//   - a conversion to a sized integer type (uint8/int8/.../int32) must
+//     have an operand interval provably inside the target's range —
+//     "tested at a few sample values" is exactly what this replaces;
+//   - arithmetic stored into a sized integer location must provably fit;
+//   - for 64-bit targets only a definite overflow (an interval entirely
+//     outside the type) is reported, so plain int accumulators stay
+//     quiet while still being checked.
+//
+// The interprocedural seam is the //range contract directive on a
+// function's doc comment:
+//
+//	//range:<param> <lo>,<hi>
+//
+// which (a) seeds the parameter's interval inside the function and
+// (b) obliges every call site in scope to prove its argument stays in
+// the declared range. Contracts are collected module-wide by the summary
+// engine, so a camera-package caller is held to a frame-package
+// contract. Scope is where fixed-point math lives: the hot packages,
+// //hot-marked functions, quant*/clamp* helpers, and any contracted
+// function. Comparisons against NaN are outside this domain (floateq
+// owns NaN discipline); intervals model the numeric axis only.
+var Intrange = &Analyzer{
+	Name: "intrange",
+	Doc:  "integer narrowing and accumulation in hot code must provably not overflow",
+	Run:  runIntrange,
+}
+
+// maxTrips is the abstract trip count used to widen loop-carried growth
+// when no tighter bound is provable: 2^48 iterations overflows every
+// sized type with any per-iteration growth, while a per-iteration delta
+// of realistic size keeps an int64 accumulator comfortably inside its
+// range — which is the distinction the analyzer exists to draw.
+const maxTrips = float64(1 << 48)
+
+// rangeContract is the parsed //range contract of one function: declared
+// intervals per parameter index.
+type rangeContract struct {
+	byParam map[int]interval
+	names   map[int]string
+}
+
+// contractDiag is one malformed //range directive, reported when the
+// analyzer visits the declaring package.
+type contractDiag struct {
+	pos token.Pos
+	msg string
+}
+
+const rangeDirective = "//range:"
+
+// collectRangeContracts parses //range directives on every function
+// declaration of the module into the shared summary set.
+func collectRangeContracts(s *moduleSummaries, fset *token.FileSet, pkgs []*Package) {
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if !strings.HasPrefix(c.Text, rangeDirective) {
+						continue
+					}
+					if msg := parseRangeDirective(s, pkg, fd, c); msg != "" {
+						s.contractDiags[pkg.Path] = append(s.contractDiags[pkg.Path],
+							contractDiag{pos: c.Pos(), msg: msg})
+					}
+				}
+			}
+		}
+	}
+}
+
+// parseRangeDirective parses one //range comment into the contract map,
+// returning a diagnostic message when malformed.
+func parseRangeDirective(s *moduleSummaries, pkg *Package, fd *ast.FuncDecl, c *ast.Comment) string {
+	const usage = `malformed //range directive: want "//range:<param> <lo>,<hi>"`
+	// Fields past the bounds are free-form annotation ("//range:v 0,255
+	// pixels"); only the first two carry the contract.
+	fields := strings.Fields(strings.TrimPrefix(c.Text, rangeDirective))
+	if len(fields) < 2 {
+		return usage
+	}
+	bounds := strings.SplitN(fields[1], ",", 2)
+	if len(bounds) != 2 {
+		return usage
+	}
+	lo, err1 := strconv.ParseFloat(bounds[0], 64)
+	hi, err2 := strconv.ParseFloat(bounds[1], 64)
+	if err1 != nil || err2 != nil {
+		return usage
+	}
+	if lo > hi {
+		return fmt.Sprintf("//range contract on %s is empty: lo %s exceeds hi %s", fields[0], bounds[0], bounds[1])
+	}
+	idx, found := -1, false
+	pos := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if name.Name == fields[0] {
+					idx, found = pos, true
+				}
+				pos++
+			}
+			if len(field.Names) == 0 {
+				pos++
+			}
+		}
+	}
+	if !found {
+		return fmt.Sprintf("//range directive names no parameter %q of %s", fields[0], fd.Name.Name)
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	ct := s.contracts[fn]
+	if ct.byParam == nil {
+		ct = rangeContract{byParam: make(map[int]interval), names: make(map[int]string)}
+	}
+	ct.byParam[idx] = interval{lo, hi}
+	ct.names[idx] = fields[0]
+	s.contracts[fn] = ct
+	return ""
+}
+
+func runIntrange(pass *Pass) {
+	for _, d := range pass.contractDiagsFor() {
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+	contracts := pass.rangeContracts()
+	hotPkg := isHotPackagePath(pass.Path)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			ct, contracted := contracts[fn]
+			if !hotPkg && !hasHotDirective(fd.Doc) && !isClampHelper(fd.Name.Name) && !contracted {
+				continue
+			}
+			scanIntrangeUnit(pass, contracts, fd.Body, intrangeEntry(pass.Info, fd, ct))
+			// Function literals are their own scan units: their bodies run
+			// under schedules the enclosing path walk does not model, so
+			// captured variables are held at type bounds rather than
+			// path-refined values.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					scanIntrangeUnit(pass, contracts, lit.Body, map[*types.Var]interval{})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// intrangeEntry builds the entry state: contracted parameters seeded
+// with their declared interval (met with the type's own range).
+func intrangeEntry(info *types.Info, fd *ast.FuncDecl, ct rangeContract) map[*types.Var]interval {
+	vars := make(map[*types.Var]interval)
+	if fd.Type.Params == nil || len(ct.byParam) == 0 {
+		return vars
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if iv, ok := ct.byParam[pos]; ok {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					vars[v] = iv.intersect(typeInterval(v.Type()))
+				}
+			}
+			pos++
+		}
+		if len(field.Names) == 0 {
+			pos++
+		}
+	}
+	return vars
+}
+
+// irState is the abstract store: intervals for the variables narrowed by
+// assignment, contract, or branch. Anything absent falls back to its
+// static type's range at evaluation time.
+type irState struct {
+	vars map[*types.Var]interval
+}
+
+// irScan is one scan unit (a function body or a function literal body).
+type irScan struct {
+	pass      *Pass
+	contracts map[*types.Func]rangeContract
+	findings  map[string]contractDiag
+	bailed    bool
+}
+
+func scanIntrangeUnit(pass *Pass, contracts map[*types.Func]rangeContract, body *ast.BlockStmt, entry map[*types.Var]interval) {
+	u := &irScan{pass: pass, contracts: contracts, findings: make(map[string]contractDiag)}
+	init := &irState{vars: entry}
+	execPaths(body, init, pathHooks{
+		copy: func(st pathState) pathState {
+			s := st.(*irState)
+			c := &irState{vars: make(map[*types.Var]interval, len(s.vars))}
+			for v, iv := range s.vars {
+				c.vars[v] = iv
+			}
+			return c
+		},
+		key: func(st pathState) string {
+			return sortedVarNames(st.(*irState).vars, func(v *types.Var, iv interval) string {
+				return fmt.Sprintf("%d=%s", v.Pos(), iv.fingerprint())
+			})
+		},
+		stmt: func(s ast.Stmt, st pathState) { u.execStmt(s, st.(*irState)) },
+		cond: func(e ast.Expr, st pathState) { u.checkExprs(e, st.(*irState)) },
+		branch: func(cond ast.Expr, taken bool, st pathState) {
+			u.refine(cond, taken, st.(*irState))
+		},
+		exit: func(ret *ast.ReturnStmt, end token.Pos, st pathState) {},
+		loopBack: func(loop ast.Stmt, entry any, st pathState) {
+			u.widen(loop, entry.(map[*types.Var]interval), st.(*irState))
+		},
+		snapshot: func(st pathState) any {
+			s := st.(*irState)
+			snap := make(map[*types.Var]interval, len(s.vars))
+			for v, iv := range s.vars {
+				snap[v] = iv
+			}
+			return snap
+		},
+		bail: func() { u.bailed = true },
+	})
+	if u.bailed {
+		return
+	}
+	keys := make([]string, 0, len(u.findings))
+	for k := range u.findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]contractDiag, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, u.findings[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].msg < out[j].msg
+	})
+	for _, d := range out {
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+}
+
+func (u *irScan) flag(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	u.findings[fmt.Sprintf("%d|%s", pos, msg)] = contractDiag{pos: pos, msg: msg}
+}
+
+// execStmt interprets one leaf statement: run the expression checks with
+// the pre-state, then apply the statement's effect on the store.
+func (u *irScan) execStmt(s ast.Stmt, st *irState) {
+	// A RangeStmt arrives as the key/value clause only; its body statements
+	// are path-executed separately, so only the ranged operand is checked
+	// here.
+	if r, ok := s.(*ast.RangeStmt); ok {
+		u.checkExprs(r.X, st)
+		u.execRangeClause(r, st)
+		return
+	}
+	u.checkExprs(s, st)
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		u.execAssign(s, st)
+	case *ast.IncDecStmt:
+		one := interval{1, 1}
+		iv := u.eval(s.X, st)
+		if s.Tok == token.INC {
+			iv = iv.add(one)
+		} else {
+			iv = iv.sub(one)
+		}
+		u.store(s.X, iv, s.Pos(), st)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v, ok := u.pass.Info.Defs[name].(*types.Var)
+				if !ok || !isNumericType(v.Type()) {
+					continue
+				}
+				switch {
+				case len(vs.Values) == len(vs.Names):
+					u.store(name, u.eval(vs.Values[i], st), name.Pos(), st)
+				case len(vs.Values) == 0:
+					// Zero value.
+					st.vars[v] = interval{0, 0}
+				default:
+					st.vars[v] = typeInterval(v.Type())
+				}
+			}
+		}
+	}
+}
+
+func (u *irScan) execAssign(s *ast.AssignStmt, st *irState) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Rhs {
+			iv := u.eval(s.Rhs[i], st)
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				iv = u.compound(s.Tok, u.eval(s.Lhs[i], st), iv)
+			}
+			u.store(s.Lhs[i], iv, s.Rhs[i].Pos(), st)
+		}
+		return
+	}
+	// Multi-value assignment: results of a call, map read, type assert —
+	// nothing provable beyond the static types.
+	for _, lhs := range s.Lhs {
+		if v, ok := u.lhsVar(lhs); ok {
+			st.vars[v] = typeInterval(v.Type())
+		}
+	}
+}
+
+// compound folds an op= token over the old and new value intervals.
+func (u *irScan) compound(tok token.Token, old, rhs interval) interval {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return old.add(rhs)
+	case token.SUB_ASSIGN:
+		return old.sub(rhs)
+	case token.MUL_ASSIGN:
+		return old.mul(rhs)
+	case token.QUO_ASSIGN:
+		return old.div(rhs)
+	case token.REM_ASSIGN:
+		return old.rem(rhs)
+	case token.SHL_ASSIGN:
+		return old.shl(rhs)
+	case token.SHR_ASSIGN:
+		return old.shr(rhs)
+	case token.AND_ASSIGN:
+		return old.and(rhs)
+	}
+	return topInterval()
+}
+
+// store checks iv against the destination's integer range and records the
+// post-store interval (clipped to the type, which is what the location
+// actually holds).
+func (u *irScan) store(lhs ast.Expr, iv interval, pos token.Pos, st *irState) {
+	t := u.exprType(lhs)
+	if t != nil {
+		bounds, sized, isInt := intTargetBounds(t)
+		if isInt && sized && !iv.within(bounds) {
+			u.flag(pos, "cannot prove value stored into %s stays in %s (computed range %s); guard the arithmetic or declare a //range contract",
+				t.String(), renderInterval(bounds), renderInterval(iv))
+		} else if isInt && !sized && iv.disjoint(bounds) {
+			u.flag(pos, "value stored into %s provably overflows: computed range %s lies entirely outside %s",
+				t.String(), renderInterval(iv), renderInterval(bounds))
+		}
+		if isInt {
+			iv = iv.intersect(bounds)
+		}
+	}
+	if v, ok := u.lhsVar(lhs); ok && isNumericType(v.Type()) {
+		st.vars[v] = iv
+	}
+}
+
+// lhsVar resolves an assignment target to a plain local/package variable
+// object; selector, index and deref targets are not tracked.
+func (u *irScan) lhsVar(lhs ast.Expr) (*types.Var, bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if v, ok := u.pass.Info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := u.pass.Info.Uses[id].(*types.Var)
+	return v, ok
+}
+
+// execRangeClause assigns the key/value variables of one range iteration.
+func (u *irScan) execRangeClause(s *ast.RangeStmt, st *irState) {
+	if s.Key != nil {
+		if v, ok := u.lhsVar(s.Key); ok && isNumericType(v.Type()) {
+			key := typeInterval(v.Type()).intersect(interval{0, math.Inf(1)})
+			if t := u.exprType(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Basic); ok {
+					// range over an integer: [0, n-1].
+					n := u.eval(s.X, st)
+					key = key.intersect(interval{0, n.hi - 1})
+				}
+			}
+			st.vars[v] = key
+		}
+	}
+	if s.Value != nil {
+		if v, ok := u.lhsVar(s.Value); ok && isNumericType(v.Type()) {
+			st.vars[v] = typeInterval(v.Type())
+		}
+	}
+}
+
+// checkExprs walks the expressions of one statement or condition: checks
+// conversions and contract call sites against the current state, and
+// clobbers variables whose address escapes or that a function literal
+// mutates. Function-literal bodies themselves are separate scan units.
+func (u *irScan) checkExprs(node ast.Node, st *irState) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			u.clobberMutated(x.Body, st)
+			return false
+		case *ast.CallExpr:
+			u.checkCall(x, st)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if v, ok := u.lhsVar(x.X); ok && isNumericType(v.Type()) {
+					st.vars[v] = typeInterval(v.Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// clobberMutated resets every tracked variable a nested function literal
+// assigns, increments, or takes the address of — the literal may run any
+// number of times on any schedule.
+func (u *irScan) clobberMutated(body *ast.BlockStmt, st *irState) {
+	reset := func(e ast.Expr) {
+		if v, ok := u.lhsVar(e); ok && isNumericType(v.Type()) {
+			st.vars[v] = typeInterval(v.Type())
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				reset(lhs)
+			}
+		case *ast.IncDecStmt:
+			reset(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				reset(x.X)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall checks one call expression: a conversion to an integer type
+// must prove its operand fits; a call to a contracted function must prove
+// each constrained argument stays in its declared range.
+func (u *irScan) checkCall(call *ast.CallExpr, st *irState) {
+	if tvf, ok := u.pass.Info.Types[call.Fun]; ok && tvf.IsType() && len(call.Args) == 1 {
+		arg := call.Args[0]
+		if tv, ok := u.pass.Info.Types[arg]; ok && tv.Value != nil {
+			return // constant-folded: the compiler rejects out-of-range constants
+		}
+		bounds, sized, isInt := intTargetBounds(tvf.Type)
+		if !isInt {
+			return
+		}
+		src := u.eval(arg, st)
+		if t := u.exprType(arg); t != nil && !isIntegerType(t) {
+			// Go float→integer conversion truncates toward zero, so the
+			// rounding idiom byte(v + 0.5) with v in [0, 255] is exact.
+			src = src.trunc()
+		}
+		if sized && !src.within(bounds) {
+			u.flag(call.Pos(), "cannot prove this conversion to %s stays in %s (operand range %s); guard the operand or declare a //range contract",
+				tvf.Type.String(), renderInterval(bounds), renderInterval(src))
+		} else if !sized && src.disjoint(bounds) {
+			u.flag(call.Pos(), "conversion to %s provably overflows: operand range %s lies entirely outside %s",
+				tvf.Type.String(), renderInterval(src), renderInterval(bounds))
+		}
+		return
+	}
+	callee := funcObj(u.pass.Info, call.Fun)
+	if callee == nil {
+		return
+	}
+	ct, ok := u.contracts[callee]
+	if !ok {
+		return
+	}
+	for _, idx := range sortedInts2(ct.byParam) {
+		if idx >= len(call.Args) {
+			continue
+		}
+		want := ct.byParam[idx]
+		got := u.eval(call.Args[idx], st)
+		if !got.within(want) {
+			u.flag(call.Args[idx].Pos(), "cannot prove argument stays in //range %s contract of parameter %s of %s (computed range %s)",
+				renderInterval(want), ct.names[idx], callee.Name(), renderInterval(got))
+		}
+	}
+}
+
+// widen extrapolates loop-carried interval growth: a variable that grew
+// by d in one abstract iteration is assumed to grow by d per iteration
+// for the loop's trip bound — the counted-loop bound when the condition
+// proves one, maxTrips otherwise.
+func (u *irScan) widen(loop ast.Stmt, entry map[*types.Var]interval, st *irState) {
+	trips := u.tripBound(loop, st)
+	for v, cur := range st.vars {
+		prev, ok := entry[v]
+		if !ok {
+			continue // born inside the body: re-initialized every iteration
+		}
+		w := cur
+		if cur.hi > prev.hi && !math.IsInf(cur.hi, 1) {
+			w.hi = addHi(prev.hi, (cur.hi-prev.hi)*trips)
+		}
+		if cur.lo < prev.lo && !math.IsInf(cur.lo, -1) {
+			w.lo = addLo(prev.lo, (cur.lo-prev.lo)*trips)
+		}
+		if !w.sameAs(cur) {
+			st.vars[v] = w
+		}
+	}
+}
+
+// tripBound extracts an iteration bound from a counted for loop
+// (`for i := 0; i < n; i++` shapes), defaulting to maxTrips.
+func (u *irScan) tripBound(loop ast.Stmt, st *irState) float64 {
+	f, ok := loop.(*ast.ForStmt)
+	if !ok || f.Cond == nil {
+		return maxTrips
+	}
+	b, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok || (b.Op != token.LSS && b.Op != token.LEQ) {
+		return maxTrips
+	}
+	n := u.eval(b.Y, st)
+	if n.hi >= 0 && n.hi < maxTrips {
+		return n.hi + 1
+	}
+	return maxTrips
+}
+
+// refine narrows variable intervals by what a branch condition just
+// proved on the path that observed it.
+func (u *irScan) refine(cond ast.Expr, taken bool, st *irState) {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if taken {
+				u.refine(c.X, true, st)
+				u.refine(c.Y, true, st)
+			}
+		case token.LOR:
+			if !taken {
+				u.refine(c.X, false, st)
+				u.refine(c.Y, false, st)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := c.Op
+			if !taken {
+				op = negateCmp(op)
+			}
+			u.refineCmp(c.X, op, c.Y, st)
+			u.refineCmp(c.Y, flipCmp(op), c.X, st)
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			u.refine(c.X, !taken, st)
+		}
+	}
+}
+
+// refineCmp applies "lhs op rhs" when lhs names a variable.
+func (u *irScan) refineCmp(lhs ast.Expr, op token.Token, rhs ast.Expr, st *irState) {
+	v, ok := u.lhsVar(lhs)
+	if !ok || !isNumericType(v.Type()) {
+		return
+	}
+	bound := u.eval(rhs, st)
+	cur, tracked := st.vars[v]
+	if !tracked {
+		cur = typeInterval(v.Type())
+	}
+	// Strict comparisons tighten by a whole unit on integer axes; on
+	// float axes the non-strict bound is the conservative refinement.
+	step := 0.0
+	if isIntegerType(v.Type()) {
+		step = 1
+	}
+	switch op {
+	case token.LSS:
+		cur.hi = math.Min(cur.hi, bound.hi-step)
+	case token.LEQ:
+		cur.hi = math.Min(cur.hi, bound.hi)
+	case token.GTR:
+		cur.lo = math.Max(cur.lo, bound.lo+step)
+	case token.GEQ:
+		cur.lo = math.Max(cur.lo, bound.lo)
+	case token.EQL:
+		cur = cur.intersect(bound)
+	case token.NEQ:
+		// A disequality only helps at a closed integer endpoint.
+		if isIntegerType(v.Type()) && bound.fingerprint() == (interval{cur.lo, cur.lo}).fingerprint() {
+			cur.lo++
+		} else if isIntegerType(v.Type()) && bound.fingerprint() == (interval{cur.hi, cur.hi}).fingerprint() {
+			cur.hi--
+		}
+	}
+	st.vars[v] = cur
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+// flipCmp mirrors a comparison across its operands (a < b ⇔ b > a).
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// eval computes the interval of an expression under the current state.
+// Constants are exact; tracked variables read the store; arithmetic
+// composes operand intervals (unclipped — detecting escape from the
+// static type is the point); everything else falls back to the static
+// type's range, which is what makes widening conversions self-prove.
+func (u *irScan) eval(e ast.Expr, st *irState) interval {
+	e = ast.Unparen(e)
+	if tv, ok := u.pass.Info.Types[e]; ok && tv.Value != nil {
+		if iv, ok := constInterval(tv.Value); ok {
+			return iv
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := u.pass.Info.Uses[x].(*types.Var); ok {
+			if iv, tracked := st.vars[v]; tracked {
+				return iv
+			}
+		}
+	case *ast.BinaryExpr:
+		a, b := u.eval(x.X, st), u.eval(x.Y, st)
+		switch x.Op {
+		case token.ADD:
+			if !isNumericExpr(u.pass.Info, x) {
+				return topInterval() // string concatenation
+			}
+			return a.add(b)
+		case token.SUB:
+			return a.sub(b)
+		case token.MUL:
+			return a.mul(b)
+		case token.QUO:
+			return a.div(b)
+		case token.REM:
+			return a.rem(b)
+		case token.SHL:
+			return a.shl(b)
+		case token.SHR:
+			return a.shr(b)
+		case token.AND:
+			return a.and(b)
+		}
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.SUB:
+			return u.eval(x.X, st).neg()
+		case token.ADD:
+			return u.eval(x.X, st)
+		}
+	case *ast.CallExpr:
+		if tvf, ok := u.pass.Info.Types[x.Fun]; ok && tvf.IsType() && len(x.Args) == 1 {
+			// Conversion: in-range values pass through; out-of-range input
+			// wraps, so the result is only known to be within the target.
+			src := u.eval(x.Args[0], st)
+			bounds, _, isInt := intTargetBounds(tvf.Type)
+			if isInt {
+				if src.within(bounds) {
+					return src
+				}
+				return bounds
+			}
+			return src
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := u.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "len", "cap":
+					return interval{0, float64(math.MaxInt64)}
+				case "min":
+					return u.foldBuiltin(x.Args, st, math.Min)
+				case "max":
+					return u.foldBuiltin(x.Args, st, math.Max)
+				}
+			}
+		}
+	}
+	return u.staticInterval(e)
+}
+
+// foldBuiltin folds min/max over the argument intervals endpoint-wise.
+func (u *irScan) foldBuiltin(args []ast.Expr, st *irState, pick func(float64, float64) float64) interval {
+	if len(args) == 0 {
+		return topInterval()
+	}
+	out := u.eval(args[0], st)
+	for _, a := range args[1:] {
+		iv := u.eval(a, st)
+		out = interval{pick(out.lo, iv.lo), pick(out.hi, iv.hi)}
+	}
+	return out
+}
+
+// staticInterval is the fallback: whatever the expression's static type
+// guarantees.
+func (u *irScan) staticInterval(e ast.Expr) interval {
+	if t := u.exprType(e); t != nil {
+		return typeInterval(t)
+	}
+	return topInterval()
+}
+
+func (u *irScan) exprType(e ast.Expr) types.Type {
+	if tv, ok := u.pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// constInterval converts a constant value to a point interval.
+func constInterval(v constant.Value) (interval, bool) {
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		if f, ok := constant.Float64Val(v); ok {
+			return interval{f, f}, true
+		}
+		// Exactness was lost; Float64Val still returns the nearest value,
+		// usable as a (slightly fuzzy) bound only for huge constants.
+		f, _ := constant.Float64Val(v)
+		return interval{f, f}, true
+	}
+	return interval{}, false
+}
+
+// typeInterval is the value range a static type guarantees.
+func typeInterval(t types.Type) interval {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return topInterval()
+	}
+	switch basic.Kind() {
+	case types.Int8:
+		return interval{math.MinInt8, math.MaxInt8}
+	case types.Int16:
+		return interval{math.MinInt16, math.MaxInt16}
+	case types.Int32, types.UntypedRune:
+		return interval{math.MinInt32, math.MaxInt32}
+	case types.Uint8:
+		return interval{0, math.MaxUint8}
+	case types.Uint16:
+		return interval{0, math.MaxUint16}
+	case types.Uint32:
+		return interval{0, math.MaxUint32}
+	case types.Int, types.Int64, types.UntypedInt:
+		return interval{math.MinInt64, math.MaxInt64}
+	case types.Uint, types.Uint64, types.Uintptr:
+		return interval{0, math.MaxUint64}
+	}
+	return topInterval()
+}
+
+// intTargetBounds classifies an integer destination type: its value
+// range, whether it is a sized (≤32-bit) type held to the prove-it
+// standard, and whether it is an integer at all.
+func intTargetBounds(t types.Type) (iv interval, sized, isInt bool) {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return topInterval(), false, false
+	}
+	switch basic.Kind() {
+	case types.Int8, types.Int16, types.Int32, types.Uint8, types.Uint16, types.Uint32:
+		return typeInterval(t), true, true
+	case types.Int, types.Int64, types.Uint, types.Uint64, types.Uintptr:
+		return typeInterval(t), false, true
+	}
+	return topInterval(), false, false
+}
+
+func isNumericType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0 && basic.Info()&types.IsComplex == 0
+}
+
+func isIntegerType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func isNumericExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isNumericType(tv.Type)
+}
+
+// renderInterval formats an interval for diagnostics.
+func renderInterval(iv interval) string {
+	return fmt.Sprintf("[%s, %s]", renderBound(iv.lo), renderBound(iv.hi))
+}
+
+func renderBound(f float64) string {
+	if math.IsInf(f, -1) {
+		return "-inf"
+	}
+	if math.IsInf(f, 1) {
+		return "+inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// sortedInts2 returns map keys ascending (shared shape with
+// splitbudget's sortedInts, for interval-keyed contract maps).
+func sortedInts2(m map[int]interval) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

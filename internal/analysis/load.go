@@ -11,7 +11,36 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// The standard library is type-checked from source (GOROOT/src) so loading
+// works offline, but doing that once per load is the dominant cost of the
+// fixture-driven analyzer tests: every fixture package imports fmt or math
+// and re-checks their whole import closure. The process-wide cache below
+// pays that cost once. The importer is bound to its own private FileSet —
+// standard-library positions never appear in diagnostics, so mixing it
+// with per-load FileSets is safe — and serialized behind a mutex because
+// the source importer's internal package cache is not concurrency-safe.
+var (
+	stdMu   sync.Mutex
+	stdFset = token.NewFileSet()
+	stdSrc  types.Importer
+)
+
+// cachedStdImporter is the process-wide standard-library importer. Import
+// results are shared *types.Package objects, which is also what makes
+// summary keys (*types.Func) stable across separately loaded packages.
+type cachedStdImporter struct{}
+
+func (cachedStdImporter) Import(path string) (*types.Package, error) {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if stdSrc == nil {
+		stdSrc = importer.ForCompiler(stdFset, "source", nil)
+	}
+	return stdSrc.Import(path)
+}
 
 // Package is one parsed and type-checked package of the module.
 type Package struct {
@@ -36,6 +65,25 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages is sorted by import path.
 	Packages []*Package
+	// order is the bottom-up import-DAG order of Packages (dependencies
+	// before dependents), retained from load for the summary engine.
+	order []string
+	// byPath indexes Packages by import path.
+	byPath map[string]*Package
+
+	// summaries is the module-wide fixpoint summary cache, computed at
+	// most once per Module (see summaries.go).
+	summariesOnce sync.Once
+	summaries     *moduleSummaries
+}
+
+// inOrder returns the packages in bottom-up import-DAG order.
+func (m *Module) inOrder() []*Package {
+	out := make([]*Package, 0, len(m.order))
+	for _, path := range m.order {
+		out = append(out, m.byPath[path])
+	}
+	return out
 }
 
 // LoadModule discovers the module rooted at or above dir, parses every
@@ -52,6 +100,25 @@ func LoadModule(dir string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
+	return loadTree(root, modPath)
+}
+
+// LoadFixtureModule loads the directory tree rooted at dir as a
+// self-contained multi-package module under the given module path, without
+// requiring a go.mod. It exists for the cross-package analyzer fixtures
+// (testdata/src/<name>/a, .../b), which exercise summary flow across
+// import boundaries the single-package loader cannot express.
+func LoadFixtureModule(dir, modPath string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadTree(abs, modPath)
+}
+
+// loadTree parses and type-checks every non-test package under root,
+// dependency order first, and retains that order on the Module.
+func loadTree(root, modPath string) (*Module, error) {
 	fset := token.NewFileSet()
 	mod := &Module{ModPath: modPath, Root: root, Fset: fset}
 
@@ -70,6 +137,9 @@ func LoadModule(dir string) (*Module, error) {
 		}
 		byPath[pkg.Path] = pkg
 	}
+	if len(byPath) == 0 {
+		return nil, fmt.Errorf("analysis: no Go packages under %s", root)
+	}
 
 	order, err := loadOrder(byPath)
 	if err != nil {
@@ -78,13 +148,15 @@ func LoadModule(dir string) (*Module, error) {
 	imp := &moduleImporter{
 		modPath: modPath,
 		pkgs:    byPath,
-		std:     importer.ForCompiler(fset, "source", nil),
+		std:     cachedStdImporter{},
 	}
 	for _, path := range order {
 		if err := typeCheck(fset, byPath[path], imp); err != nil {
 			return nil, err
 		}
 	}
+	mod.order = order
+	mod.byPath = byPath
 	for _, path := range order {
 		mod.Packages = append(mod.Packages, byPath[path])
 	}
@@ -104,7 +176,7 @@ func LoadPackage(fset *token.FileSet, dir, path string) (*Package, error) {
 	if pkg == nil {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	imp := &moduleImporter{std: importer.ForCompiler(fset, "source", nil)}
+	imp := &moduleImporter{std: cachedStdImporter{}}
 	if err := typeCheck(fset, pkg, imp); err != nil {
 		return nil, err
 	}

@@ -23,10 +23,14 @@ import (
 //   - use-after-release: a path that touches a frame after handing it
 //     back to the pool.
 //
-// The analysis is path-sensitive per function and one hop deep across
-// calls: summaries cover same-package callees only (plus the universal
-// Put/Recycle names), so a frame handed to another package is treated as
-// borrowed, never consumed. Function literals passed to the synchronous
+// The analysis is path-sensitive per function and module-wide across
+// calls: the summary engine (summaries.go) computes consumes/returns-owned
+// facts for every declared function bottom-up in import-DAG order and to
+// a fixpoint within each package, so a frame acquired through the facade
+// or consumed two packages away is tracked transitively (plus the
+// universal Put/Recycle names). A frame handed to a callee with no
+// summary is treated as borrowed, never consumed. Function literals
+// passed to the synchronous
 // parallel helpers (For, ForChunked, Go) run to completion before the
 // caller continues, so releases inside them count; any other literal
 // capturing an owned frame is an ownership escape. Functions using goto
@@ -74,7 +78,7 @@ func (s *poolState) fingerprint() string {
 }
 
 func runPoolown(pass *Pass) {
-	summaries := collectOwnSummaries(pass)
+	summaries := pass.ownSummaries()
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

@@ -28,7 +28,12 @@ import (
 // Forwarding is the one sanctioned indirection: passing an enclosing
 // function's own Stage parameter onward (the impair/fleet rng wrappers)
 // is clean, because the obligation moves to that function's callers,
-// where the same check applies.
+// where the same check applies. The summary engine (summaries.go) closes
+// the loophole that leniency opens: it traces, module-wide, which seed
+// domains' constants flow into every forwarded Stage parameter, and a
+// wrapper declared outside the registry package that receives constants
+// from more than one domain is flagged at its declaration — one wrapper
+// mixing domains couples streams the registry deliberately separates.
 var Stagekey = &Analyzer{
 	Name: "stagekey",
 	Doc:  "stream stages must be frozen registry constants",
@@ -37,12 +42,20 @@ var Stagekey = &Analyzer{
 
 func runStagekey(pass *Pass) {
 	stagePkg := stageHomePackage(pass)
+	mixed := pass.stageMixFindings()
 	for _, f := range pass.Files {
 		checkStageDecls(pass, f, stagePkg)
 		ast.Inspect(f, func(n ast.Node) bool {
 			fd, ok := n.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				return true
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				for _, m := range mixed[fn] {
+					pass.Reportf(fd.Name.Pos(),
+						"stage parameter %s receives registry constants from multiple seed domains: %s; a forwarding wrapper belongs to exactly one domain — split it or move it into the registry package",
+						m.param, m.detail)
+				}
 			}
 			params := stageParams(pass, fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {

@@ -1,0 +1,11 @@
+// Package a declares the contracted scaler of the intrange
+// cross-package fixture: the //range contract is parsed module-wide, so
+// callers in package b are checked against it.
+package a
+
+// Scale maps a quantized byte value onto the packet index space.
+//
+//range:v 0,255
+func Scale(v int) int {
+	return v * 257
+}

@@ -1,0 +1,32 @@
+// Package a is the ownership-granting side of the poolown cross-package
+// fixture: its returns-owned and consuming summaries must reach callers
+// in package b through the module-wide summary set.
+package a
+
+// Frame mimics frame.Frame; the analyzer matches the type by name.
+type Frame struct {
+	W, H int
+	Pix  []float32
+}
+
+// Pool mimics frame.Pool: Get grants ownership, Put releases it.
+type Pool struct{ free []*Frame }
+
+func (p *Pool) Get(w, h int) *Frame {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
+	}
+	return &Frame{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+func (p *Pool) Put(f *Frame) { p.free = append(p.free, f) }
+
+// Fresh returns a pool-owned frame: callers in any package inherit the
+// obligation to release it.
+func Fresh(p *Pool) *Frame { return p.Get(4, 4) }
+
+// Drain consumes its frame argument: handing one to it transfers
+// ownership across the package boundary.
+func Drain(p *Pool, f *Frame) { p.Put(f) }

@@ -1,0 +1,43 @@
+// Package b acquires and releases frames exclusively through package a's
+// helpers: every finding (and every proof of cleanliness) below depends
+// on the cross-package ownership summaries.
+package b
+
+import "poolown_xpkg/a"
+
+var errFailed error
+
+// LeakAcross acquires through a.Fresh and exits early with the frame
+// still held: only the cross-package returns-owned summary sees the
+// acquisition at all.
+func LeakAcross(p *a.Pool, fail bool) error {
+	f := a.Fresh(p) // want "not released on the path exiting at line"
+	if fail {
+		return errFailed
+	}
+	a.Drain(p, f)
+	return nil
+}
+
+// CleanAcross releases through the cross-package consuming summary.
+func CleanAcross(p *a.Pool) {
+	f := a.Fresh(p)
+	a.Drain(p, f)
+}
+
+// CleanDirect mixes a summarized acquire with a direct Put release.
+func CleanDirect(p *a.Pool) {
+	f := a.Fresh(p)
+	p.Put(f)
+}
+
+// IgnoredAcross documents a sanctioned cross-package leak.
+func IgnoredAcross(p *a.Pool, fail bool) error {
+	//lint:ignore poolown fixture: frame handed to the harness on the error path
+	f := a.Fresh(p)
+	if fail {
+		return errFailed
+	}
+	a.Drain(p, f)
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package a is the spawning side of the splitbudget cross-package
+// fixture: a local runner stands in for internal/parallel, and each
+// exported helper spawns a region from a different budget carrier so
+// package b can exercise every transitive summary shape.
+package a
+
+// For mimics parallel.For: the region spawner the analyzer matches.
+func For(workers, n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Split mimics parallel.Split: the blessed budget divider.
+func Split(outer, workers int) int {
+	if outer <= 0 {
+		return workers
+	}
+	w := workers / outer
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Decoder carries its budget as receiver state.
+type Decoder struct{ Workers int }
+
+// New builds a decoder; a Split-derived argument blesses the result.
+func New(workers int) *Decoder { return &Decoder{Workers: workers} }
+
+// Decode spawns from receiver state: the summary is byState on the
+// receiver, translated at cross-package call sites.
+func (d *Decoder) Decode(rows int) {
+	For(d.Workers, rows, func(r int) { _ = r })
+}
+
+// RunKeyed spawns from its first parameter: byParam[0] in the summary.
+func RunKeyed(workers, rows int) {
+	For(workers, rows, func(r int) { _ = r })
+}
+
+// Cfg carries a budget in a Workers field.
+type Cfg struct{ Workers int }
+
+// FromCfg spawns from the budget its first argument carries: byState[0].
+func FromCfg(c Cfg, rows int) {
+	For(c.Workers, rows, func(r int) { _ = r })
+}

@@ -1,0 +1,54 @@
+// Package b nests package a's spawning helpers inside parallel
+// callbacks: every oversubscription below is visible only through the
+// module-wide spawn summaries.
+package b
+
+import "splitbudget_xpkg/a"
+
+// Oversubscribed reproduces the decode-fleet bug across the package
+// boundary: every nested helper runs on the full worker count.
+func Oversubscribed(workers, n int) {
+	a.For(workers, n, func(i int) {
+		d := a.New(workers)
+		d.Decode(64)            // want "spawns a parallel region from ambient state it carries"
+		a.RunKeyed(workers, 64) // want "runs a parallel region keyed by this argument"
+		c := a.Cfg{Workers: workers}
+		a.FromCfg(c, 8) // want "spawns a parallel region from ambient state it carries"
+	})
+}
+
+// NestedDirect spawns the runner itself inside the callback on the full
+// count.
+func NestedDirect(workers, n int) {
+	a.For(workers, n, func(i int) {
+		a.For(workers, 4, func(j int) { _ = j }) // want "nested parallel region inside a parallel callback"
+	})
+}
+
+// Threaded is the sanctioned shape: one Split up front, the derived
+// budget threaded through every carrier.
+func Threaded(workers, n int) {
+	inner := a.Split(workers, workers)
+	a.For(workers, n, func(i int) {
+		d := a.New(inner)
+		d.Decode(64)
+		a.RunKeyed(inner, 64)
+		c := a.Cfg{Workers: inner}
+		a.FromCfg(c, 8)
+	})
+}
+
+// Serialized pins the nested helper to a literal 1: explicitly serial.
+func Serialized(workers, n int) {
+	a.For(workers, n, func(i int) {
+		a.RunKeyed(1, 64)
+	})
+}
+
+// IgnoredNested documents a sanctioned oversubscription.
+func IgnoredNested(workers, n int) {
+	a.For(workers, n, func(i int) {
+		//lint:ignore splitbudget fixture: measured oversubscription experiment
+		a.RunKeyed(workers, 64)
+	})
+}

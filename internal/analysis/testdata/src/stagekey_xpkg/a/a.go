@@ -1,0 +1,24 @@
+// Package a is the registry side of the stagekey cross-package fixture:
+// it declares the Stage type (making it a home package) and two seed
+// domains, one const block each.
+package a
+
+// Stage mimics detrng.Stage; this package is its registry.
+type Stage uint64
+
+// Impairment domain.
+const (
+	ImpairJitter Stage = 1
+	ImpairDrop   Stage = 2
+)
+
+// Fleet domain. IDs may repeat across blocks: separate seed domains.
+const (
+	FleetOffset Stage = 1
+	FleetLight  Stage = 2
+)
+
+// Mix mimics detrng.Mix: the derivation everything keys off.
+func Mix(seed int64, stage Stage, index int) int64 {
+	return seed ^ int64(stage)*0x5851F42D + int64(index)
+}

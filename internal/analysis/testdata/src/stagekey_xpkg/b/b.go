@@ -1,0 +1,40 @@
+// Package b holds forwarding wrappers outside the registry's home
+// package: the summary engine tracks which seed domains reach each
+// Stage parameter through cross-package calls, and a wrapper fed from
+// two domains belongs to neither.
+package b
+
+import "stagekey_xpkg/a"
+
+// derive forwards its Stage parameter into the registry mixer; callers
+// feed it constants from both domains.
+func derive(seed int64, stage a.Stage, i int) int64 { // want "receives registry constants from multiple seed domains"
+	return a.Mix(seed, stage, i)
+}
+
+// impairDerive is fed from a single domain: a clean wrapper.
+func impairDerive(seed int64, stage a.Stage, i int) int64 {
+	return a.Mix(seed, stage, i)
+}
+
+// Streams drives both wrappers.
+func Streams(seed int64, i int) int64 {
+	var s int64
+	s += derive(seed, a.ImpairJitter, i)
+	s += derive(seed, a.FleetOffset, i)
+	s += impairDerive(seed, a.ImpairJitter, i)
+	s += impairDerive(seed, a.ImpairDrop, i)
+	return s
+}
+
+// ignoredDerive is deliberately shared by both domains.
+//
+//lint:ignore stagekey fixture: shared legacy wrapper pinned by an output comparison
+func ignoredDerive(seed int64, stage a.Stage, i int) int64 {
+	return a.Mix(seed, stage, i)
+}
+
+// MoreStreams drives the sanctioned shared wrapper from both domains.
+func MoreStreams(seed int64, i int) int64 {
+	return ignoredDerive(seed, a.ImpairJitter, i) + ignoredDerive(seed, a.FleetLight, i)
+}

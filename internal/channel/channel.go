@@ -211,6 +211,9 @@ func simulatePipelined(m *core.Multiplexer, nDisplayFrames int, cfg Config, link
 	for k := 0; k < nDisplayFrames; k++ {
 		f := m.Frame(k)
 		if err := link.Display.Push(f); err != nil {
+			// The display rejected the frame, so nothing holds the buffer:
+			// hand it back before unwinding.
+			m.Recycle(f)
 			pool.Wait()
 			return nil, fmt.Errorf("channel: frame %d: %w", k, err)
 		}
@@ -279,6 +282,8 @@ func simulateImpaired(m *core.Multiplexer, nDisplayFrames int, cfg Config, link 
 	for k := 0; k < nDisplayFrames; k++ {
 		f := m.Frame(k)
 		if err := link.Display.Push(f); err != nil {
+			// The display rejected the frame; recycle before unwinding.
+			m.Recycle(f)
 			pool.Wait()
 			return nil, fmt.Errorf("channel: frame %d: %w", k, err)
 		}

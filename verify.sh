@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate (see README.md § Testing). Every change must pass
 # this before it lands: static checks (gofmt, go vet, and the repo's own
-# inframe-lint invariant suite), a full build, the complete test suite
+# inframe-lint invariant suite with per-analyzer timings), a full build,
+# the complete test suite
 # under the race detector (the worker pools in internal/parallel make data
-# races a correctness class, not a theoretical one), the steady-state
+# races a correctness class, not a theoretical one), a coverage floor on
+# internal/analysis (the lint gate's own engine), the steady-state
 # allocation tests without instrumentation (so AllocsPerRun sees the real
 # counts the benchmark baselines record), the fault-injection robustness
 # matrix under -race plus a short fuzz smoke of the decode entry points,
@@ -60,10 +62,38 @@ check_gofmt() {
 	fi
 }
 
+run_lint() {
+	# -timings prints the per-analyzer wall-clock attribution (including
+	# the shared module-summary fixpoint as its own row) to stderr, so a
+	# slow analyzer is visible in the gate log, not just the stage total.
+	go run ./cmd/inframe-lint -timings ./...
+}
+
 run_tests() {
 	# The experiment suites run the full pipeline repeatedly; under the race
 	# detector they need more than the default 10m per-package budget.
 	go test -race -timeout 60m $short ./...
+}
+
+run_analysis_cover() {
+	# The analysis package is the lint gate's own engine: hold its test
+	# coverage above a floor so analyzers cannot land without fixtures.
+	# The floor respects -short, where the module-wide self-lint test
+	# (the single biggest coverage contributor) is skipped.
+	local floor=88
+	if [[ -n "$short" ]]; then
+		floor=78
+	fi
+	local out pct
+	out=$(go test $short -cover ./internal/analysis/)
+	echo "$out"
+	pct=$(sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' <<<"$out")
+	if [[ -z "$pct" ]]; then
+		echo "no coverage figure in go test output" >&2
+		return 1
+	fi
+	echo "internal/analysis coverage ${pct}% (floor ${floor}%)"
+	awk -v p="$pct" -v f="$floor" 'BEGIN { exit (p + 0 >= f) ? 0 : 1 }'
 }
 
 run_alloc_tests() {
@@ -105,8 +135,9 @@ run_benchdiff() {
 stage "gofmt" check_gofmt
 stage "go vet ./..." go vet ./...
 stage "go build ./..." go build ./...
-stage "inframe-lint ./..." go run ./cmd/inframe-lint ./...
+stage "inframe-lint ./..." run_lint
 stage "go test -race $short ./..." run_tests
+stage "internal/analysis coverage floor" run_analysis_cover
 stage "steady-state alloc tests" run_alloc_tests
 if [[ -n "$short" ]]; then
 	skip "robustness matrix + fuzz smoke"
