@@ -116,8 +116,11 @@ func TestMultiplexerRenderAllocs(t *testing.T) {
 	if allocs > 8 {
 		t.Errorf("steady-state render performs %.0f allocs per frame, want <= 8", allocs)
 	}
-	if misses := pool.Stats().Misses; misses > 2 {
-		t.Errorf("render loop missed the pool %d times, want the warm vbuf+out pair only", misses)
+	// Three persistent buffers may miss a cold pool: the video buffer, the
+	// cached delta plane, and the one in-flight output frame (which the
+	// Recycle cycle then reuses forever).
+	if misses := pool.Stats().Misses; misses > 3 {
+		t.Errorf("render loop missed the pool %d times, want only the warm vbuf+delta+out trio", misses)
 	}
 	// Byte bound: the residual allocations must be scalar-sized, not a
 	// hidden frame buffer (~2 MB at this scale).

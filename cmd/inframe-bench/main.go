@@ -276,6 +276,7 @@ func speedupReport(w *os.File, scale int, seconds float64) error {
 		return err
 	}
 	nDisplay := int(seconds * 120)
+	var renderStats core.RenderStats
 	runOnce := func(workers int) (*channel.Result, []*core.FrameDecode, time.Duration, error) {
 		p := core.DefaultParams(l)
 		p.Workers = workers
@@ -300,6 +301,9 @@ func speedupReport(w *os.File, scale int, seconds float64) error {
 			return nil, nil, 0, err
 		}
 		dec := rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/p.Tau)
+		// RenderStats is deterministic at any worker count, so keeping the
+		// last run's snapshot reports both runs at once.
+		renderStats = m.RenderStats()
 		return res, dec, time.Since(start), nil
 	}
 
@@ -317,6 +321,10 @@ func speedupReport(w *os.File, scale int, seconds float64) error {
 	}
 	fmt.Fprintf(w, "workers=%d:  %8.2fs\n", maxW, parDur.Seconds())
 	fmt.Fprintf(w, "speedup: %.2fx\n", seqDur.Seconds()/parDur.Seconds())
+	fmt.Fprintf(w, "render: blocks=%d skipped=%d (skip-rate %.3f) headroom-skipped=%d/%d video-skipped=%d/%d\n",
+		renderStats.Blocks, renderStats.BlocksSkipped, renderStats.SkipRate(),
+		renderStats.HeadroomSkipped, renderStats.HeadroomBlocks+renderStats.HeadroomSkipped,
+		renderStats.VideoSkipped, renderStats.VideoRefreshes+renderStats.VideoSkipped)
 
 	if len(seqRes.Captures) != len(parRes.Captures) || len(seqDec) != len(parDec) {
 		return fmt.Errorf("sequential and parallel runs diverged in shape")

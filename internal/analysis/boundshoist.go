@@ -17,8 +17,11 @@ import (
 //
 // A report fires for an index expression inside a hot innermost loop when:
 //
-//   - the index contains a multiply subexpression that is loop-invariant
-//     (the row term, e.g. y*f.W with x as the loop variable);
+//   - the index contains a multiply, divide or modulo subexpression that is
+//     loop-invariant (the row term, e.g. y*f.W with x as the loop variable,
+//     or the chessboard phase y/ps); integer division costs 20–40 cycles
+//     where the multiply costs 3, so an invariant / or % in an index is the
+//     more expensive miss;
 //   - the full index is NOT loop-invariant (so the expression really is
 //     evaluated every iteration with only part of it changing);
 //   - the indexed base is loop-invariant (hoisting a row view is sound).
@@ -70,35 +73,47 @@ func checkIndexExpr(pass *Pass, fn *funcLoops, loop *loopNode, ix *ast.IndexExpr
 	if !loopInvariant(pass.Info, ix.X, loop) {
 		return // base changes too: a hoisted row view would be stale
 	}
-	mul := invariantMul(pass.Info, ix.Index, loop)
-	if mul == nil {
+	sub := invariantArith(pass.Info, ix.Index, loop)
+	if sub == nil {
 		return
 	}
-	key := types.ExprString(mul)
+	key := types.ExprString(sub)
 	if seen[key] {
 		return
 	}
 	seen[key] = true
-	pass.Reportf(ix.Pos(), "index recomputes loop-invariant offset %s every iteration of a hot innermost loop in %s; hoist a row slice or row base before the loop", key, fn.name)
+	switch sub.Op {
+	case token.QUO, token.REM:
+		pass.Reportf(ix.Pos(), "index recomputes loop-invariant division %s every iteration of a hot innermost loop in %s (integer divide is 20-40 cycles); hoist it before the loop", key, fn.name)
+	default:
+		pass.Reportf(ix.Pos(), "index recomputes loop-invariant offset %s every iteration of a hot innermost loop in %s; hoist a row slice or row base before the loop", key, fn.name)
+	}
 }
 
-// invariantMul finds a multiply subexpression of e that is invariant with
-// respect to loop (the hoistable row term), or nil.
-func invariantMul(info *types.Info, e ast.Expr, loop *loopNode) *ast.BinaryExpr {
+// invariantArith finds a multiply, divide or modulo subexpression of e that
+// is invariant with respect to loop (the hoistable row term or phase
+// divide), or nil. Divides win over multiplies when both appear: they are
+// the costlier recomputation, so the diagnostic names them.
+func invariantArith(info *types.Info, e ast.Expr, loop *loopNode) *ast.BinaryExpr {
 	var found *ast.BinaryExpr
 	ast.Inspect(e, func(n ast.Node) bool {
-		if found != nil {
-			return false
-		}
 		be, ok := n.(*ast.BinaryExpr)
-		if !ok || be.Op != token.MUL {
+		if !ok {
 			return true
 		}
-		if loopInvariant(info, be, loop) {
-			found = be
-			return false
+		switch be.Op {
+		case token.MUL, token.QUO, token.REM:
+		default:
+			return true
 		}
-		return true
+		if !loopInvariant(info, be, loop) {
+			return true
+		}
+		if found == nil || (found.Op == token.MUL && be.Op != token.MUL) {
+			found = be
+		}
+		// Keep walking: a nested divide inside this subtree should win.
+		return be.Op == token.MUL
 	})
 	return found
 }

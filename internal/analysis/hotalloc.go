@@ -22,14 +22,39 @@ import (
 //     literals are register-allocated and stay allowed;
 //   - string concatenation (each + builds a fresh string);
 //   - fmt calls (they allocate and box every operand);
-//   - explicit conversions of concrete values to interface types (boxing).
+//   - explicit conversions of concrete values to interface types (boxing);
+//   - software transcendental math calls (math.Pow, math.Round, math.Sin,
+//     …): not allocations, but the same per-iteration cost class — a
+//     50–200-cycle library call on every pixel. The fixed-point era made
+//     this the repo's dominant regression vector (camera gamma encode was
+//     31% of EndToEnd before the internal/fixed LUT cutover), so the
+//     analyzer flags them alongside heap traffic. Intrinsified functions
+//     (Sqrt, Abs, Floor, Ceil, Trunc, Min, Max) compile to single
+//     instructions and stay allowed.
 //
 // The sanctioned pattern is the repo's scratch-buffer idiom: allocate once
-// per function or per worker chunk (camera.Capture's rowBuf) and reuse.
+// per function or per worker chunk (camera.Capture's rowBuf) and reuse;
+// for curves, tabulate once (internal/fixed's Gamma) and interpolate.
 var HotAllocAnalyzer = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "forbid allocations (make/new/escaping literals/string concat/fmt/boxing) in innermost loops of hot functions",
+	Doc:  "forbid allocations (make/new/escaping literals/string concat/fmt/boxing) and software transcendental math calls in innermost loops of hot functions",
 	Run:  runHotAlloc,
+}
+
+// transcendentalMath lists the math functions that are genuine software
+// call-outs (no compiler intrinsic): each costs tens to hundreds of cycles
+// per call. Sqrt/Abs/Floor/Ceil/Trunc/Inf/NaN/Signbit/Min/Max are
+// intrinsified or trivial and deliberately absent.
+var transcendentalMath = map[string]bool{
+	"Pow": true, "Exp": true, "Exp2": true, "Expm1": true,
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Sin": true, "Cos": true, "Tan": true, "Sincos": true,
+	"Asin": true, "Acos": true, "Atan": true, "Atan2": true,
+	"Sinh": true, "Cosh": true, "Tanh": true,
+	"Asinh": true, "Acosh": true, "Atanh": true,
+	"Round": true, "RoundToEven": true, "Mod": true, "Remainder": true,
+	"Hypot": true, "Cbrt": true, "Gamma": true, "Lgamma": true,
+	"Erf": true, "Erfc": true, "Erfinv": true, "Erfcinv": true,
 }
 
 func runHotAlloc(pass *Pass) {
@@ -125,8 +150,17 @@ func checkHotAllocCall(pass *Pass, fn *funcLoops, call *ast.CallExpr) {
 			return
 		}
 	}
-	if obj := funcObj(pass.Info, call.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+	obj := funcObj(pass.Info, call.Fun)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "fmt":
 		pass.Reportf(call.Pos(), "fmt.%s allocates and boxes in a hot innermost loop in %s; move formatting out of the per-element path", obj.Name(), fn.name)
+	case "math":
+		if transcendentalMath[obj.Name()] {
+			pass.Reportf(call.Pos(), "math.%s is a software transcendental call on every iteration of a hot innermost loop in %s; hoist it, tabulate it (see internal/fixed), or move to integer arithmetic", obj.Name(), fn.name)
+		}
 	}
 }
 

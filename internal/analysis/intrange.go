@@ -220,10 +220,96 @@ type irScan struct {
 	contracts map[*types.Func]rangeContract
 	findings  map[string]contractDiag
 	bailed    bool
+	// loopSpans are the source ranges of the unit's loop bodies, and
+	// divCands the shift-vs-divide candidates found inside them: a signed
+	// division by a power-of-two constant whose operand stayed provably
+	// non-negative on every abstract path (nonneg is ANDed across
+	// evaluations, so one path with a possibly-negative operand withdraws
+	// the candidate — the signed fixup would then be load-bearing).
+	loopSpans []posSpan
+	divCands  map[token.Pos]*divCand
+}
+
+type posSpan struct{ lo, hi token.Pos }
+
+type divCand struct {
+	msg    string
+	nonneg bool
+}
+
+// collectLoopSpans records the body extents of every for/range statement in
+// the unit, skipping function literals (separate scan units).
+func collectLoopSpans(body *ast.BlockStmt) []posSpan {
+	var spans []posSpan
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			spans = append(spans, posSpan{s.Body.Pos(), s.Body.End()})
+		case *ast.RangeStmt:
+			spans = append(spans, posSpan{s.Body.Pos(), s.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func (u *irScan) inLoop(pos token.Pos) bool {
+	for _, s := range u.loopSpans {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// noteShiftDivide records (or withdraws) a shift-vs-divide candidate for a
+// QUO expression: signed integer type, constant power-of-two divisor ≥ 2,
+// inside a loop. The Go compiler cannot shift a signed division unless it
+// proves the operand non-negative, which it rarely can across slice loads;
+// when this interval engine can, the branchless-but-longer fixup sequence
+// is avoidable with >> or an unsigned operand.
+func (u *irScan) noteShiftDivide(x *ast.BinaryExpr, a interval, st *irState) {
+	t := u.exprType(x)
+	if t == nil || !isIntegerType(t) {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsUnsigned != 0 {
+		return // unsigned already compiles to a plain shift
+	}
+	tv, ok := u.pass.Info.Types[x.Y]
+	if !ok || tv.Value == nil {
+		return
+	}
+	c, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok || c < 2 || c&(c-1) != 0 {
+		return
+	}
+	if !u.inLoop(x.Pos()) {
+		return
+	}
+	cand := u.divCands[x.Pos()]
+	if cand == nil {
+		shift := 0
+		for v := c; v > 1; v >>= 1 {
+			shift++
+		}
+		cand = &divCand{nonneg: true, msg: fmt.Sprintf(
+			"signed division by %d in a loop with a provably non-negative operand; shift right by %d (or use an unsigned type) to skip the negative-rounding fixup",
+			c, shift)}
+		u.divCands[x.Pos()] = cand
+	}
+	if !(a.lo >= 0) {
+		cand.nonneg = false
+	}
 }
 
 func scanIntrangeUnit(pass *Pass, contracts map[*types.Func]rangeContract, body *ast.BlockStmt, entry map[*types.Var]interval) {
-	u := &irScan{pass: pass, contracts: contracts, findings: make(map[string]contractDiag)}
+	u := &irScan{
+		pass: pass, contracts: contracts, findings: make(map[string]contractDiag),
+		loopSpans: collectLoopSpans(body), divCands: make(map[token.Pos]*divCand),
+	}
 	init := &irState{vars: entry}
 	execPaths(body, init, pathHooks{
 		copy: func(st pathState) pathState {
@@ -260,6 +346,11 @@ func scanIntrangeUnit(pass *Pass, contracts map[*types.Func]rangeContract, body 
 	})
 	if u.bailed {
 		return
+	}
+	for pos, cand := range u.divCands {
+		if cand.nonneg {
+			u.findings[fmt.Sprintf("%d|%s", pos, cand.msg)] = contractDiag{pos: pos, msg: cand.msg}
+		}
 	}
 	keys := make([]string, 0, len(u.findings))
 	for k := range u.findings {
@@ -717,6 +808,7 @@ func (u *irScan) eval(e ast.Expr, st *irState) interval {
 		case token.MUL:
 			return a.mul(b)
 		case token.QUO:
+			u.noteShiftDivide(x, a, st)
 			return a.div(b)
 		case token.REM:
 			return a.rem(b)

@@ -33,7 +33,7 @@ import (
 // hotPackages are the path elements under internal/ whose packages are hot
 // by construction: every displayed frame is muxed and every capture demuxed
 // through their loops at 30–120 Hz.
-var hotPackages = []string{"core", "camera", "frame", "waveform", "hvs", "parallel"}
+var hotPackages = []string{"core", "camera", "frame", "waveform", "hvs", "parallel", "fixed"}
 
 // isHotPackagePath reports whether the import path names a built-in hot
 // package.

@@ -75,3 +75,36 @@ func notHot(pix []float32, w, h int) float32 {
 }
 
 var _ = notHot
+
+// Divides exercises the QUO/REM extension: an invariant integer division
+// or modulo inside an index is costlier than the multiply it usually
+// feeds, so it is named over the offset in the diagnostic.
+//
+//hot:fixture function, opted in via directive
+func Divides(pix []float32, w, h, ps int) float32 {
+	var s float32
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s += pix[(y/ps)*w+x] // want "loop-invariant division y / ps"
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s += pix[y%h*w+x] // want "loop-invariant division y % h"
+		}
+	}
+	for y := 0; y < h; y++ {
+		pj := y / ps // hoisted phase divide: the idiomatic fix
+		row := pix[pj*w : (pj+1)*w]
+		for x := 0; x < w; x++ {
+			s += row[x]
+		}
+	}
+	for y := 0; y < h; y++ {
+		base := y * w
+		for x := 0; x < w; x++ {
+			s += pix[base+x/ps] // divide varies with the inner loop: nothing to hoist
+		}
+	}
+	return s
+}

@@ -4,7 +4,10 @@
 // exactly the opt-in convention the analyzer documents.
 package hotalloc
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 type point struct{ x, y int }
 
@@ -79,4 +82,32 @@ func NotHotScratch(n int) []int {
 		out = append(out, tmp[0])
 	}
 	return out
+}
+
+// Transcendentals exercises the fixed-point-era rule: software math calls
+// in a hot innermost loop cost the same class of per-iteration budget as an
+// allocation; intrinsified functions stay allowed.
+//
+//hot:fixture function, opted in via directive
+func Transcendentals(n int, vals []float64) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Pow(vals[i%len(vals)], 2.2) // want "math.Pow is a software transcendental call"
+		s += math.Round(s)                    // want "math.Round is a software transcendental call"
+		s += math.Sin(s)                      // want "math.Sin is a software transcendental call"
+		s += math.Sqrt(s)                     // intrinsic: single instruction, allowed
+		s += math.Abs(s)                      // intrinsic: allowed
+		s += math.Floor(s)                    // intrinsic rounding mode: allowed
+	}
+	gain := math.Pow(10, 0.1) // hoisted out of the loop: the sanctioned fix
+	for i := 0; i < n; i++ {
+		s += gain * float64(i)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += float64(i * j)
+		}
+		s += math.Exp(s) // outer loop of a nest is not innermost
+	}
+	return s
 }

@@ -120,3 +120,27 @@ func checksum(p []uint8) uint8 {
 	}
 	return s
 }
+
+// shiftDivide exercises the shift-vs-divide rule: a signed division by a
+// power-of-two constant inside a loop whose operand the interval engine
+// proves non-negative compiles to a shift-plus-fixup the code could spell
+// as a plain shift.
+//
+//hot:shift-vs-divide fixture
+func shiftDivide(n int, hist []int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i / 4 // want "signed division by 4 in a loop with a provably non-negative operand"
+	}
+	for i := -n; i < n; i++ {
+		s += i / 4 // operand may be negative: the rounding fixup is load-bearing
+	}
+	for i := 0; i < n; i++ {
+		s += i / 3 // not a power of two: the compiler's magic-multiply is fine
+	}
+	for i := uint(0); i < 64; i++ {
+		s += int(i / 8) // unsigned operand already compiles to a shift
+	}
+	half := n / 2 // outside any loop: a one-off divide is not worth a diagnostic
+	return s + half
+}

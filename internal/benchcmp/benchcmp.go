@@ -20,14 +20,23 @@ const Schema = "inframe-bench-baseline/v2"
 
 // Baseline is one measured seed point: the environment it was taken in and
 // the ns/op and allocs/op of each pipeline stage benchmark.
+//
+// CalibNsPerOp is the ns/op of the fixed calibration kernel (Calibrate)
+// measured alongside the benchmarks. Shared containers drift between speed
+// states minutes apart (CPU steal, frequency scaling), so two runs of
+// identical code can differ by ±20% in raw ns; the calibration reference
+// captures the machine's speed at measurement time, letting Compare gate on
+// speed-normalized ratios instead. Optional: baselines written before the
+// field existed compare raw, as before.
 type Baseline struct {
-	Schema     string  `json:"schema"`
-	GoVersion  string  `json:"go_version"`
-	GoOS       string  `json:"goos"`
-	GoArch     string  `json:"goarch"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Scale      int     `json:"scale"`
-	Benchmarks []Entry `json:"benchmarks"`
+	Schema       string  `json:"schema"`
+	GoVersion    string  `json:"go_version"`
+	GoOS         string  `json:"goos"`
+	GoArch       string  `json:"goarch"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Scale        int     `json:"scale"`
+	CalibNsPerOp int64   `json:"calib_ns_per_op,omitempty"`
+	Benchmarks   []Entry `json:"benchmarks"`
 }
 
 // Entry is one benchmark result.

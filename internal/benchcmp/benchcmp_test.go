@@ -195,3 +195,80 @@ func TestLoadRejectsBadSchema(t *testing.T) {
 		t.Error("Load of a missing file did not fail")
 	}
 }
+
+// TestCompareCalibration pins the speed-normalized gate: when both baselines
+// carry a calibration reference, a slowdown fails only if it survives both
+// the raw and the speed-normalized reading — a container that drifted into
+// a slower speed state does not read as a code regression, and the gate is
+// never stricter than the raw comparison.
+func TestCompareCalibration(t *testing.T) {
+	entry := func(ns int64) Entry { return Entry{Name: "Fleet/workers=1", Iterations: 3, NsPerOp: ns} }
+	cases := []struct {
+		name       string
+		baseCalib  int64
+		curCalib   int64
+		curNs      int64
+		status     Status
+		speedRatio float64
+	}{
+		// Machine 30% slower, benchmark 30% slower: normalized flat.
+		{"slow machine excused", 100, 130, 1300, StatusOK, 1.3},
+		// Machine 30% slower but benchmark 80% slower: still a regression.
+		{"real regression on slow machine", 100, 130, 1800, StatusRegression, 1.3},
+		// Machine faster and raw ns flat: OK even though the normalized
+		// reading alone would cross the threshold — the gate takes the more
+		// favorable interpretation, never the stricter one.
+		{"fast machine does not manufacture regression", 130, 100, 920, StatusOK, 100.0 / 130},
+		// Calibration missing on either side: raw comparison, ratio unset.
+		{"no baseline calib", 0, 130, 1100, StatusOK, 0},
+		{"no current calib", 100, 0, 1100, StatusOK, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base := mkBaseline(entry(1000))
+			base.CalibNsPerOp = c.baseCalib
+			cur := mkBaseline(entry(c.curNs))
+			cur.CalibNsPerOp = c.curCalib
+			r := Compare(base, cur, 0.15)
+			if len(r.Rows) != 1 {
+				t.Fatalf("got %d rows, want 1", len(r.Rows))
+			}
+			if r.Rows[0].Status != c.status {
+				t.Errorf("status %s, want %s (delta %.3f)", r.Rows[0].Status, c.status, r.Rows[0].Delta)
+			}
+			if diff := r.SpeedRatio - c.speedRatio; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("SpeedRatio = %v, want %v", r.SpeedRatio, c.speedRatio)
+			}
+			// Raw ns always land in the columns untouched.
+			if r.Rows[0].CurNs != c.curNs {
+				t.Errorf("CurNs = %d, want raw %d", r.Rows[0].CurNs, c.curNs)
+			}
+		})
+	}
+}
+
+// TestCalibrationRoundTrip: the optional calib field survives the JSON
+// round-trip and old files without it load as calib-less baselines.
+func TestCalibrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	b := mkBaseline(Entry{Name: "EndToEnd/workers=1", Iterations: 1, NsPerOp: 10})
+	b.CalibNsPerOp = 12345
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CalibNsPerOp != 12345 {
+		t.Fatalf("CalibNsPerOp = %d, want 12345", got.CalibNsPerOp)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "calib_ns_per_op") {
+		t.Fatal("calib field missing from JSON")
+	}
+}

@@ -41,11 +41,15 @@ type Row struct {
 	Status     Status  `json:"status"`
 }
 
-// Report is the full verdict of a baseline comparison.
+// Report is the full verdict of a baseline comparison. SpeedRatio is the
+// machine-speed factor current/baseline measured by the calibration kernel
+// (>1 means the current run saw a slower machine); 0 when either side lacks
+// calibration, in which case deltas are raw.
 type Report struct {
-	Tolerance float64  `json:"tolerance"`
-	Rows      []Row    `json:"rows"`
-	Warnings  []string `json:"warnings,omitempty"`
+	Tolerance  float64  `json:"tolerance"`
+	SpeedRatio float64  `json:"speed_ratio,omitempty"`
+	Rows       []Row    `json:"rows"`
+	Warnings   []string `json:"warnings,omitempty"`
 }
 
 // Compare evaluates cur against base with the given fractional tolerance:
@@ -54,11 +58,24 @@ type Report struct {
 // absolute slack keeps one-allocation jitter on near-zero baselines from
 // tripping the gate while still catching a pooled loop that starts
 // allocating frames. It counts as improved below base*(1-tol) ns/op
-// without an alloc regression. Rows follow the baseline's order,
+// without an alloc regression. When both baselines carry a calibration
+// reference, each benchmark is additionally judged after dividing its
+// current ns/op by the machine-speed ratio cur.Calib/base.Calib, and the
+// verdict uses whichever reading is more favorable: a shared container
+// drifts between speed states minutes apart, so a slowdown only fails the
+// gate when it survives both the raw and the speed-normalized
+// interpretation. This is strictly more lenient than the raw gate — never
+// stricter — so calibration can only remove machine-drift flakes, not
+// manufacture regressions. Rows follow the baseline's order,
 // then any new benchmarks in the current run's order — no map iteration, so
 // the report is deterministic.
 func Compare(base, cur *Baseline, tol float64) *Report {
 	r := &Report{Tolerance: tol}
+	speed := 0.0
+	if base.CalibNsPerOp > 0 && cur.CalibNsPerOp > 0 {
+		speed = float64(cur.CalibNsPerOp) / float64(base.CalibNsPerOp)
+		r.SpeedRatio = speed
+	}
 	if base.GoVersion != cur.GoVersion {
 		r.Warnings = append(r.Warnings, fmt.Sprintf("go version differs: baseline %s, current %s", base.GoVersion, cur.GoVersion))
 	}
@@ -81,7 +98,7 @@ func Compare(base, cur *Baseline, tol float64) *Report {
 			r.Warnings = append(r.Warnings, fmt.Sprintf("benchmark %s missing from current run", b.Name))
 			continue
 		}
-		r.Rows = append(r.Rows, compareEntry(b, c, tol))
+		r.Rows = append(r.Rows, compareEntry(b, c, tol, speed))
 	}
 	for _, c := range cur.Benchmarks {
 		if !inBase[c.Name] {
@@ -91,8 +108,11 @@ func Compare(base, cur *Baseline, tol float64) *Report {
 	return r
 }
 
-// compareEntry scores one benchmark present in both baselines.
-func compareEntry(b, c Entry, tol float64) Row {
+// compareEntry scores one benchmark present in both baselines. speed > 0 is
+// the calibration ratio; Delta and the verdict then use the more favorable
+// of the raw and speed-normalized readings, while the raw ns land in the
+// row's columns untouched.
+func compareEntry(b, c Entry, tol, speed float64) Row {
 	row := Row{
 		Name:   b.Name,
 		BaseNs: b.NsPerOp, CurNs: c.NsPerOp,
@@ -103,10 +123,15 @@ func compareEntry(b, c Entry, tol float64) Row {
 		base := float64(b.NsPerOp)
 		curNs := float64(c.NsPerOp)
 		row.Delta = (curNs - base) / base
+		if speed > 0 {
+			if norm := (curNs/speed - base) / base; norm < row.Delta {
+				row.Delta = norm
+			}
+		}
 		switch {
-		case curNs > base*(1+tol):
+		case row.Delta > tol:
 			row.Status = StatusRegression
-		case curNs < base*(1-tol):
+		case row.Delta < -tol:
 			row.Status = StatusImproved
 		}
 	}
@@ -138,6 +163,9 @@ func (r *Report) Regressions() int {
 
 // WriteText renders the report as an aligned table with warnings below.
 func (r *Report) WriteText(w io.Writer) {
+	if r.SpeedRatio > 0 {
+		fmt.Fprintf(w, "calibration: current machine ran the reference kernel at %.2f× baseline ns — deltas are speed-normalized\n", r.SpeedRatio)
+	}
 	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s  %s\n",
 		"benchmark", "base ns/op", "current ns/op", "delta", "base allocs", "cur allocs", "status")
 	for _, row := range r.Rows {

@@ -65,21 +65,98 @@ func pipeline(scale, w int) (*core.Multiplexer, channel.Config, *core.Receiver, 
 	return m, cfg, rcv, 4 * p.Tau, pool, nil
 }
 
+// measureRepeats is how many times each benchmark is sampled; the fastest
+// sample is kept. Benchmark noise on a shared container is one-sided (CPU
+// steal and scheduler interference only ever slow a run down), so the
+// minimum across a few repetitions is the robust ns/op estimator — a single
+// sample of the short Fleet benchmark can swing past the benchdiff
+// tolerance on its own.
+const measureRepeats = 3
+
+// measureBest runs fn through testing.Benchmark measureRepeats times and
+// returns the fastest run. allocs/op and bytes/op come from the same run,
+// which is fine: they are deterministic up to pool warm-up (±1). Each
+// sample starts from a freshly collected heap: the stages run back to back
+// in one process, and whatever garbage the previous stage left alive skews
+// the GC pacing the next sample sees — Fleet measured after EndToEnd swings
+// ±15% from that alone, while a clean-process Fleet holds ±2%.
+func measureBest(fn func(b *testing.B)) testing.BenchmarkResult {
+	runtime.GC()
+	best := testing.Benchmark(fn)
+	for i := 1; i < measureRepeats; i++ {
+		runtime.GC()
+		if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// calibSize and calibPasses size the calibration kernel: a fixed
+// float32 stream + int32 accumulate pass shaped like the pipeline's hot
+// loops (clamped multiply-add over whole frames, integer reduction). The
+// buffer must be far larger than the last-level cache so the kernel is
+// memory-bandwidth-bound like the frame pipeline it normalizes: the
+// dominant drift on shared containers is memory-controller contention,
+// which a cache-resident kernel does not see at all (measured: an L2-sized
+// kernel's ns/op moved opposite to the pipeline's between speed states).
+const (
+	calibSize   = 1 << 22
+	calibPasses = 4
+)
+
+// calibSink keeps the calibration reduction observable so the kernel cannot
+// be optimized away.
+var calibSink int32
+
+// Calibrate times the fixed reference kernel and returns its ns/op, best of
+// measureRepeats samples. The kernel does a constant amount of work, so its
+// ns/op moves only with the machine's effective speed — the normalization
+// denominator Compare uses to cancel run-to-run machine drift.
+func Calibrate() int64 {
+	buf := make([]float32, calibSize)
+	for i := range buf {
+		buf[i] = float32(i%251) / 4
+	}
+	var acc int32
+	r := measureBest(func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			for p := 0; p < calibPasses; p++ {
+				for i, v := range buf {
+					v = v*1.0009766 + 0.5
+					if v > 255 {
+						v -= 255
+					}
+					buf[i] = v
+					acc += int32(v)
+				}
+			}
+		}
+	})
+	calibSink = acc
+	return r.NsPerOp()
+}
+
 // Measure benchmarks EndToEnd (render + channel + decode) and DecodeCaptures
 // (receive side only) at workers=1 and, when the machine has more than one
 // core, workers=GOMAXPROCS, and returns the results as a fresh baseline.
+// Every entry is the best of measureRepeats samples, so committed baselines
+// and benchdiff's fresh runs estimate the same (noise-free) quantity, and
+// the calibration kernel is timed alongside so Compare can normalize away
+// whatever speed state the machine was in.
 func Measure(scale int) (*Baseline, error) {
 	counts := []int{1}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		counts = append(counts, n)
 	}
 	base := &Baseline{
-		Schema:     Schema,
-		GoVersion:  runtime.Version(),
-		GoOS:       runtime.GOOS,
-		GoArch:     runtime.GOARCH,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Scale:      scale,
+		Schema:       Schema,
+		GoVersion:    runtime.Version(),
+		GoOS:         runtime.GOOS,
+		GoArch:       runtime.GOARCH,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Scale:        scale,
+		CalibNsPerOp: Calibrate(),
 	}
 	for _, w := range counts {
 		m, cfg, rcv, nDisplay, pool, err := pipeline(scale, w)
@@ -87,7 +164,7 @@ func Measure(scale int) (*Baseline, error) {
 			return nil, err
 		}
 		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
+		r := measureBest(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := channel.Simulate(m, nDisplay, cfg)
@@ -125,7 +202,7 @@ func Measure(scale int) (*Baseline, error) {
 		if err != nil {
 			return nil, err
 		}
-		r := testing.Benchmark(func(b *testing.B) {
+		r := measureBest(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rcv.DecodeCaptures(res.Captures, res.Times, res.Exposure, nDisplay/rcv.Config().Tau)
@@ -139,6 +216,10 @@ func Measure(scale int) (*Baseline, error) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
+	// Drop the captured sequence before the Fleet stage so tens of MB of
+	// capture frames don't distort its GC pacing.
+	res = nil
+	_ = res
 	// Fleet: render once, decode a FleetReceivers-member population — the
 	// receivers/sec scaling headline.
 	for _, w := range counts {
@@ -147,7 +228,7 @@ func Measure(scale int) (*Baseline, error) {
 			return nil, err
 		}
 		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
+		r := measureBest(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := fleet.Run(cfg); err != nil {

@@ -17,10 +17,10 @@ package camera
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"inframe/internal/display"
+	"inframe/internal/fixed"
 	"inframe/internal/frame"
 	"inframe/internal/parallel"
 )
@@ -132,6 +132,10 @@ func (c Config) Validate() error {
 type Camera struct {
 	cfg  Config
 	pool *frame.Pool
+	// gamma is the ISP's encode curve as a Q16 fixed-point lookup table,
+	// built once per camera: the per-pixel math.Pow it replaces was the
+	// single largest EndToEnd profile entry (see DESIGN.md §5j).
+	gamma *fixed.Gamma
 }
 
 // New returns a camera for the given configuration.
@@ -143,7 +147,7 @@ func New(cfg Config) (*Camera, error) {
 	if pool == nil {
 		pool = frame.NewPool()
 	}
-	return &Camera{cfg: cfg, pool: pool}, nil
+	return &Camera{cfg: cfg, pool: pool, gamma: fixed.NewGamma(cfg.Gamma)}, nil
 }
 
 // Config returns the camera configuration.
@@ -213,15 +217,12 @@ func (c *Camera) captureWith(d *display.Display, t0 float64, index, rowWorkers i
 }
 
 // encode converts linear luminance (0..255 scale) to gamma-encoded 8-bit
-// values in place.
+// values in place, through the camera's Q16 fixed-point curve table (the
+// error bound against the exact math.Pow curve is in fixed.Gamma's doc).
 func (c *Camera) encode(f *frame.Frame) {
-	invG := 1 / c.cfg.Gamma
+	g := c.gamma
 	for i, v := range f.Pix {
-		if v <= 0 {
-			f.Pix[i] = 0
-			continue
-		}
-		f.Pix[i] = float32(255 * math.Pow(float64(v)/255, invG))
+		f.Pix[i] = g.Encode8(v)
 	}
 }
 

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"inframe/internal/frame"
+	"inframe/internal/video"
+)
+
+// refRender renders display frame k the pre-refactor way — clone the video
+// frame, add the signed clipped envelope at every chessboard-on pixel, clamp
+// — with the same float expressions the fused path uses, so any divergence
+// is the fusion's fault, not the reference's.
+func refRender(p Params, v *frame.Frame, data Stream, k int) *frame.Frame {
+	l := p.Layout
+	out := v.Clone()
+	sign := float32(1)
+	if k%2 == 1 {
+		sign = -1
+	}
+	ps := l.PixelSize
+	cur := data.DataFrame(k / p.Tau)
+	next := data.DataFrame(k/p.Tau + 1)
+	for by := 0; by < l.BlocksY; by++ {
+		for bx := 0; bx < l.BlocksX; bx++ {
+			x0, y0, w, h := l.BlockRect(bx, by)
+			head := float32(255)
+			for y := y0; y < y0+h; y++ {
+				pj := y / ps
+				rowBase := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if !ChessOn(x/ps, pj) {
+						continue
+					}
+					pv := v.Pix[rowBase+x]
+					if hi := 255 - pv; hi < head {
+						head = hi
+					}
+					if pv < head {
+						head = pv
+					}
+				}
+			}
+			if head < 0 {
+				head = 0
+			}
+			a := envelopeBetween(p, cur, next, bx, by, k)
+			if hd := float64(head); a > hd {
+				a = hd
+			}
+			if a < 0 {
+				a = 0
+			}
+			want := float32(a)
+			for y := y0; y < y0+h; y++ {
+				pj := y / ps
+				rowBase := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if ChessOn(x/ps, pj) {
+						i := rowBase + x
+						out.Pix[i] = v.Pix[i] + sign*want
+					}
+				}
+			}
+		}
+	}
+	for i, pv := range out.Pix {
+		if pv < 0 {
+			out.Pix[i] = 0
+		} else if pv > 255 {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+// adversarialVideo builds a short clip of the frames the fused clamp must
+// not mishandle: all-black, all-white, values one delta away from both clamp
+// edges, and NaN-free rationals that exercise float rounding.
+func adversarialVideo(l Layout, delta float32) *video.Clip {
+	mk := func(fill func(i int) float32) *frame.Frame {
+		f := frame.New(l.FrameW, l.FrameH)
+		for i := range f.Pix {
+			f.Pix[i] = fill(i)
+		}
+		return f
+	}
+	edge := []float32{0, 255, delta, 255 - delta, delta - 0.25, 255.5 - delta}
+	rational := []float32{1.0 / 3, 254 + 2.0/3, 100.0 / 7, 200.0 / 3}
+	return video.NewClip([]*frame.Frame{
+		mk(func(int) float32 { return 0 }),
+		mk(func(int) float32 { return 255 }),
+		mk(func(i int) float32 { return edge[i%len(edge)] }),
+		mk(func(i int) float32 { return rational[i%len(rational)] }),
+	})
+}
+
+// TestFusedRenderMatchesReference: the incremental pair-aware renderer must
+// be bit-identical to the direct clone+add+clamp formulation over the
+// adversarial clip at every worker count, including across video-frame
+// switches that invalidate the caches.
+func TestFusedRenderMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := smallParams()
+		p.Workers = workers
+		p.VideoFrameRatio = 2
+		src := adversarialVideo(p.Layout, float32(p.Delta))
+		data := NewRandomStream(p.Layout, 7)
+		m := newMux(t, p, src, data)
+		for k := 0; k < 3*p.Tau; k++ {
+			got := m.Frame(k)
+			want := refRender(p, src.Frame(k/p.VideoFrameRatio), data, k)
+			for i := range want.Pix {
+				if math.Float32bits(got.Pix[i]) != math.Float32bits(want.Pix[i]) {
+					t.Fatalf("workers=%d frame %d pixel %d: fused %v, reference %v",
+						workers, k, i, got.Pix[i], want.Pix[i])
+				}
+			}
+			m.Recycle(got)
+		}
+	}
+}
+
+// TestIncrementalRenderMatchesFresh: rendering a ticker sequence through one
+// long-lived multiplexer (dirty-region skips, delta cache hits) must equal
+// rendering each frame through a fresh multiplexer that refreshes everything
+// — and the long-lived one must actually have skipped work.
+func TestIncrementalRenderMatchesFresh(t *testing.T) {
+	p := smallParams()
+	p.Workers = 2
+	l := p.Layout
+	src := video.NewTicker(l.FrameW, l.FrameH, 5, 3)
+	data := NewRandomStream(l, 11)
+	inc := newMux(t, p, src, data)
+	n := 4 * p.Tau
+	for k := 0; k < n; k++ {
+		got := inc.Frame(k)
+		fresh := newMux(t, p, video.NewTicker(l.FrameW, l.FrameH, 5, 3), NewRandomStream(l, 11))
+		want := fresh.Frame(k)
+		if !got.Equal(want) {
+			t.Fatalf("frame %d: incremental render diverges from fresh render", k)
+		}
+		inc.Recycle(got)
+	}
+	st := inc.RenderStats()
+	if st.BlocksSkipped == 0 {
+		t.Error("delta cache never skipped a Block over a ticker sequence")
+	}
+	if st.HeadroomSkipped == 0 {
+		t.Error("dirty-region hint never skipped a headroom scan")
+	}
+	if st.Blocks != int64(n*l.NumBlocks()) {
+		t.Errorf("stats saw %d Block evaluations, want %d", st.Blocks, n*l.NumBlocks())
+	}
+	if rate := st.SkipRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("skip rate %v outside (0, 1)", rate)
+	}
+}
+
+// TestDeltaCacheFrozenPool: once the render loop is warm, the delta cache
+// must add zero steady-state pool misses — the only live buffers are the
+// video buffer, the delta plane and the in-flight output frame.
+func TestDeltaCacheFrozenPool(t *testing.T) {
+	pool := frame.NewPool()
+	p := smallParams()
+	p.Pool = pool
+	l := p.Layout
+	m := newMux(t, p, video.NewTicker(l.FrameW, l.FrameH, 9, 2), NewRandomStream(l, 3))
+	for k := 0; k < 2*p.Tau; k++ {
+		m.Recycle(m.Frame(k))
+	}
+	warm := pool.Stats().Misses
+	for k := 2 * p.Tau; k < 8*p.Tau; k++ {
+		m.Recycle(m.Frame(k))
+	}
+	if got := pool.Stats().Misses; got != warm {
+		t.Fatalf("steady-state render missed the pool %d more times after warmup", got-warm)
+	}
+}
+
+// TestRGBFusedMatchesCloneAdd: the color multiplexer's fused render must be
+// bit-identical to the pre-refactor DeltaFrame + Clone + AddLumaDelta path,
+// and LumaFrame to that frame's Luma().
+func TestRGBFusedMatchesCloneAdd(t *testing.T) {
+	p := smallParams()
+	p.Workers = 2
+	l := p.Layout
+	data := NewRandomStream(l, 5)
+	m, err := NewRGBMultiplexer(p, rgbTestSource(l), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2*p.Tau; k++ {
+		got, err := m.FrameRGB(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := m.DeltaFrame(k)
+		want := m.vframe.Clone()
+		if err := want.AddLumaDelta(delta); err != nil {
+			t.Fatal(err)
+		}
+		m.Recycle(delta)
+		for i := range want.R {
+			if got.R[i] != want.R[i] || got.G[i] != want.G[i] || got.B[i] != want.B[i] {
+				t.Fatalf("frame %d pixel %d: fused (%v,%v,%v), reference (%v,%v,%v)", k, i,
+					got.R[i], got.G[i], got.B[i], want.R[i], want.G[i], want.B[i])
+			}
+		}
+		luma, err := m.LumaFrame(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !luma.Equal(want.Luma()) {
+			t.Fatalf("frame %d: LumaShifted diverges from the two-step luma", k)
+		}
+	}
+	if m.RenderStats().BlocksSkipped == 0 {
+		t.Error("RGB delta cache never skipped a Block")
+	}
+}

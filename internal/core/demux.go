@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"inframe/internal/fixed"
 	"inframe/internal/frame"
 	"inframe/internal/parallel"
 )
@@ -257,9 +259,30 @@ type Receiver struct {
 	// outside the camera's view
 	rects   []capRect
 	visible int
+	// intScratch recycles the integer-kernel window-sum buffers across
+	// measurements. MeasureCaptureAt runs concurrently across captures
+	// (DecodeCaptures fans out per capture on one receiver), so the scratch
+	// is a sync.Pool rather than a plain field.
+	intScratch sync.Pool
 }
 
 type capRect struct{ x0, y0, w, h int }
+
+// intBufs is one measurement's integer scratch: the full-plane window sums
+// and the column-pass scratch of fixed.WindowSums.
+type intBufs struct {
+	sums, col []int32
+}
+
+// getIntBufs draws (or grows) the integer scratch for an nPix-pixel,
+// h-row capture.
+func (r *Receiver) getIntBufs(nPix, h int) *intBufs {
+	b, _ := r.intScratch.Get().(*intBufs)
+	if b == nil || len(b.sums) < nPix || len(b.col) < h {
+		b = &intBufs{sums: make([]int32, nPix), col: make([]int32, h)}
+	}
+	return b
+}
 
 // NewReceiver builds a receiver and precomputes Block→capture geometry.
 func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
@@ -284,9 +307,10 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 			x0, y0, w, h := l.BlockRect(bx, by)
 			fx0, fy0 := calib.Apply(float64(x0), float64(y0))
 			fx1, fy1 := calib.Apply(float64(x0+w), float64(y0+h))
+			//lint:ignore hotalloc rect-corner rounding runs once per Block at receiver construction, not per pixel
 			cx0 := int(math.Round(fx0))
-			cy0 := int(math.Round(fy0))
-			cx1 := int(math.Round(fx1))
+			cy0 := int(math.Round(fy0)) //lint:ignore hotalloc same construction-time rounding
+			cx1 := int(math.Round(fx1)) //lint:ignore hotalloc same construction-time rounding
 			cy1 := int(math.Round(fy1))
 			// Inset to keep resample/blur bleed from neighbouring Blocks
 			// out of the measurement.
@@ -361,6 +385,10 @@ func (r *Receiver) rowWeights(t0 float64) []float64 {
 	ws := make([]float64, r.cfg.CaptureH)
 	for y := range ws {
 		start := t0 + float64(y)*rowDt
+		// Exact range reduction: start may sit thousands of refresh periods
+		// into the run, where a Trunc(start/T)*T rewrite loses the low bits
+		// that decide which side of a sign flip the row landed on.
+		//lint:ignore hotalloc one Mod per sensor row per measurement, not per pixel, and exact reduction is load-bearing
 		phase := math.Mod(start, T)
 		if phase < 0 {
 			phase += T
@@ -404,10 +432,31 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 	}
 	scores := make([]float64, len(r.rects))
 	quality := make([]float64, len(r.rects))
-	// The smoothing plane is pure scratch: borrowed from the pool for the
-	// scan below and returned before this measurement ends.
-	sm := r.pool.Get(f.W, f.H)
-	frame.BoxBlurInto(f, sm, r.cfg.SmoothRadius, r.pool)
+	// Integer fast path (DESIGN.md §5j): an 8-bit-quantized capture under
+	// the energy detector measures through exact integer window sums
+	// instead of the float box blur — Σ|pix·(2r+1)² − windowsum| / (2r+1)²
+	// is the blur-subtract residual without the float rounding of the
+	// two-pass blur. Matched-detector and non-integral (e.g. analog-gain
+	// impaired) captures keep the float path. The radius bounds restate
+	// ReceiverConfig.Validate so the fixed.WindowSums //range contract is
+	// provable at this call site.
+	sr := r.cfg.SmoothRadius
+	var (
+		sm    *frame.Frame
+		bufs  *intBufs
+		scale int32 = 1
+	)
+	if r.cfg.Detector == DetectorEnergy && sr >= 1 && sr <= 128 && fixed.IsIntegral8(f.Pix) {
+		bufs = r.getIntBufs(len(f.Pix), f.H)
+		fixed.WindowSums(f.Pix, f.W, f.H, sr, bufs.sums, bufs.col)
+		side := int32(2*sr + 1)
+		scale = side * side
+	} else {
+		// The smoothing plane is pure scratch: borrowed from the pool for
+		// the scan below and returned before this measurement ends.
+		sm = r.pool.Get(f.W, f.H)
+		frame.BoxBlurInto(f, sm, r.cfg.SmoothRadius, r.pool)
+	}
 	weights := r.rowWeights(t0)
 	l := r.cfg.Layout
 	// Chessboard phase in capture coordinates, for the matched detector:
@@ -437,19 +486,24 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 			}
 			base := y * f.W
 			var rowAcc float64
-			for x := rect.x0; x < rect.x0+rect.w; x++ {
-				d := float64(f.Pix[base+x] - sm.Pix[base+x])
-				switch r.cfg.Detector {
-				case DetectorMatched:
-					dx := int((float64(x)-offX)*sxInv) / l.PixelSize
-					dy := int((float64(y)-offY)*syInv) / l.PixelSize
-					if ChessOn(dx, dy) {
-						rowAcc += d
-					} else {
-						rowAcc -= d
+			if bufs != nil {
+				rs := base + rect.x0
+				rowAcc = float64(fixed.RowAbsEnergy(f.Pix[rs:rs+rect.w], bufs.sums[rs:rs+rect.w], scale)) / float64(scale)
+			} else {
+				for x := rect.x0; x < rect.x0+rect.w; x++ {
+					d := float64(f.Pix[base+x] - sm.Pix[base+x])
+					switch r.cfg.Detector {
+					case DetectorMatched:
+						dx := int((float64(x)-offX)*sxInv) / l.PixelSize
+						dy := int((float64(y)-offY)*syInv) / l.PixelSize
+						if ChessOn(dx, dy) {
+							rowAcc += d
+						} else {
+							rowAcc -= d
+						}
+					default:
+						rowAcc += math.Abs(d)
 					}
-				default:
-					rowAcc += math.Abs(d)
 				}
 			}
 			// SNR weighting: estimate = Σ w·m / Σ w², which reduces to the
@@ -473,7 +527,10 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 		scores[i] = s
 		quality[i] = n / float64(rect.w*rect.h)
 	}
-	r.pool.Put(sm)
+	if bufs != nil {
+		r.intScratch.Put(bufs)
+	}
+	r.pool.Put(sm) // nil on the integer path: a no-op by the Put contract
 	return scores, quality
 }
 

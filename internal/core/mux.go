@@ -71,6 +71,13 @@ func (p Params) Validate() error {
 // frame sequence (Fig. 2): each video frame is duplicated VideoFrameRatio
 // times, and every displayed frame carries ±D with the complementary sign
 // alternating per display frame.
+//
+// Rendering is pair-aware and incremental (DESIGN.md §5j): the unsigned
+// chessboard delta D of the current smoothing state is cached in one pooled
+// frame and each displayed frame is produced by a single fused pass
+// out = clamp(V + sign·D), so the two frames of a complementary pair share
+// one delta render, and a Block whose clipped amplitude is unchanged since
+// the previous frame is never rewritten.
 type Multiplexer struct {
 	p     Params
 	video video.Source
@@ -85,6 +92,52 @@ type Multiplexer struct {
 	// allocates each video frame itself.
 	vbuf     *frame.Frame
 	headroom []float32 // per-block clipping-limited amplitude bound
+
+	// delta is the cached unsigned chessboard plane: the clipped smoothed
+	// amplitude at every chessboard-on pixel, zero elsewhere. Off-chess
+	// pixels are never written after the pooled (zeroed) Get, so a Block
+	// rewrite only touches its on-pixels. deltaAmp remembers the amplitude
+	// each Block's pixels currently hold; -1 means "never rendered", which
+	// no clipped amplitude (>= 0) can equal, forcing the first write.
+	delta    *frame.Frame
+	deltaAmp []float32
+
+	// rowBlocks / rowSkips are per-Block-row scratch counters for the render
+	// fan-out: workers write disjoint rows, and the sequential sum into
+	// stats afterwards keeps the totals deterministic at any worker count.
+	rowBlocks []int64
+	rowSkips  []int64
+	stats     RenderStats
+}
+
+// RenderStats counts the incremental renderer's work avoidance since the
+// multiplexer was built. Totals are deterministic for a given frame
+// sequence regardless of Workers.
+type RenderStats struct {
+	// Blocks is the number of per-frame Block envelope evaluations;
+	// BlocksSkipped counts those whose cached delta pixels were already at
+	// the wanted amplitude, so no pixels were rewritten.
+	Blocks, BlocksSkipped int64
+	// HeadroomBlocks counts Block headroom scans performed;
+	// HeadroomSkipped counts scans avoided because the video source's
+	// DirtyRegion hint proved the Block's pixels unchanged.
+	HeadroomBlocks, HeadroomSkipped int64
+	// VideoRefreshes counts video-frame loads; VideoSkipped counts loads
+	// avoided entirely (the source certified the frame identical to the
+	// cached one).
+	VideoRefreshes, VideoSkipped int64
+}
+
+// RenderStats returns a snapshot of the incremental-render counters.
+func (m *Multiplexer) RenderStats() RenderStats { return m.stats }
+
+// SkipRate returns the fraction of Block renders avoided by the delta
+// cache, or 0 before any frame has been rendered.
+func (s RenderStats) SkipRate() float64 {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return float64(s.BlocksSkipped) / float64(s.Blocks)
 }
 
 // NewMultiplexer builds a multiplexer. The video source must match the
@@ -153,12 +206,45 @@ func envelopeBetween(p Params, cur, next *DataFrame, bx, by, k int) float64 {
 // per-block clipping headroom: the largest amplitude a such that v±a stays
 // within [0,255] for every chessboard-on pixel of the block (§3.3's local
 // amplitude adjustment for bright and dark areas).
+//
+// When the source is a video.RegionSource and certifies every video-frame
+// transition since the cached frame, the refresh narrows to the accumulated
+// dirty region: an empty union skips the load and all headroom scans, a
+// partial union reloads the frame but rescans only intersecting Blocks.
 func (m *Multiplexer) refreshVideo(k int) {
 	vi := k / m.p.VideoFrameRatio
 	if vi == m.videoIdx {
 		return
 	}
+	prev := m.videoIdx
 	m.videoIdx = vi
+	l := m.p.Layout
+	// Accumulate the dirty hint across every skipped-over video frame: the
+	// multiplexer may jump several video indices between renders (Frame is
+	// random-access), and soundness requires covering each transition. Any
+	// uncertified step — including backwards jumps — degrades to a full
+	// refresh.
+	var dirty video.Region
+	dirtyOK := false
+	if rs, ok := m.video.(video.RegionSource); ok && m.vframe != nil && m.headroom != nil && vi > prev {
+		dirtyOK = true
+		for j := prev + 1; j <= vi; j++ {
+			r, ok := rs.DirtyRegion(j)
+			if !ok {
+				dirtyOK = false
+				break
+			}
+			dirty = dirty.Union(r)
+		}
+	}
+	if dirtyOK && dirty.Empty() {
+		// Frame vi is pixel-identical to the cached frame: keep the video
+		// buffer, the headroom table and the delta cache untouched.
+		m.stats.VideoSkipped++
+		m.stats.HeadroomSkipped += int64(l.NumBlocks())
+		return
+	}
+	m.stats.VideoRefreshes++
 	if src, ok := m.video.(video.IntoSource); ok {
 		// In-place-capable source: render into one persistent pooled
 		// buffer instead of allocating a frame per video frame.
@@ -170,16 +256,25 @@ func (m *Multiplexer) refreshVideo(k int) {
 	} else {
 		m.vframe = m.video.Frame(vi)
 	}
-	l := m.p.Layout
 	if m.headroom == nil {
 		m.headroom = make([]float32, l.NumBlocks())
 	}
 	ps := l.PixelSize
+	m.ensureScratch()
 	// Each Block row writes a disjoint headroom span, so the fan-out is an
 	// ordered merge: bit-identical at any worker count.
 	parallel.For(m.p.Workers, l.BlocksY, func(by int) {
+		var scanned, skipped int64
 		for bx := 0; bx < l.BlocksX; bx++ {
 			x0, y0, w, h := l.BlockRect(bx, by)
+			if dirtyOK && !dirty.Intersects(x0, y0, w, h) {
+				// Every certified transition left this Block's pixels
+				// unchanged, so its headroom (computed from exactly those
+				// pixels) is still valid.
+				skipped++
+				continue
+			}
+			scanned++
 			head := float32(255)
 			for y := y0; y < y0+h; y++ {
 				pj := y / ps
@@ -202,6 +297,78 @@ func (m *Multiplexer) refreshVideo(k int) {
 			}
 			m.headroom[by*l.BlocksX+bx] = head
 		}
+		m.rowBlocks[by] = scanned
+		m.rowSkips[by] = skipped
+	})
+	for by := 0; by < l.BlocksY; by++ {
+		m.stats.HeadroomBlocks += m.rowBlocks[by]
+		m.stats.HeadroomSkipped += m.rowSkips[by]
+	}
+}
+
+// ensureScratch sizes the per-Block-row counter scratch and the delta-cache
+// state on first use.
+func (m *Multiplexer) ensureScratch() {
+	l := m.p.Layout
+	if m.rowBlocks == nil {
+		m.rowBlocks = make([]int64, l.BlocksY)
+		m.rowSkips = make([]int64, l.BlocksY)
+	}
+	if m.delta == nil {
+		// The pooled frame arrives zeroed; off-chess pixels are never
+		// written afterwards, so they carry zero delta forever.
+		m.delta = m.pool.Get(l.FrameW, l.FrameH)
+		m.deltaAmp = make([]float32, l.NumBlocks())
+		for i := range m.deltaAmp {
+			m.deltaAmp[i] = -1
+		}
+	}
+}
+
+// renderDelta refreshes a cached unsigned delta plane for display frame k:
+// each Block's clipped envelope amplitude is compared against the amplitude
+// its pixels already hold (deltaAmp), and only stale Blocks are rewritten.
+// Block rows cover disjoint pixel bands, disjoint deltaAmp spans and
+// disjoint counter slots, so the fan-out is an ordered merge — bit-identical
+// at any worker count. rowBlocks[by] / rowSkips[by] receive each row's
+// evaluated and skipped Block counts for the caller to fold into its stats.
+// Shared by the grayscale and color multiplexers: headroom is whatever
+// channel-aware bound the caller computed.
+func renderDelta(p Params, cur, next *DataFrame, k int, headroom, deltaAmp []float32, delta *frame.Frame, rowBlocks, rowSkips []int64) {
+	l := p.Layout
+	ps := l.PixelSize
+	parallel.For(p.Workers, l.BlocksY, func(by int) {
+		var total, skipped int64
+		for bx := 0; bx < l.BlocksX; bx++ {
+			total++
+			a := envelopeBetween(p, cur, next, bx, by, k)
+			if head := float64(headroom[by*l.BlocksX+bx]); a > head {
+				a = head
+			}
+			if a < 0 {
+				a = 0
+			}
+			want := float32(a)
+			b := by*l.BlocksX + bx
+			//lint:ignore floateq cache key: both sides are the same clipped envelope computation, equal means the stored pixels are exactly right
+			if want == deltaAmp[b] {
+				skipped++
+				continue
+			}
+			deltaAmp[b] = want
+			x0, y0, w, h := l.BlockRect(bx, by)
+			for y := y0; y < y0+h; y++ {
+				pj := y / ps
+				rowBase := y * l.FrameW
+				for x := x0; x < x0+w; x++ {
+					if ChessOn(x/ps, pj) {
+						delta.Pix[rowBase+x] = want
+					}
+				}
+			}
+		}
+		rowBlocks[by] = total
+		rowSkips[by] = skipped
 	})
 }
 
@@ -209,52 +376,56 @@ func (m *Multiplexer) refreshVideo(k int) {
 // clipped, smoothed chessboard of every Block. The returned frame is drawn
 // from the multiplexer's pool; the caller owns it until it hands it back
 // via Recycle (or keeps it forever — Render's contract).
+//
+// The render is incremental: pass one refreshes the cached unsigned delta
+// plane, rewriting only Blocks whose clipped amplitude changed since the
+// previous render (during the steady half of a smoothing cycle on a static
+// video that is zero Blocks); pass two fuses clone, signed add and clamp
+// into one sweep out = clamp(V + sign·D). The complementary pair's two
+// frames differ only in sign, so they share one delta refresh. The output
+// is bit-identical to the direct clone+add+clamp formulation — see
+// DESIGN.md §5j for the argument and TestFixedPointBitIdentity for the
+// adversarial check.
 func (m *Multiplexer) Frame(k int) *frame.Frame {
 	if k < 0 {
 		panic("core: negative display frame index")
 	}
 	m.refreshVideo(k)
-	out := m.pool.Get(m.p.Layout.FrameW, m.p.Layout.FrameH)
-	m.vframe.CloneInto(out)
 	l := m.p.Layout
+	m.ensureScratch()
 	sign := float32(1)
 	if k%2 == 1 {
 		sign = -1
 	}
-	ps := l.PixelSize
 	// Resolve the two data frames once: workers must not touch the Stream
 	// (implementations may cache or whiten per call).
 	cur := m.data.DataFrame(k / m.p.Tau)
 	next := m.data.DataFrame(k/m.p.Tau + 1)
-	// A Block row covers a disjoint band of output pixel rows, so rows fan
-	// out with no overlap and the result is bit-identical at any worker
-	// count.
-	parallel.For(m.p.Workers, l.BlocksY, func(by int) {
-		for bx := 0; bx < l.BlocksX; bx++ {
-			a := envelopeBetween(m.p, cur, next, bx, by, k)
-			if a <= 0 {
-				continue
+	// Delta refresh. A Block row covers a disjoint band of delta pixel rows
+	// and a disjoint span of deltaAmp, so rows fan out with no overlap and
+	// the result is bit-identical at any worker count.
+	renderDelta(m.p, cur, next, k, m.headroom, m.deltaAmp, m.delta, m.rowBlocks, m.rowSkips)
+	for by := 0; by < l.BlocksY; by++ {
+		m.stats.Blocks += m.rowBlocks[by]
+		m.stats.BlocksSkipped += m.rowSkips[by]
+	}
+	// Fused output pass: clone, signed add and clamp in one sweep. Pixel
+	// rows are disjoint, so the fan-out is again an ordered merge.
+	out := m.pool.Get(l.FrameW, l.FrameH)
+	vp, dp, op := m.vframe.Pix, m.delta.Pix, out.Pix
+	w := l.FrameW
+	parallel.For(m.p.Workers, l.FrameH, func(y int) {
+		base := y * w
+		for i := base; i < base+w; i++ {
+			v := vp[i] + sign*dp[i]
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
 			}
-			if head := float64(m.headroom[by*l.BlocksX+bx]); a > head {
-				a = head
-			}
-			if a <= 0 {
-				continue
-			}
-			add := sign * float32(a)
-			x0, y0, w, h := l.BlockRect(bx, by)
-			for y := y0; y < y0+h; y++ {
-				pj := y / ps
-				rowBase := y * l.FrameW
-				for x := x0; x < x0+w; x++ {
-					if ChessOn(x/ps, pj) {
-						out.Pix[rowBase+x] += add
-					}
-				}
-			}
+			op[i] = v
 		}
 	})
-	out.Clamp(0, 255)
 	return out
 }
 

@@ -15,6 +15,12 @@ import (
 //
 // The clipping-aware local amplitude (§3.3) considers all three channels: a
 // saturated red sky limits the amplitude just like a saturated gray one.
+//
+// Rendering shares the grayscale multiplexer's pair-aware delta cache
+// (DESIGN.md §5j): the unsigned chessboard plane is refreshed once per
+// smoothing state and each output is one fused clamp(V + sign·D) pass per
+// channel — no intermediate delta frame, full-frame clone or separate clamp
+// sweep on the per-frame path.
 type RGBMultiplexer struct {
 	p     Params
 	video video.RGBSource
@@ -24,7 +30,20 @@ type RGBMultiplexer struct {
 	videoIdx int
 	vframe   *frame.RGB
 	headroom []float32
+
+	// delta / deltaAmp are the cached unsigned chessboard plane and its
+	// per-Block amplitude memory (-1 forces the first write), exactly as in
+	// Multiplexer. rowBlocks / rowSkips are the deterministic per-row
+	// counter scratch renderDelta fans out over.
+	delta     *frame.Frame
+	deltaAmp  []float32
+	rowBlocks []int64
+	rowSkips  []int64
+	stats     RenderStats
 }
+
+// RenderStats returns a snapshot of the incremental-render counters.
+func (m *RGBMultiplexer) RenderStats() RenderStats { return m.stats }
 
 // NewRGBMultiplexer builds a color multiplexer; the source must match the
 // layout's panel size.
@@ -56,10 +75,12 @@ func (m *RGBMultiplexer) refreshVideo(k int) {
 	}
 	m.videoIdx = vi
 	m.vframe = m.video.FrameRGB(vi)
+	m.stats.VideoRefreshes++
 	l := m.p.Layout
 	if m.headroom == nil {
 		m.headroom = make([]float32, l.NumBlocks())
 	}
+	m.stats.HeadroomBlocks += int64(l.NumBlocks())
 	ps := l.PixelSize
 	// Disjoint per-Block-row headroom writes: ordered merge, bit-identical
 	// at any worker count.
@@ -93,14 +114,51 @@ func (m *RGBMultiplexer) refreshVideo(k int) {
 	})
 }
 
-// DeltaFrame renders the signed chessboard-only delta of display frame k,
-// with headroom clipping applied. The frame comes from the multiplexer's
-// pool; callers that are done with it may return it via Recycle.
-func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
+// ensureScratch sizes the delta cache and the per-Block-row counter scratch
+// on first use. The pooled delta frame arrives zeroed; off-chess pixels are
+// never written afterwards, so they carry zero delta forever.
+func (m *RGBMultiplexer) ensureScratch() {
+	l := m.p.Layout
+	if m.rowBlocks == nil {
+		m.rowBlocks = make([]int64, l.BlocksY)
+		m.rowSkips = make([]int64, l.BlocksY)
+	}
+	if m.delta == nil {
+		m.delta = m.pool.Get(l.FrameW, l.FrameH)
+		m.deltaAmp = make([]float32, l.NumBlocks())
+		for i := range m.deltaAmp {
+			m.deltaAmp[i] = -1
+		}
+	}
+}
+
+// refreshDelta brings the cached unsigned delta plane up to date for display
+// frame k (video, headroom, then stale Blocks only) and folds the skip
+// counters into the stats.
+func (m *RGBMultiplexer) refreshDelta(k int) {
 	if k < 0 {
 		panic("core: negative display frame index")
 	}
 	m.refreshVideo(k)
+	m.ensureScratch()
+	l := m.p.Layout
+	cur := m.data.DataFrame(k / m.p.Tau)
+	next := m.data.DataFrame(k/m.p.Tau + 1)
+	renderDelta(m.p, cur, next, k, m.headroom, m.deltaAmp, m.delta, m.rowBlocks, m.rowSkips)
+	for by := 0; by < l.BlocksY; by++ {
+		m.stats.Blocks += m.rowBlocks[by]
+		m.stats.BlocksSkipped += m.rowSkips[by]
+	}
+}
+
+// DeltaFrame renders the signed chessboard-only delta of display frame k,
+// with headroom clipping applied. The frame comes from the multiplexer's
+// pool; callers that are done with it may return it via Recycle. The render
+// is a sparse signed copy of the cached unsigned plane: only Blocks with a
+// positive amplitude are written, and the pooled zeros elsewhere keep the
+// output bit-identical to the former direct formulation.
+func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
+	m.refreshDelta(k)
 	l := m.p.Layout
 	out := m.pool.Get(l.FrameW, l.FrameH)
 	sign := float32(1)
@@ -108,21 +166,13 @@ func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
 		sign = -1
 	}
 	ps := l.PixelSize
-	cur := m.data.DataFrame(k / m.p.Tau)
-	next := m.data.DataFrame(k/m.p.Tau + 1)
 	parallel.For(m.p.Workers, l.BlocksY, func(by int) {
 		for bx := 0; bx < l.BlocksX; bx++ {
-			a := envelopeBetween(m.p, cur, next, bx, by, k)
-			if a <= 0 {
+			want := m.deltaAmp[by*l.BlocksX+bx]
+			if want <= 0 {
 				continue
 			}
-			if head := float64(m.headroom[by*l.BlocksX+bx]); a > head {
-				a = head
-			}
-			if a <= 0 {
-				continue
-			}
-			add := sign * float32(a)
+			add := sign * want
 			x0, y0, w, h := l.BlockRect(bx, by)
 			for y := y0; y < y0+h; y++ {
 				pj := y / ps
@@ -142,24 +192,34 @@ func (m *RGBMultiplexer) DeltaFrame(k int) *frame.Frame {
 // pool for reuse by a later render.
 func (m *RGBMultiplexer) Recycle(f *frame.Frame) { m.pool.Put(f) }
 
-// FrameRGB renders the multiplexed color frame k.
+// FrameRGB renders the multiplexed color frame k in one fused pass per
+// channel: clamp(V + sign·D) straight from the cached video frame and delta
+// plane, with no intermediate delta frame or full-frame clone. The caller
+// owns the returned frame.
 func (m *RGBMultiplexer) FrameRGB(k int) (*frame.RGB, error) {
-	delta := m.DeltaFrame(k)
-	out := m.vframe.Clone()
-	err := out.AddLumaDelta(delta)
-	m.Recycle(delta)
-	if err != nil {
+	m.refreshDelta(k)
+	sign := float32(1)
+	if k%2 == 1 {
+		sign = -1
+	}
+	l := m.p.Layout
+	out := frame.NewRGB(l.FrameW, l.FrameH)
+	if err := out.AddLumaDeltaOf(m.vframe, m.delta, sign); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // LumaFrame renders the luma plane of multiplexed frame k — what the
-// grayscale channel pipeline (display/camera simulators) consumes.
+// grayscale channel pipeline (display/camera simulators) consumes. The Rec.
+// 601 dot product runs directly over the fused clamp(V + sign·D) channel
+// values, so the full-color intermediate FrameRGB used to build (and drop to
+// the collector) is never materialized.
 func (m *RGBMultiplexer) LumaFrame(k int) (*frame.Frame, error) {
-	f, err := m.FrameRGB(k)
-	if err != nil {
-		return nil, err
+	m.refreshDelta(k)
+	sign := float32(1)
+	if k%2 == 1 {
+		sign = -1
 	}
-	return f.Luma(), nil
+	return m.vframe.LumaShifted(m.delta, sign)
 }

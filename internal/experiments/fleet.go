@@ -77,6 +77,10 @@ func WriteFleet(w io.Writer, res *fleet.Result) {
 	fmt.Fprintf(w, "pool: gets=%d hits=%d misses=%d evicted=%d high-water=%d frames (%d px)\n",
 		res.Pool.Gets, res.Pool.Hits, res.Pool.Misses, res.Pool.Evicted,
 		res.PoolHighWater.Frames, res.PoolHighWater.Pixels)
+	fmt.Fprintf(w, "render: blocks=%d skipped=%d (skip-rate %.3f) headroom-skipped=%d/%d video-skipped=%d/%d\n",
+		res.Render.Blocks, res.Render.BlocksSkipped, res.Render.SkipRate(),
+		res.Render.HeadroomSkipped, res.Render.HeadroomBlocks+res.Render.HeadroomSkipped,
+		res.Render.VideoSkipped, res.Render.VideoRefreshes+res.Render.VideoSkipped)
 	if res.NeverDecoded > 0 {
 		fmt.Fprintf(w, "note: ttfd covers the %d receivers that decoded\n", res.N-res.NeverDecoded)
 	}

@@ -143,6 +143,10 @@ type Result struct {
 	// while every decode output remains bit-identical.
 	Pool          frame.PoolStats
 	PoolHighWater frame.PoolHighWater
+	// Render snapshots the transmitter's incremental-render counters for
+	// the one shared render pass: how many Block delta rewrites, headroom
+	// scans and video loads the caches avoided.
+	Render core.RenderStats
 }
 
 // Run renders the transmission once and decodes it with every receiver in
@@ -194,6 +198,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := m.PushTo(d, nDisplay); err != nil {
 		return nil, err
 	}
+	renderStats := m.RenderStats()
 	// Materialize the oracle frames before the fan-out: RandomStream's
 	// lazy cache is not safe for concurrent first touches, and every
 	// receiver scores against the same nData frames.
@@ -254,6 +259,7 @@ func Run(cfg Config) (*Result, error) {
 	res.TTFD = distOf(&ttfdS)
 	res.Pool = pool.Stats()
 	res.PoolHighWater = pool.HighWater()
+	res.Render = renderStats
 	return res, nil
 }
 

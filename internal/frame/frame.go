@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"inframe/internal/fixed"
 )
 
 // Frame is a single grayscale image plane. Pixels are stored row-major:
@@ -180,13 +182,7 @@ func (f *Frame) Clamp(lo, hi float32) {
 // modelling an 8-bit pixel value while keeping float storage.
 func (f *Frame) Quantize() {
 	for i, v := range f.Pix {
-		q := float32(math.Round(float64(v)))
-		if q < 0 {
-			q = 0
-		} else if q > 255 {
-			q = 255
-		}
-		f.Pix[i] = q
+		f.Pix[i] = float32(fixed.Round8(v))
 	}
 }
 

@@ -106,30 +106,63 @@ func ResampleInto(f, dst *Frame) {
 	bilinearResample(f, dst)
 }
 
+// axisTaps is the hoisted per-axis weight table of the area resampler: for
+// each output coordinate, the contributing input coordinates and their
+// overlap weights. The weights depend only on one axis, so computing them
+// once per output row/column — instead of once per (output pixel, input
+// pixel) pair, where the overlap min/max calls dominated the capture
+// profile — leaves the inner loop as pure multiply-accumulate. The taps are
+// the exact overlap() values the unhoisted loops computed, visited in the
+// same order, so the accumulation is bit-identical.
+type axisTaps struct {
+	// idx and wgt hold the flattened positive-weight taps; off[o]..off[o+1]
+	// is output coordinate o's span.
+	idx []int
+	wgt []float64
+	off []int
+}
+
+// buildAxisTaps tabulates one axis: inN input samples reduced to outN
+// output samples at scale = inN/outN (≥ 1).
+func buildAxisTaps(inN, outN int, scale float64) axisTaps {
+	t := axisTaps{
+		idx: make([]int, 0, inN+outN),
+		wgt: make([]float64, 0, inN+outN),
+		off: make([]int, outN+1),
+	}
+	for o := 0; o < outN; o++ {
+		b0 := float64(o) * scale
+		b1 := b0 + scale
+		for i := int(b0); i < int(math.Ceil(b1)) && i < inN; i++ {
+			f := overlap(float64(i), float64(i+1), b0, b1)
+			if f <= 0 {
+				continue
+			}
+			t.idx = append(t.idx, i)
+			t.wgt = append(t.wgt, f)
+		}
+		t.off[o+1] = len(t.idx)
+	}
+	return t
+}
+
 func areaResample(f, out *Frame) {
 	w, h := out.W, out.H
 	sx := float64(f.W) / float64(w)
 	sy := float64(f.H) / float64(h)
+	xt := buildAxisTaps(f.W, w, sx)
+	yt := buildAxisTaps(f.H, h, sy)
 	for oy := 0; oy < h; oy++ {
-		y0 := float64(oy) * sy
-		y1 := y0 + sy
+		ys, ye := yt.off[oy], yt.off[oy+1]
 		for ox := 0; ox < w; ox++ {
-			x0 := float64(ox) * sx
-			x1 := x0 + sx
+			xs, xe := xt.off[ox], xt.off[ox+1]
 			var sum, area float64
-			for iy := int(y0); iy < int(math.Ceil(y1)) && iy < f.H; iy++ {
-				fy := overlap(float64(iy), float64(iy+1), y0, y1)
-				if fy <= 0 {
-					continue
-				}
-				row := f.Pix[iy*f.W : (iy+1)*f.W]
-				for ix := int(x0); ix < int(math.Ceil(x1)) && ix < f.W; ix++ {
-					fx := overlap(float64(ix), float64(ix+1), x0, x1)
-					if fx <= 0 {
-						continue
-					}
-					wgt := fx * fy
-					sum += wgt * float64(row[ix])
+			for ti := ys; ti < ye; ti++ {
+				fy := yt.wgt[ti]
+				row := f.Pix[yt.idx[ti]*f.W : (yt.idx[ti]+1)*f.W]
+				for tj := xs; tj < xe; tj++ {
+					wgt := xt.wgt[tj] * fy
+					sum += wgt * float64(row[xt.idx[tj]])
 					area += wgt
 				}
 			}

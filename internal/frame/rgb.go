@@ -6,8 +6,9 @@ import (
 	"image/color"
 	"image/png"
 	"io"
-	"math"
 	"os"
+
+	"inframe/internal/fixed"
 )
 
 // RGB is a color frame with planar float32 storage in the nominal range
@@ -105,6 +106,77 @@ func (f *RGB) AddLumaDelta(d *Frame) error {
 	return nil
 }
 
+// AddLumaDeltaOf writes clamp(src + sign·d, 0, 255) into f, one fused pass
+// per pixel: the render-loop form of src.Clone() followed by
+// AddLumaDelta(sign·d), without the intermediate full-frame copy or the
+// separate clamp sweep. The result is bit-identical to the two-step path for
+// every value an 8-bit video source can hold (the lone divergence is
+// src = −0 with a zero delta, which the fused add normalizes to +0).
+// f, src and d must share one size; f may not alias src.
+func (f *RGB) AddLumaDeltaOf(src *RGB, d *Frame, sign float32) error {
+	if d.W != f.W || d.H != f.H || src.W != f.W || src.H != f.H {
+		return ErrSizeMismatch
+	}
+	for i, dv := range d.Pix {
+		a := sign * dv
+		r := src.R[i] + a
+		if r < 0 {
+			r = 0
+		} else if r > 255 {
+			r = 255
+		}
+		g := src.G[i] + a
+		if g < 0 {
+			g = 0
+		} else if g > 255 {
+			g = 255
+		}
+		b := src.B[i] + a
+		if b < 0 {
+			b = 0
+		} else if b > 255 {
+			b = 255
+		}
+		f.R[i], f.G[i], f.B[i] = r, g, b
+	}
+	return nil
+}
+
+// LumaShifted returns the luma plane of the frame AddLumaDeltaOf would
+// produce — Luma() of clamp(f + sign·d) — without materializing the
+// intermediate RGB. Each channel value feeding the Rec. 601 dot product is
+// the same clamped float32 the two-step path computes, so the plane is
+// bit-identical to it.
+func (f *RGB) LumaShifted(d *Frame, sign float32) (*Frame, error) {
+	if d.W != f.W || d.H != f.H {
+		return nil, ErrSizeMismatch
+	}
+	out := New(f.W, f.H)
+	for i, dv := range d.Pix {
+		a := sign * dv
+		r := f.R[i] + a
+		if r < 0 {
+			r = 0
+		} else if r > 255 {
+			r = 255
+		}
+		g := f.G[i] + a
+		if g < 0 {
+			g = 0
+		} else if g > 255 {
+			g = 255
+		}
+		b := f.B[i] + a
+		if b < 0 {
+			b = 0
+		} else if b > 255 {
+			b = 255
+		}
+		out.Pix[i] = lumaR*r + lumaG*g + lumaB*b
+	}
+	return out, nil
+}
+
 // FromLuma lifts a grayscale frame into RGB (equal channels).
 func FromLuma(y *Frame) *RGB {
 	out := NewRGB(y.W, y.H)
@@ -176,15 +248,11 @@ func ToImageRGB(f *RGB) *image.RGBA {
 // Quant8 rounds v to the nearest integer and saturates to [0,255]. It is
 // the blessed float→uint8 clamp helper (enforced by the clamp analyzer):
 // every conversion from the float pixel domain to 8-bit storage must
-// saturate here rather than wrap.
+// saturate here rather than wrap. The rounding runs through the int32
+// fixed-point kernel, which is proven bit-identical to the former
+// math.Round path (see fixed.Round8).
 func Quant8(v float32) uint8 {
-	q := math.Round(float64(v))
-	if q < 0 {
-		q = 0
-	} else if q > 255 {
-		q = 255
-	}
-	return uint8(q)
+	return fixed.Round8(v)
 }
 
 // RGBFromImage converts any image to an RGB frame.

@@ -183,3 +183,54 @@ func TestDecodePNGRGBGarbage(t *testing.T) {
 		t.Fatal("garbage decoded")
 	}
 }
+
+// TestAddLumaDeltaOfMatchesCloneAdd: the fused render helper must be
+// bit-identical to Clone + AddLumaDelta even when the delta drives channels
+// through both clamp edges.
+func TestAddLumaDeltaOfMatchesCloneAdd(t *testing.T) {
+	src := randomRGB(21, 9, 7)
+	d := New(9, 7)
+	deltas := []float32{0, 20, 255, 300, 0.5, 127.25, 1.0 / 3}
+	for i := range d.Pix {
+		d.Pix[i] = deltas[i%len(deltas)]
+	}
+	for _, sign := range []float32{1, -1} {
+		want := src.Clone()
+		signed := New(9, 7)
+		for i, dv := range d.Pix {
+			signed.Pix[i] = sign * dv
+		}
+		if err := want.AddLumaDelta(signed); err != nil {
+			t.Fatal(err)
+		}
+		got := NewRGB(9, 7)
+		if err := got.AddLumaDeltaOf(src, d, sign); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.R {
+			if got.R[i] != want.R[i] || got.G[i] != want.G[i] || got.B[i] != want.B[i] {
+				t.Fatalf("sign %v pixel %d: fused (%v,%v,%v), reference (%v,%v,%v)", sign, i,
+					got.R[i], got.G[i], got.B[i], want.R[i], want.G[i], want.B[i])
+			}
+		}
+		luma, err := src.LumaShifted(d, sign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !luma.Equal(want.Luma()) {
+			t.Fatalf("sign %v: LumaShifted diverges from Luma of the clamped RGB", sign)
+		}
+	}
+}
+
+func TestAddLumaDeltaOfSizeCheck(t *testing.T) {
+	if err := NewRGB(4, 4).AddLumaDeltaOf(NewRGB(4, 4), New(3, 4), 1); err != ErrSizeMismatch {
+		t.Fatalf("mismatched delta: got %v, want ErrSizeMismatch", err)
+	}
+	if err := NewRGB(4, 4).AddLumaDeltaOf(NewRGB(5, 4), New(4, 4), 1); err != ErrSizeMismatch {
+		t.Fatalf("mismatched source: got %v, want ErrSizeMismatch", err)
+	}
+	if _, err := NewRGB(4, 4).LumaShifted(New(3, 4), 1); err != ErrSizeMismatch {
+		t.Fatalf("LumaShifted mismatched delta: got %v, want ErrSizeMismatch", err)
+	}
+}

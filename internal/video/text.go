@@ -1,0 +1,129 @@
+package video
+
+import (
+	"math/rand"
+
+	"inframe/internal/frame"
+)
+
+// Ticker is a TextCard-style scene with one horizontally scrolling
+// pseudo-text band (a news ticker): everything outside the band never
+// changes between frames, and DirtyRegion reports exactly the band, so an
+// incremental consumer (the multiplexer's per-Block headroom and delta
+// caches) only touches the Blocks the ticker crosses. The scrolling
+// content is the same seeded word-block texture TextCard uses, laid out as
+// a cyclic one-dimensional strip.
+type Ticker struct {
+	W, H int
+	Rate float64
+	// Speed is the scroll in pixels per video frame (≥ 1).
+	Speed int
+	// bandY0/bandH bound the scrolling band's rows; textY0/textH the word
+	// rows inside it.
+	bandY0, bandH, textY0, textH int
+	base                         *frame.Frame
+	// strip is the cyclic 1-D word-block pattern: strip[x] is the band
+	// column's text luminance (or the band background where no word is).
+	strip []float32
+}
+
+// NewTicker builds a deterministic ticker scene from seed: a TextCard
+// background with the lower band replaced by a scrolling word strip. The
+// strip is at least twice the frame width so the scroll phase never shows
+// a seam.
+func NewTicker(w, h int, seed int64, speed int) *Ticker {
+	if speed < 1 {
+		speed = 1
+	}
+	base := NewTextCard(w, h, seed).base
+	lineH := maxInt(h/18, 2)
+	bandH := lineH * 3
+	bandY0 := h - h/8 - bandH
+	if bandY0 < 0 {
+		bandY0 = 0
+	}
+	if bandY0+bandH > h {
+		bandH = h - bandY0
+	}
+	t := &Ticker{
+		W: w, H: h, Rate: 30, Speed: speed,
+		bandY0: bandY0, bandH: bandH,
+		textY0: bandY0 + lineH, textH: minInt(lineH, bandY0+bandH-(bandY0+lineH)),
+		base: base.Clone(),
+	}
+	// Band background: darker than the card so the scroll region reads as
+	// a banner.
+	for y := bandY0; y < bandY0+bandH; y++ {
+		for x := 0; x < w; x++ {
+			t.base.Set(x, y, 70)
+		}
+	}
+	// Cyclic word strip, seeded independently of the card body.
+	rng := rand.New(rand.NewSource(seed*7919 + 1))
+	n := maxInt(2*w, 64)
+	t.strip = make([]float32, n)
+	for i := range t.strip {
+		t.strip[i] = 70
+	}
+	x := 0
+	for x < n-lineH {
+		wordW := (2 + rng.Intn(6)) * lineH
+		if x+wordW > n {
+			wordW = n - x
+		}
+		for xx := x; xx < x+wordW; xx++ {
+			t.strip[xx] = 230
+		}
+		x += wordW + lineH + rng.Intn(lineH+1)
+	}
+	return t
+}
+
+// Band returns the scrolling band's row extent (y0, height): the region
+// DirtyRegion reports for every frame transition.
+func (t *Ticker) Band() (y0, h int) { return t.bandY0, t.bandH }
+
+// Frame implements Source.
+func (t *Ticker) Frame(i int) *frame.Frame {
+	f := frame.New(t.W, t.H)
+	t.FrameInto(i, f)
+	return f
+}
+
+// FrameInto implements IntoSource: the static base plus the strip scrolled
+// to frame i's phase. Equal i yields bit-identical pixels.
+func (t *Ticker) FrameInto(i int, dst *frame.Frame) {
+	t.base.CloneInto(dst)
+	n := len(t.strip)
+	shift := (i * t.Speed) % n
+	if shift < 0 {
+		shift += n
+	}
+	for y := t.textY0; y < t.textY0+t.textH; y++ {
+		row := dst.Pix[y*t.W : (y+1)*t.W]
+		for x := range row {
+			row[x] = t.strip[(x+shift)%n]
+		}
+	}
+}
+
+// Size implements Source.
+func (t *Ticker) Size() (int, int) { return t.W, t.H }
+
+// FPS implements Source.
+func (t *Ticker) FPS() float64 { return t.Rate }
+
+// DirtyRegion implements RegionSource: only the band's rows ever change.
+func (t *Ticker) DirtyRegion(i int) (Region, bool) {
+	if i <= 0 {
+		return Region{}, false
+	}
+	return Region{X: 0, Y: t.bandY0, W: t.W, H: t.bandH}, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -38,6 +38,59 @@ type IntoSource interface {
 	FrameInto(i int, dst *frame.Frame)
 }
 
+// Region is an axis-aligned pixel rectangle inside a video frame. The zero
+// Region is empty and means "nothing changed".
+type Region struct {
+	X, Y, W, H int
+}
+
+// Empty reports whether the region covers no pixels.
+func (r Region) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Union returns the bounding region of r and s.
+func (r Region) Union(s Region) Region {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x0, y0 := min(r.X, s.X), min(r.Y, s.Y)
+	x1 := max(r.X+r.W, s.X+s.W)
+	y1 := max(r.Y+r.H, s.Y+s.H)
+	return Region{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// Intersects reports whether r overlaps the rectangle with origin (x0, y0)
+// and size w×h.
+func (r Region) Intersects(x0, y0, w, h int) bool {
+	return !r.Empty() && r.X < x0+w && x0 < r.X+r.W && r.Y < y0+h && y0 < r.Y+r.H
+}
+
+// RegionSource is an optional Source capability: a dirty-region hint for
+// incremental consumers. DirtyRegion(i) returns, for i > 0, a region
+// guaranteed to contain every pixel that differs between frames i-1 and i
+// (an empty region therefore promises frame i is identical to frame i-1),
+// with ok true. Returning ok false — required for i ≤ 0, allowed anywhere —
+// degrades the caller to a conservative full-frame update, which is also
+// what consumers must assume for sources without the interface. The hint
+// must be sound: over-reporting is a missed optimization, under-reporting
+// corrupts incremental renderers such as the multiplexer's per-Block
+// headroom cache.
+type RegionSource interface {
+	Source
+	DirtyRegion(i int) (Region, bool)
+}
+
+// staticDirty is the DirtyRegion of a source whose frames never change:
+// empty (nothing dirty) for every transition, unknown for i ≤ 0.
+func staticDirty(i int) (Region, bool) {
+	if i <= 0 {
+		return Region{}, false
+	}
+	return Region{}, true
+}
+
 // Solid is a constant-luminance video, the paper's "pure gray" and
 // "pure dark gray" inputs (RGB 180 and 127 respectively, which collapse to
 // the same value in luminance).
@@ -63,6 +116,9 @@ func (s *Solid) Size() (int, int) { return s.W, s.H }
 
 // FPS implements Source.
 func (s *Solid) FPS() float64 { return s.Rate }
+
+// DirtyRegion implements RegionSource: a solid field never changes.
+func (s *Solid) DirtyRegion(i int) (Region, bool) { return staticDirty(i) }
 
 // Gray returns the paper's bright pure-gray input (RGB 180,180,180).
 func Gray(w, h int) *Solid { return NewSolid(w, h, 180) }
@@ -301,6 +357,9 @@ func (g *Gradient) Size() (int, int) { return g.W, g.H }
 
 // FPS implements Source.
 func (g *Gradient) FPS() float64 { return g.Rate }
+
+// DirtyRegion implements RegionSource: the gradient is static.
+func (g *Gradient) DirtyRegion(i int) (Region, bool) { return staticDirty(i) }
 
 // Clip is a fixed, pre-rendered sequence of frames that loops; it adapts any
 // recorded material to the Source interface.

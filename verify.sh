@@ -7,13 +7,17 @@
 # races a correctness class, not a theoretical one), a coverage floor on
 # internal/analysis (the lint gate's own engine), the steady-state
 # allocation tests without instrumentation (so AllocsPerRun sees the real
-# counts the benchmark baselines record), the fault-injection robustness
+# counts the benchmark baselines record), the fixed-point kernel identity
+# suite under -race (bit-identity and error-bound pins for the int32
+# kernels and the fused renderer, DESIGN.md §5j), the fault-injection robustness
 # matrix under -race plus a short fuzz smoke of the decode entry points,
 # the broadcast-fleet determinism suite under -race (N concurrent
 # receivers sharing one pool and one display), one iteration of the
 # sequential-vs-parallel benchmarks as a smoke test, and the
 # inframe-benchdiff regression gate against the committed BENCH_*.json
-# baseline (+15% ns/op tolerance, allocs/op gated alongside).
+# baseline (+15% ns/op tolerance, allocs/op gated alongside; a slowdown
+# fails only when it survives both the raw and the machine-speed-
+# calibrated reading, so container speed drift cannot flake the gate).
 #
 # Usage: ./verify.sh [-short]
 #   -short  gate the race run on `go test -short` (skips the long
@@ -103,6 +107,22 @@ run_alloc_tests() {
 	go test -run 'TestSteadyStateFrameBufferAllocs|TestMultiplexerRenderAllocs|TestReceiverMeasureAllocs' -count=1 .
 }
 
+run_kernels() {
+	# The fixed-point identity gate in isolation under the race detector:
+	# the int32 kernels' bit-identity/error-bound pins (internal/fixed) and
+	# the fused pair-aware renderer's equivalence to the direct
+	# clone+add+clamp formulation at several worker counts (DESIGN.md §5j).
+	go test -race -count=1 \
+		-run 'TestFixedPointBitIdentity|TestGammaErrorBound|TestWindowSumsMatchesNaive|TestRowAbsEnergyMatchesNaive|TestIsIntegral8' \
+		./internal/fixed/
+	go test -race -count=1 \
+		-run 'TestFusedRenderMatchesReference|TestIncrementalRenderMatchesFresh|TestRGBFusedMatchesCloneAdd|TestDeltaCacheFrozenPool' \
+		./internal/core/
+	go test -race -count=1 \
+		-run 'TestAddLumaDeltaOfMatchesCloneAdd|TestAddLumaDeltaOfSizeCheck' \
+		./internal/frame/
+}
+
 run_robustness() {
 	# The fault-injection gate in isolation: the deterministic impairment
 	# matrix (pinned availability/BER bounds, worker invariance, clean-path
@@ -139,6 +159,7 @@ stage "inframe-lint ./..." run_lint
 stage "go test -race $short ./..." run_tests
 stage "internal/analysis coverage floor" run_analysis_cover
 stage "steady-state alloc tests" run_alloc_tests
+stage "fixed-point kernel identity (race)" run_kernels
 if [[ -n "$short" ]]; then
 	skip "robustness matrix + fuzz smoke"
 	skip "fleet determinism (race)"
