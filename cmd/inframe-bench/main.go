@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	inframe-bench [-exp all|fig3|fig5|fig6a|fig6b|fig7|ablations|robustness|fleet|speedup] \
+//	inframe-bench [-exp all|fig3|fig5|fig6a|fig6b|fig7|ablations|robustness|pose|fleet|speedup] \
 //	              [-seconds 2.0] [-flicker-seconds 1.0] [-seed 1] [-scale 2] \
 //	              [-workers 0] [-fleet-n 16] [-json path]
 //
@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, fleet, speedup")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, pose, fleet, speedup")
 	seconds := flag.Float64("seconds", 2.0, "simulated seconds per throughput setting")
 	flickerSeconds := flag.Float64("flicker-seconds", 1.0, "simulated seconds per flicker rating")
 	seed := flag.Int64("seed", 1, "global random seed")
@@ -248,6 +248,16 @@ func main() {
 			return nil
 		})
 	}
+	if want("pose") {
+		run("Pose — availability vs camera tilt, rigid vs registered receiver", func() error {
+			rows, err := experiments.Pose(s)
+			if err != nil {
+				return err
+			}
+			experiments.WritePose(os.Stdout, rows)
+			return nil
+		})
+	}
 	if want("fleet") {
 		run("Fleet — one rendered stream, N-receiver broadcast population", func() error {
 			start := time.Now()
@@ -263,7 +273,7 @@ func main() {
 		})
 	}
 	if !matched {
-		fatal(fmt.Errorf("unknown experiment %q (use all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, fleet or speedup)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (use all, fig3, fig5, fig6a, fig6b, fig7, ablations, robustness, pose, fleet or speedup)", *exp))
 	}
 }
 

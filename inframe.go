@@ -88,6 +88,11 @@ type (
 	// CaptureMapping maps display coordinates into capture coordinates
 	// (camera registration).
 	CaptureMapping = core.CaptureMapping
+	// Homography is the projective display→capture map of an off-axis
+	// camera; set ReceiverConfig.Pose to decode through it.
+	Homography = frame.Homography
+	// Registration is the decode report's geometric-path diagnostics.
+	Registration = core.Registration
 	// StreamingReceiver is the online receiver with sliding-window
 	// calibration.
 	StreamingReceiver = core.StreamingReceiver
@@ -153,6 +158,21 @@ var (
 	ComputeReport = metrics.Compute
 	// Calibrate blindly solves camera registration from captures.
 	Calibrate = register.Calibrate
+	// CalibrateProjective blindly solves full projective registration
+	// (screen quad detection + DLT homography) from captures.
+	CalibrateProjective = register.CalibrateProjective
+	// SolveHomography computes the homography mapping four source corners
+	// to four destination corners (normalized DLT).
+	SolveHomography = frame.SolveHomography
+	// WarpInto inverse-warps one frame into another through a homography.
+	WarpInto = frame.WarpInto
+	// PoseHomography models a pinhole camera at the given tilt/roll/distance
+	// viewing a frontal w×h plane — the ground-truth map of the camera-pose
+	// impairment stage.
+	PoseHomography = impair.PoseHomography
+	// ErrDegenerateQuad is the typed rejection of collinear or coincident
+	// quad corners in SolveHomography.
+	ErrDegenerateQuad = frame.ErrDegenerateQuad
 	// NewStreamingReceiver builds the online receiver.
 	NewStreamingReceiver = core.NewStreamingReceiver
 	// NewRGBMultiplexer builds the color transmitter.

@@ -128,6 +128,17 @@ type ReceiverConfig struct {
 	// setup); a registration pass (internal/register) supplies a mapping
 	// when the camera is offset or zoomed.
 	Calib *CaptureMapping
+	// Pose is the projective display→capture map of an off-axis camera
+	// (tilt, rotation, distance), as solved by the projective registration
+	// pass (register.CalibrateProjective). Nil keeps the rigid axis-aligned
+	// path. An exactly axis-aligned Pose collapses to a CaptureMapping and
+	// takes the pre-homography decode path bit-identically — the frontal
+	// fast path; anything else makes every measurement rectify its capture
+	// through the pose's inverse warp (pool-borrowed plane) and decode the
+	// rectified view with spatially aggregated, center-weighted Block
+	// statistics. When both Pose and Calib are set, Pose wins: the
+	// projective solve already subsumes translation and zoom.
+	Pose *frame.Homography
 	// Workers bounds the decode worker pool: per-capture energy
 	// measurement, per-Block calibration and per-frame decision stages fan
 	// out across this many goroutines. 0 means GOMAXPROCS; 1 forces the
@@ -183,6 +194,11 @@ func FullFrame(l Layout, capW, capH int) CaptureMapping {
 // Apply maps a display coordinate to capture coordinates.
 func (m CaptureMapping) Apply(x, y float64) (float64, float64) {
 	return m.OffX + x*m.ScaleX, m.OffY + y*m.ScaleY
+}
+
+// AxisAlignedHomography lifts a CaptureMapping into homography form.
+func AxisAlignedHomography(m CaptureMapping) frame.Homography {
+	return frame.AxisAlignedHomography(m.ScaleX, m.ScaleY, m.OffX, m.OffY)
 }
 
 // Validate reports whether the mapping is usable.
@@ -255,6 +271,26 @@ func (c ReceiverConfig) Validate() error {
 type Receiver struct {
 	cfg  ReceiverConfig
 	pool *frame.Pool
+	// calib is the effective axis-aligned display→capture mapping: the
+	// configured Calib (or full-frame), or the collapsed form of an
+	// axis-aligned Pose. In projective mode it maps display coordinates
+	// into the *rectified* plane instead, which is the same coordinate
+	// system by construction.
+	calib CaptureMapping
+	// rectify, when non-nil, is the rectified→capture homography
+	// Pose ∘ calib⁻¹: every measurement inverse-warps its capture through
+	// it into a pool-borrowed frontal plane before the Block scan.
+	rectify *frame.Homography
+	// rectW, rectH are the dimensions of the plane the Block scan runs on:
+	// the capture itself on the rigid path, the display-resolution
+	// rectified plane in projective mode.
+	rectW, rectH int
+	// minGap, minConf are the effective decision floors: the configured
+	// MinGap/MinConfidence on the rigid path, scaled by the predicted
+	// resample attenuation (warpAttenuation) in projective mode, where the
+	// camera sampling plus the rectifying warp shrink the whole energy
+	// scale that the absolute floors were calibrated for.
+	minGap, minConf float64
 	// per-block capture rectangles, precomputed; zero rects mark Blocks
 	// outside the camera's view
 	rects   []capRect
@@ -297,11 +333,50 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		}
 		calib = *cfg.Calib
 	}
+	var rectify *frame.Homography
+	if cfg.Pose != nil {
+		if err := cfg.Pose.Validate(); err != nil {
+			return nil, err
+		}
+		if sx, sy, ox, oy, ok := cfg.Pose.AxisAligned(); ok {
+			// Frontal fast path: an axis-aligned pose IS a CaptureMapping,
+			// and routing it through the rigid decoder keeps clean captures
+			// bit-identical to the pre-homography receiver — no silent
+			// resampling.
+			calib = CaptureMapping{ScaleX: sx, ScaleY: sy, OffX: ox, OffY: oy}
+			if err := calib.Validate(); err != nil {
+				return nil, err
+			}
+		} else {
+			// Projective mode: decode a rectified view at native display
+			// resolution — "what the display showed", frontal. The identity
+			// calib makes display coordinates the rectified coordinates, so
+			// the warp that *reads* the real capture from the rectified
+			// plane is the pose itself. Rectifying at display resolution
+			// (not capture resolution) matters when the camera undersamples
+			// the panel: a scaled-down rectified plane would shrink the
+			// Pixel-cell chessboard toward the resampling Nyquist limit and
+			// erase the modulation before the Block scan ever sees it.
+			calib = CaptureMapping{ScaleX: 1, ScaleY: 1}
+			hr := *cfg.Pose
+			rectify = &hr
+		}
+	}
 	pool := cfg.Pool
 	if pool == nil {
 		pool = frame.NewPool()
 	}
-	r := &Receiver{cfg: cfg, pool: pool, rects: make([]capRect, l.NumBlocks())}
+	rectW, rectH := cfg.CaptureW, cfg.CaptureH
+	minGap, minConf := cfg.MinGap, cfg.MinConfidence
+	if rectify != nil {
+		rectW, rectH = l.FrameW, l.FrameH
+		att := warpAttenuation(l, cfg.CaptureW, cfg.CaptureH, *cfg.Pose, cfg.SmoothRadius, pool)
+		minGap *= att
+		minConf *= att
+	}
+	r := &Receiver{cfg: cfg, pool: pool, calib: calib, rectify: rectify,
+		rectW: rectW, rectH: rectH, minGap: minGap, minConf: minConf,
+		rects: make([]capRect, l.NumBlocks())}
 	for by := 0; by < l.BlocksY; by++ {
 		for bx := 0; bx < l.BlocksX; bx++ {
 			x0, y0, w, h := l.BlockRect(bx, by)
@@ -328,11 +403,11 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 			if cy0 < 0 {
 				cy0 = 0
 			}
-			if cx1 > cfg.CaptureW {
-				cx1 = cfg.CaptureW
+			if cx1 > rectW {
+				cx1 = rectW
 			}
-			if cy1 > cfg.CaptureH {
-				cy1 = cfg.CaptureH
+			if cy1 > rectH {
+				cy1 = rectH
 			}
 			if cx1-cx0 < 2 || cy1-cy0 < 2 {
 				// Block outside (or nearly outside) the camera's view:
@@ -350,6 +425,68 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		return nil, fmt.Errorf("core: no block maps into the capture")
 	}
 	return r, nil
+}
+
+// warpAttenuation predicts how much chessboard residual energy survives the
+// projective receiver's resampling chain — the camera's capture-resolution
+// sampling followed by the rectifying inverse warp — relative to reading the
+// displayed pattern directly. The probe is pure arithmetic on the
+// configuration: a synthetic full-amplitude chessboard is warped from the
+// display plane into the capture and back into the rectified plane, and the
+// §3.3 blur-subtract residual of the round trip is compared against the
+// pristine pattern's. The ratio rescales the receiver's absolute decision
+// floors (MinGap, MinConfidence), which are calibrated against unattenuated
+// cells: an undersampling camera at a steep pose can shrink the whole energy
+// scale several-fold without losing the signal, and unscaled floors would
+// reject every Block as dead. Clamped to [0.02, 1] so a degenerate probe can
+// neither zero the floors nor inflate them.
+func warpAttenuation(l Layout, capW, capH int, pose frame.Homography, smoothRadius int, pool *frame.Pool) float64 {
+	inv, err := pose.Invert()
+	if err != nil {
+		return 1 // Validate already vouched for the pose; stay neutral
+	}
+	probe := pool.Get(l.FrameW, l.FrameH)
+	defer pool.Put(probe)
+	p := l.PixelSize
+	for y := 0; y < l.FrameH; y++ {
+		for x := 0; x < l.FrameW; x++ {
+			if ChessOn(x/p, y/p) {
+				probe.Pix[y*l.FrameW+x] = 200
+			} else {
+				probe.Pix[y*l.FrameW+x] = 55
+			}
+		}
+	}
+	cap_ := pool.Get(capW, capH)
+	defer pool.Put(cap_)
+	frame.WarpInto(probe, cap_, inv)
+	rect := pool.Get(l.FrameW, l.FrameH)
+	defer pool.Put(rect)
+	frame.WarpInto(cap_, rect, pose)
+	ideal := blurResidual(probe, smoothRadius, pool)
+	if !(ideal > 0) {
+		return 1
+	}
+	att := blurResidual(rect, smoothRadius, pool) / ideal
+	if att < 0.02 {
+		return 0.02
+	}
+	if att > 1 {
+		return 1
+	}
+	return att
+}
+
+// blurResidual is the frame-mean §3.3 detector statistic: mean |pix − blur|.
+func blurResidual(f *frame.Frame, radius int, pool *frame.Pool) float64 {
+	sm := pool.Get(f.W, f.H)
+	defer pool.Put(sm)
+	frame.BoxBlurInto(f, sm, radius, pool)
+	var acc float64
+	for i, v := range f.Pix {
+		acc += math.Abs(float64(v - sm.Pix[i]))
+	}
+	return acc / float64(len(f.Pix))
 }
 
 // Config returns the receiver configuration.
@@ -430,6 +567,25 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 		panic(fmt.Sprintf("core: capture %dx%d does not match receiver %dx%d",
 			f.W, f.H, r.cfg.CaptureW, r.cfg.CaptureH))
 	}
+	// Projective mode: rectify the capture into a pool-borrowed frontal
+	// plane first, then run the unchanged Block scan on it — the warp, not
+	// the scan, absorbs the pose. The plane is scratch (returned before this
+	// measurement ends), and the warp depends only on (capture, homography),
+	// so pose-mode decodes stay bit-identical at any worker count.
+	if r.rectify != nil {
+		rectified := r.pool.Get(r.rectW, r.rectH)
+		frame.WarpInto(f, rectified, *r.rectify)
+		scores, quality := r.measureOn(rectified, t0, true)
+		r.pool.Put(rectified)
+		return scores, quality
+	}
+	return r.measureOn(f, t0, false)
+}
+
+// measureOn runs the §3.3 Block scan over one plane — the capture itself on
+// the rigid path, the pool-borrowed rectified plane in projective mode
+// (warped = true, which adds the spatial-aggregation tent weighting).
+func (r *Receiver) measureOn(f *frame.Frame, t0 float64, warped bool) ([]float64, []float64) {
 	scores := make([]float64, len(r.rects))
 	quality := make([]float64, len(r.rects))
 	// Integer fast path (DESIGN.md §5j): an 8-bit-quantized capture under
@@ -460,11 +616,10 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 	weights := r.rowWeights(t0)
 	l := r.cfg.Layout
 	// Chessboard phase in capture coordinates, for the matched detector:
-	// display Pixel (x/p, y/p) found by inverting the calibration map.
-	calib := FullFrame(l, r.cfg.CaptureW, r.cfg.CaptureH)
-	if r.cfg.Calib != nil {
-		calib = *r.cfg.Calib
-	}
+	// display Pixel (x/p, y/p) found by inverting the calibration map (in
+	// projective mode the scan runs on the rectified plane, where the
+	// axis-aligned calib is the correct map by construction).
+	calib := r.calib
 	sxInv := 1 / calib.ScaleX
 	syInv := 1 / calib.ScaleY
 	offX, offY := calib.OffX, calib.OffY
@@ -475,14 +630,42 @@ func (r *Receiver) MeasureCaptureAt(f *frame.Frame, t0 float64) ([]float64, []fl
 		}
 		var acc float64
 		var n float64
+		// Shutter weights are indexed by *sensor* row. On the rigid path the
+		// scan plane is the sensor; in projective mode each rectified row
+		// images from the sensor row the pose maps it to (taken at the
+		// Block's center column — row-timing varies slowly across a Block).
+		cxMid := float64(rect.x0) + float64(rect.w)/2
 		for y := rect.y0; y < rect.y0+rect.h; y++ {
 			rowW := 1.0
 			if weights != nil {
-				rowW = weights[y]
+				wy := y
+				if warped {
+					_, fy, ok := r.rectify.Apply(cxMid, float64(y)+0.5)
+					if !ok {
+						continue
+					}
+					wy = int(fy)
+					if wy < 0 || wy >= len(weights) {
+						// The row reads only overscan zeros; skip it.
+						continue
+					}
+				}
+				rowW = weights[wy]
 				//lint:ignore floateq rowWeights assigns the exact sentinel 0 below the attenuation floor; this tests that sentinel
 				if rowW == 0 {
 					continue
 				}
+			}
+			if warped {
+				// Spatial-aggregation weighting for residual warp: a tent
+				// over the Block's rows, [0.5, 1] with the peak at the
+				// center. Registration errors displace a Block's edges
+				// first, so edge rows carry the neighbour-mixing risk;
+				// down-weighting them degrades the estimate smoothly with
+				// residual warp instead of cliffing, and the SNR-style
+				// Σw·m / Σw² estimator below stays unbiased for clean rows.
+				fr := float64(2*(y-rect.y0)+1)/float64(rect.h) - 1
+				rowW *= 1 - 0.5*math.Abs(fr)
 			}
 			base := y * f.W
 			var rowAcc float64
@@ -640,20 +823,20 @@ func (r *Receiver) DecodeScores(index int, scores []float64, quality []float64, 
 		BlockCauses: make([]ErasureCause, l.NumBlocks()),
 	}
 	threshold := r.cfg.Threshold
-	band := r.cfg.MinConfidence
+	band := r.minConf
 	if r.cfg.Adaptive && len(scores) > 1 {
 		c0, c1 := cluster2(scores)
 		gap := c1 - c0
 		threshold = (c0 + c1) / 2
 		band = r.cfg.AdaptiveBand * gap
-		if band < r.cfg.MinConfidence {
-			band = r.cfg.MinConfidence
+		if band < r.minConf {
+			band = r.minConf
 		}
 		// !(gap > 0) also catches NaN: a degenerate frame (all-equal or
 		// all-unusable scores — e.g. a black video whose δ the clipping
 		// adjustment crushed to nothing) must come back all-unavailable,
 		// not as a zero-width threshold that "confidently" decodes noise.
-		if !(gap > 0) || gap < r.cfg.MinGap {
+		if !(gap > 0) || gap < r.minGap {
 			band = math.Inf(1) // degenerate frame: nothing decodable
 		}
 		if math.IsNaN(threshold) {
@@ -881,7 +1064,7 @@ func (r *Receiver) decodeCaptures(caps []*frame.Frame, times []float64, exposure
 	if !wantReport {
 		return out, nil
 	}
-	rep := &DecodeReport{Frames: out, Quality: make([]CaptureQuality, len(caps))}
+	rep := &DecodeReport{Frames: out, Quality: make([]CaptureQuality, len(caps)), Registration: r.registration()}
 	for i := range caps {
 		q := CaptureQuality{Index: i, Time: times[i]}
 		if neededSet[i] {
@@ -908,6 +1091,39 @@ func (r *Receiver) decodeCaptures(caps []*frame.Frame, times []float64, exposure
 		prevGap = gap
 	}
 	return out, rep
+}
+
+// registration derives the decode report's geometric diagnostics from the
+// receiver's construction-time state: pure arithmetic on the configuration,
+// identical at every worker count.
+func (r *Receiver) registration() Registration {
+	reg := Registration{Projective: r.rectify != nil}
+	if r.cfg.Pose == nil {
+		return reg
+	}
+	reg.Pose = r.cfg.Pose.M
+	l := r.cfg.Layout
+	x1 := float64(l.MarginX() + l.BlocksX*l.BlockPx())
+	y1 := float64(l.MarginY() + l.BlocksY*l.BlockPx())
+	var worst float64
+	for _, c := range [4][2]float64{
+		{float64(l.MarginX()), float64(l.MarginY())},
+		{x1, float64(l.MarginY())},
+		{x1, y1},
+		{float64(l.MarginX()), y1},
+	} {
+		px, py, ok := r.cfg.Pose.Apply(c[0], c[1])
+		if !ok {
+			continue
+		}
+		ax, ay := r.calib.Apply(c[0], c[1])
+		// Compare squared distances in the loop; one Sqrt at the end.
+		if d := (px-ax)*(px-ax) + (py-ay)*(py-ay); d > worst {
+			worst = d
+		}
+	}
+	reg.MaxCornerOffsetPx = math.Sqrt(worst)
+	return reg
 }
 
 // linkQuality scores one measured capture in [0, 1]: the product of Block
@@ -1073,14 +1289,14 @@ func (r *Receiver) decodePerBlock(agg, qual [][]float64, counts []int) []*FrameD
 			gap := hi[j] - lo[j]
 			// !(gap > 0) also catches NaN levels: an all-equal or unusable
 			// series means no swing, never a zero-width "confident" band.
-			if !(gap > 0) || gap < r.cfg.MinGap {
+			if !(gap > 0) || gap < r.minGap {
 				fd.BlockCauses[j] = CauseNoSwing
 				continue // no usable swing: saturated or constant payload
 			}
 			thr := (lo[j] + hi[j]) / 2
 			band := r.cfg.AdaptiveBand * gap
-			if band < r.cfg.MinConfidence {
-				band = r.cfg.MinConfidence
+			if band < r.minConf {
+				band = r.minConf
 			}
 			if qual[d] != nil && qual[d][j] > 0 && qual[d][j] < 1 {
 				band /= math.Sqrt(qual[d][j])

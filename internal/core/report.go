@@ -74,6 +74,25 @@ type CaptureQuality struct {
 	Excluded bool
 }
 
+// Registration describes the geometric decode path of a run — the pose and
+// rectification diagnostics of the projective receiver. All fields derive
+// deterministically from the receiver configuration, so reports compare
+// equal across worker counts.
+type Registration struct {
+	// Projective: the decode rectified every capture through a homography.
+	// False means the rigid axis-aligned path ran (including the frontal
+	// fast path of an exactly axis-aligned pose).
+	Projective bool
+	// Pose is the display→capture homography the decode used (row-major),
+	// or the zero matrix when no pose was configured.
+	Pose [9]float64
+	// MaxCornerOffsetPx is the largest displacement, in capture pixels,
+	// between the pose's mapping of the layout's grid corners and the
+	// effective axis-aligned calibration's — how far from frontal the
+	// registered view sits. 0 when no pose was configured.
+	MaxCornerOffsetPx float64
+}
+
 // DecodeReport is the graceful-degradation companion of a decoded run: which
 // data frames arrived, why GOBs were erased, and how link quality evolved
 // over the capture sequence.
@@ -82,6 +101,9 @@ type DecodeReport struct {
 	Frames []*FrameDecode
 	// Quality is the per-capture quality timeline, in capture order.
 	Quality []CaptureQuality
+	// Registration records the geometric decode path (projective
+	// rectification vs rigid mapping) and its pose diagnostics.
+	Registration Registration
 	// GapFrames counts data frames observed by no (surviving) capture.
 	GapFrames int
 	// Resyncs counts recoveries: transitions from a gap frame back to a

@@ -38,6 +38,7 @@ const (
 	ImpairDrop   Stage = 2
 	ImpairDup    Stage = 3
 	ImpairBurst  Stage = 4
+	ImpairPose   Stage = 5
 )
 
 // Fleet domain: the broadcast-population sampler's per-receiver streams

@@ -57,10 +57,10 @@ func TestRandIsPositionedAtStreamStart(t *testing.T) {
 }
 
 // TestRegistryDomainsAreDense documents the frozen shape of the two
-// domains: impair 1–4, fleet 1–7, no gaps. New stages append at the end
+// domains: impair 1–5, fleet 1–7, no gaps. New stages append at the end
 // of their domain; nothing is ever renumbered.
 func TestRegistryDomainsAreDense(t *testing.T) {
-	impair := []Stage{ImpairJitter, ImpairDrop, ImpairDup, ImpairBurst}
+	impair := []Stage{ImpairJitter, ImpairDrop, ImpairDup, ImpairBurst, ImpairPose}
 	for i, s := range impair {
 		if s != Stage(i+1) {
 			t.Errorf("impair stage %d has ID %d, want %d", i, s, i+1)

@@ -71,6 +71,16 @@ func (s Setup) captureSize() (int, int) {
 	return 1280 / s.ScaleDiv, 720 / s.ScaleDiv
 }
 
+// poseCaptureSize returns the capture resolution for the camera-pose sweep:
+// the paper's native 1280×720 regardless of ScaleDiv. The spatial downscale
+// preserves the display/capture *ratio*, but it also halves the absolute
+// Pixel-cell pitch on the sensor to 4/3 capture px — below Nyquist — so a
+// scaled capture adds moiré aliasing the paper's hardware never sees (at
+// the paper's scale each cell spans 8/3 capture px). FrameW/PixelSize is
+// scale-invariant, so the native capture restores the paper's per-cell
+// sampling rate at every ScaleDiv.
+func (s Setup) poseCaptureSize() (int, int) { return 1280, 720 }
+
 // channelConfig returns the standard simulated link: 120 Hz display,
 // 30 FPS rolling-shutter camera at the paper's office-distance quality.
 // Optical blur is left at 0 because at ScaleDiv ≥ 2 one display pixel

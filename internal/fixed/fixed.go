@@ -228,6 +228,25 @@ func clampIdx(i, n int) int {
 	return i
 }
 
+// BilinearQ16 interpolates one bilinear tap in exact integer Q16: v00..v11
+// are the four integral pixel taps (top-left, top-right, bottom-left,
+// bottom-right, each in [0, 255] under the IsIntegral8 precondition) and
+// wx, wy are the Q16 fractional weights. The result is the Q16 sample;
+// callers convert with float32(q)·2⁻¹⁶, which is exact.
+//
+// Overflow argument: each horizontal lerp v0·2¹⁶ + (v1−v0)·wx is a convex
+// combination in [0, 255·2¹⁶] with every product below 255·2¹⁶ < 2²⁴, so it
+// fits int32; the vertical blend's product (bot−top)·wy reaches 255·2³² and
+// runs in int64 before the shift brings it back under 2²⁴.
+//
+//range:wx 0,65536
+//range:wy 0,65536
+func BilinearQ16(v00, v01, v10, v11, wx, wy int32) int32 {
+	top := v00<<qBits + (v01-v00)*wx
+	bot := v10<<qBits + (v11-v10)*wx //lint:ignore intrange taps are in [0,255] under the IsIntegral8 precondition, so each Q16 lerp product stays below 255·2^16 < 2^24
+	return top + int32((int64(bot-top)*int64(wy))>>qBits)
+}
+
 // RowAbsEnergy accumulates Σ |pix[i]·scale − sums[i]| over one row span in
 // exact integer arithmetic: the high-frequency chessboard energy numerator
 // of the §3.3 detector, scaled by scale = (2r+1)². Each term is bounded by

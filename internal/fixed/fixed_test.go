@@ -208,3 +208,48 @@ func TestRowAbsEnergyMatchesNaive(t *testing.T) {
 		}
 	}
 }
+
+// TestBilinearQ16MatchesFloat pins the warp kernel's tap against the float
+// reference: corner weights are exact, and over seeded random taps and
+// weights the Q16 result stays within one quantization step (2⁻¹⁶ weight
+// resolution on 8-bit magnitudes keeps the Q16 error below 8 ULPs, i.e.
+// well under 2⁻¹² drive units after the exact float conversion).
+func TestBilinearQ16MatchesFloat(t *testing.T) {
+	const qOne = 1 << qBits
+	ref := func(v00, v01, v10, v11 int32, wx, wy float64) float64 {
+		top := float64(v00) + (float64(v01)-float64(v00))*wx
+		bot := float64(v10) + (float64(v11)-float64(v10))*wx
+		return top + (bot-top)*wy
+	}
+	// Corner weights select taps exactly.
+	corners := []struct {
+		wx, wy int32
+		want   func(v00, v01, v10, v11 int32) int32
+	}{
+		{0, 0, func(v00, _, _, _ int32) int32 { return v00 }},
+		{qOne, 0, func(_, v01, _, _ int32) int32 { return v01 }},
+		{0, qOne, func(_, _, v10, _ int32) int32 { return v10 }},
+		{qOne, qOne, func(_, _, _, v11 int32) int32 { return v11 }},
+	}
+	taps := [][4]int32{{0, 0, 0, 0}, {255, 255, 255, 255}, {0, 255, 255, 0}, {17, 200, 3, 91}}
+	for _, tp := range taps {
+		for _, c := range corners {
+			got := BilinearQ16(tp[0], tp[1], tp[2], tp[3], c.wx, c.wy)
+			if want := c.want(tp[0], tp[1], tp[2], tp[3]) << qBits; got != want {
+				t.Fatalf("taps %v weights (%d,%d): got %d, want %d", tp, c.wx, c.wy, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n < 20000; n++ {
+		v00, v01 := int32(rng.Intn(256)), int32(rng.Intn(256))
+		v10, v11 := int32(rng.Intn(256)), int32(rng.Intn(256))
+		wx, wy := int32(rng.Intn(qOne+1)), int32(rng.Intn(qOne+1))
+		got := float64(BilinearQ16(v00, v01, v10, v11, wx, wy)) / qOne
+		want := ref(v00, v01, v10, v11, float64(wx)/qOne, float64(wy)/qOne)
+		if math.Abs(got-want) > 1.0/(1<<12) {
+			t.Fatalf("taps (%d,%d,%d,%d) weights (%d,%d): got %v, want %v",
+				v00, v01, v10, v11, wx, wy, got, want)
+		}
+	}
+}

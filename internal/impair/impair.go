@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"inframe/internal/detrng"
 	"inframe/internal/frame"
@@ -87,6 +88,36 @@ type Config struct {
 	OccludeW, OccludeH float64
 	// OccludeLevel is the 8-bit value occluded pixels read (0 = black).
 	OccludeLevel float64
+
+	// TiltDeg tips the camera off the display normal (rotation about the
+	// horizontal axis, degrees): the frontal rectangle becomes a keystone
+	// trapezoid, exactly the handheld-phone geometry the projective
+	// receiver registration exists for. |TiltDeg| ≤ 70.
+	TiltDeg float64
+	// RotateDeg rolls the camera about its optical axis (degrees,
+	// |RotateDeg| ≤ 180).
+	RotateDeg float64
+	// Distance scales the viewing distance relative to the calibrated
+	// frontal setup: 1 reproduces the nominal framing, 2 halves the screen's
+	// apparent size, 0.5 doubles it. 0 means unset (treated as 1); non-zero
+	// values must lie in [0.5, 4] — the bound, together with the tilt bound,
+	// keeps every projected point strictly in front of the pinhole (see
+	// PoseHomography).
+	Distance float64
+	// PoseJitterDeg adds an independent uniform per-capture jitter of up to
+	// the given degrees to tilt and roll — handheld shake in the pose
+	// domain, keyed by the frozen ImpairPose stage. [0, 5].
+	PoseJitterDeg float64
+}
+
+// poseEnabled reports whether the camera-pose stage is active.
+func (c *Config) poseEnabled() bool {
+	if c == nil {
+		return false
+	}
+	return math.Abs(c.TiltDeg) > 0 || math.Abs(c.RotateDeg) > 0 ||
+		//lint:ignore floateq Distance == 1 is the exact frontal sentinel; approximate values must take the warp path
+		(c.Distance > 0 && c.Distance != 1) || c.PoseJitterDeg > 0
 }
 
 // Enabled reports whether any stage is active. A nil config is disabled.
@@ -103,7 +134,8 @@ func (c *Config) Enabled() bool {
 		c.GainAmp > 0 ||
 		c.BurstRate > 0 ||
 		c.MotionBlurLen > 0 ||
-		(c.OccludeW > 0 && c.OccludeH > 0)
+		(c.OccludeW > 0 && c.OccludeH > 0) ||
+		c.poseEnabled()
 }
 
 // Validate reports whether the configuration is usable. A nil config is
@@ -155,6 +187,18 @@ func (c *Config) Validate() error {
 	if c.OccludeLevel < 0 || c.OccludeLevel > 255 {
 		return fmt.Errorf("impair: OccludeLevel must be in [0,255], got %v", c.OccludeLevel)
 	}
+	if math.Abs(c.TiltDeg) > 70 {
+		return fmt.Errorf("impair: TiltDeg must be in [-70,70], got %v", c.TiltDeg)
+	}
+	if math.Abs(c.RotateDeg) > 180 {
+		return fmt.Errorf("impair: RotateDeg must be in [-180,180], got %v", c.RotateDeg)
+	}
+	if c.Distance < 0 || (c.Distance > 0 && (c.Distance < 0.5 || c.Distance > 4)) {
+		return fmt.Errorf("impair: Distance must be 0 (unset) or in [0.5,4], got %v", c.Distance)
+	}
+	if c.PoseJitterDeg < 0 || c.PoseJitterDeg > 5 {
+		return fmt.Errorf("impair: PoseJitterDeg must be in [0,5], got %v", c.PoseJitterDeg)
+	}
 	return nil
 }
 
@@ -167,6 +211,11 @@ func (c *Config) Validate() error {
 // Stack is an instantiated impairment pipeline.
 type Stack struct {
 	cfg Config
+	// poseScratch recycles the camera-pose stage's warp source plane across
+	// captures. Scratch only — pixel contents never survive a capture — so
+	// sync.Pool's scheduling-dependent reuse cannot affect outputs, exactly
+	// like the receiver's integer scratch buffers.
+	poseScratch sync.Pool
 }
 
 // New builds a stack. The configuration must have passed Validate.
@@ -186,6 +235,9 @@ func (s *Stack) Names() []string {
 	}
 	if s.cfg.StartJitter > 0 {
 		out = append(out, "start-jitter")
+	}
+	if s.cfg.poseEnabled() {
+		out = append(out, "camera-pose")
 	}
 	if s.cfg.MotionBlurLen > 0 {
 		out = append(out, "motion-blur")
@@ -241,12 +293,17 @@ func (s *Stack) CaptureTime(i int, start, period float64) float64 {
 // ApplyFrame corrupts one finished capture in place. index is the capture's
 // position in the sequence (keys the random streams), t its exposure start
 // and exposure the per-row integration time (used by the flicker integral).
-// Stages apply in canonical order: motion blur, occlusion, gain drift,
-// ambient ramp + flicker, noise burst; if any stage fired, the frame is
-// re-quantized to 8 bits (the corruption happens in the camera's integer
+// Stages apply in canonical order: camera pose (geometry happens at the
+// lens, before any sensor-domain fault), then motion blur, occlusion, gain
+// drift, ambient ramp + flicker, noise burst; if any stage fired, the frame
+// is re-quantized to 8 bits (the corruption happens in the camera's integer
 // output domain).
 func (s *Stack) ApplyFrame(f *frame.Frame, index int, t, exposure float64) {
 	touched := false
+	if s.cfg.poseEnabled() {
+		s.applyPose(f, index)
+		touched = true
+	}
 	if s.cfg.MotionBlurLen > 0 {
 		motionBlur(f, s.cfg.MotionBlurLen)
 		touched = true

@@ -1,0 +1,168 @@
+package register
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"inframe/internal/core"
+	"inframe/internal/frame"
+	"inframe/internal/impair"
+)
+
+// posedCaptures warps ideal rendered captures through a pinhole camera pose,
+// the same geometry model the impair stack applies.
+func posedCaptures(t *testing.T, l core.Layout, tiltDeg, rollDeg, dist float64, n int) ([]*frame.Frame, frame.Homography) {
+	t.Helper()
+	caps := renderedCaptures(t, l, nil, n)
+	pose := impair.PoseHomography(l.FrameW, l.FrameH, tiltDeg, rollDeg, dist)
+	inv, err := pose.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range caps {
+		warped := frame.New(c.W, c.H)
+		frame.WarpInto(c, warped, inv)
+		caps[i] = warped
+	}
+	return caps, pose
+}
+
+func TestGridCorners(t *testing.T) {
+	l := testLayout()
+	q := GridCorners(l)
+	want := Quad{{8, 4}, {104, 4}, {104, 68}, {8, 68}}
+	if q != want {
+		t.Fatalf("GridCorners = %v, want %v", q, want)
+	}
+}
+
+// TestDetectQuadFrontal: on frontal captures the detected quad must frame
+// the chessboard-bearing grid, with a few pixels of blur-driven spread.
+func TestDetectQuadFrontal(t *testing.T) {
+	l := testLayout()
+	caps := renderedCaptures(t, l, nil, 10)
+	q, err := DetectQuad(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GridCorners(l)
+	for i := range q {
+		if math.Abs(q[i][0]-want[i][0]) > 5 || math.Abs(q[i][1]-want[i][1]) > 5 {
+			t.Fatalf("corner %d at (%v,%v), want ≈(%v,%v)", i, q[i][0], q[i][1], want[i][0], want[i][1])
+		}
+	}
+}
+
+func TestDetectQuadRejectsFlat(t *testing.T) {
+	if _, err := DetectQuad([]*frame.Frame{frame.NewFilled(64, 64, 127)}); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("flat captures: err = %v, want ErrNoRegion", err)
+	}
+	if _, err := DetectQuad(nil); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("no captures: err = %v, want ErrNoRegion", err)
+	}
+}
+
+// TestCalibrateProjectiveFrontal pins the frontal tie-break: on undistorted
+// captures the solver must return the exactly axis-aligned full-frame
+// hypothesis, so the receiver's fast path stays reachable.
+func TestCalibrateProjectiveFrontal(t *testing.T) {
+	l := testLayout()
+	caps := renderedCaptures(t, l, nil, 10)
+	h, err := CalibrateProjective(l, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, sy, ox, oy, ok := h.AxisAligned()
+	if !ok {
+		t.Fatalf("frontal calibration is not axis-aligned: %v", h.M)
+	}
+	ff := core.FullFrame(l, caps[0].W, caps[0].H)
+	if sx != ff.ScaleX || sy != ff.ScaleY || ox != ff.OffX || oy != ff.OffY {
+		t.Fatalf("frontal calibration (%v,%v,%v,%v) != full-frame mapping %+v", sx, sy, ox, oy, ff)
+	}
+}
+
+// TestCalibrateProjectivePosed: on keystoned captures the solved homography
+// must land each grid corner within a couple of Block pitches of where the
+// true pose puts it, and must beat the frontal hypothesis on the alignment
+// score (i.e. the tie-break must not swallow a real pose).
+func TestCalibrateProjectivePosed(t *testing.T) {
+	l := testLayout()
+	for _, tc := range []struct {
+		name             string
+		tilt, roll, dist float64
+	}{
+		{"tilt-20", 20, 0, 1},
+		{"tilt-25-roll-5-far", 25, 5, 1.3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			caps, pose := posedCaptures(t, l, tc.tilt, tc.roll, tc.dist, 10)
+			h, err := CalibrateProjective(l, caps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, _, ok := h.AxisAligned(); ok {
+				t.Fatal("posed calibration collapsed to the frontal hypothesis")
+			}
+			tol := 2 * float64(l.BlockPx())
+			for _, c := range GridCorners(l) {
+				wx, wy, ok1 := pose.Apply(c[0], c[1])
+				gx, gy, ok2 := h.Apply(c[0], c[1])
+				if !ok1 || !ok2 {
+					t.Fatalf("corner (%v,%v) on horizon", c[0], c[1])
+				}
+				if math.Abs(gx-wx) > tol || math.Abs(gy-wy) > tol {
+					t.Fatalf("corner (%v,%v) solved to (%.1f,%.1f), true pose (%.1f,%.1f)",
+						c[0], c[1], gx, gy, wx, wy)
+				}
+			}
+		})
+	}
+}
+
+// FuzzRegister shakes the projective registration front end with arbitrary
+// pixel buffers and corner coordinates: DetectQuad, CalibrateProjective and
+// SolveHomography must never panic, index out of range, or hand back a
+// non-finite homography as a success.
+func FuzzRegister(f *testing.F) {
+	f.Add([]byte{0, 255, 0, 255, 128, 7}, uint8(8), uint8(8), uint8(3),
+		0.0, 0.0, 100.0, 0.0, 100.0, 60.0, 0.0, 60.0)
+	f.Add([]byte{1, 2, 3}, uint8(1), uint8(1), uint8(1),
+		math.NaN(), math.Inf(1), 0.0, 0.0, 1e300, -1e300, 5.0, 5.0)
+	f.Add([]byte{}, uint8(40), uint8(30), uint8(2),
+		0.0, 0.0, 10.0, 10.0, 20.0, 20.0, 30.0, 30.0)
+	f.Fuzz(func(t *testing.T, data []byte, w, h, n uint8,
+		x0, y0, x1, y1, x2, y2, x3, y3 float64) {
+		l := testLayout()
+		fw, fh := int(w%96)+1, int(h%96)+1
+		caps := make([]*frame.Frame, int(n%4)+1)
+		for i := range caps {
+			c := frame.New(fw, fh)
+			for j := range c.Pix {
+				if len(data) > 0 {
+					c.Pix[j] = float32(data[(i*len(c.Pix)+j)%len(data)])
+				}
+			}
+			caps[i] = c
+		}
+		if q, err := DetectQuad(caps); err == nil {
+			for _, c := range q {
+				if math.IsNaN(c[0]) || math.IsNaN(c[1]) {
+					t.Fatalf("DetectQuad returned NaN corner %v", q)
+				}
+			}
+		}
+		if hm, err := CalibrateProjective(l, caps); err == nil {
+			if err := hm.Validate(); err != nil {
+				t.Fatalf("CalibrateProjective returned invalid homography: %v", err)
+			}
+		}
+		dst := [4][2]float64{{x0, y0}, {x1, y1}, {x2, y2}, {x3, y3}}
+		if hm, err := frame.SolveHomography(GridCorners(l), dst); err == nil {
+			if err := hm.Validate(); err != nil {
+				t.Fatalf("SolveHomography success with invalid homography: %v", err)
+			}
+		}
+	})
+}

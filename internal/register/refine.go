@@ -50,6 +50,63 @@ func (ii *integralImage) rectMean(x0, y0, x1, y1 int) float64 {
 	return s / float64((x1-x0)*(y1-y0))
 }
 
+// sumAt evaluates the summed-area table at fractional coordinates by
+// bilinear interpolation of the four surrounding nodes — the continuous
+// extension S(x, y) = ∫∫ energy over [0,x)×[0,y).
+func (ii *integralImage) sumAt(x, y float64) float64 {
+	if x < 0 {
+		x = 0
+	} else if x > float64(ii.w) {
+		x = float64(ii.w)
+	}
+	if y < 0 {
+		y = 0
+	} else if y > float64(ii.h) {
+		y = float64(ii.h)
+	}
+	x0, y0 := int(x), int(y)
+	if x0 >= ii.w {
+		x0 = ii.w - 1
+	}
+	if y0 >= ii.h {
+		y0 = ii.h - 1
+	}
+	fx, fy := x-float64(x0), y-float64(y0)
+	stride := ii.w + 1
+	s00 := ii.sum[y0*stride+x0]
+	s01 := ii.sum[y0*stride+x0+1]
+	s10 := ii.sum[(y0+1)*stride+x0]
+	s11 := ii.sum[(y0+1)*stride+x0+1]
+	top := s00 + (s01-s00)*fx
+	bot := s10 + (s11-s10)*fx
+	return top + (bot-top)*fy
+}
+
+// rectMeanFrac returns the mean over the fractional rectangle
+// [x0,x1)×[y0,y1), clipped to the plane; zero for empty intersections. The
+// sub-pixel box boundary is resolved by bilinear interpolation of the
+// summed-area table, so the mean varies smoothly as the box slides — the
+// property the projective polish needs from its objective.
+func (ii *integralImage) rectMeanFrac(x0, y0, x1, y1 float64) float64 {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > float64(ii.w) {
+		x1 = float64(ii.w)
+	}
+	if y1 > float64(ii.h) {
+		y1 = float64(ii.h)
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	s := ii.sumAt(x1, y1) - ii.sumAt(x0, y1) - ii.sumAt(x1, y0) + ii.sumAt(x0, y0)
+	return s / ((x1 - x0) * (y1 - y0))
+}
+
 // alignScore measures how well a candidate mapping lines up with the Block
 // grid by decoding it: per-Block mean energies are thresholded at their
 // median into bits, and the score is the fraction of GOBs whose XOR parity

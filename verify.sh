@@ -11,6 +11,9 @@
 # suite under -race (bit-identity and error-bound pins for the int32
 # kernels and the fused renderer, DESIGN.md §5j), the fault-injection robustness
 # matrix under -race plus a short fuzz smoke of the decode entry points,
+# the camera-pose gate under -race (blind projective calibration rows,
+# frontal bit-identity, a coverage floor on internal/register and fuzz
+# smokes of the DLT solve and the inverse warp),
 # the broadcast-fleet determinism suite under -race (N concurrent
 # receivers sharing one pool and one display), one iteration of the
 # sequential-vs-parallel benchmarks as a smoke test, and the
@@ -134,6 +137,37 @@ run_robustness() {
 	go test -run '^$' -fuzz '^FuzzGOBParity$' -fuzztime 10s ./internal/core
 }
 
+run_register_cover() {
+	# The registration package carries the blind geometric calibration the
+	# pose experiments depend on: hold its coverage above a floor so solver
+	# changes cannot land without geometry fixtures.
+	local floor=85
+	local out pct
+	out=$(go test -cover ./internal/register/)
+	echo "$out"
+	pct=$(sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' <<<"$out")
+	if [[ -z "$pct" ]]; then
+		echo "no coverage figure in go test output" >&2
+		return 1
+	fi
+	echo "internal/register coverage ${pct}% (floor ${floor}%)"
+	awk -v p="$pct" -v f="$floor" 'BEGIN { exit (p + 0 >= f) ? 0 : 1 }'
+}
+
+run_pose() {
+	# The camera-pose gate in isolation: the pose rows of the robustness
+	# matrix (blind projective calibration + rectified decode, pinned
+	# availability windows and BER ceilings, worker invariance at 1/2/8)
+	# and the frontal bit-identity contract, all under the race detector,
+	# then short coverage-guided shakes of the two geometry entry points —
+	# the DLT solve on fuzzed correspondences and the inverse warp on
+	# fuzzed homographies.
+	go test -race -count=1 -run 'TestRobustnessMatrix/pose|TestFrontalPoseIsCleanPath' .
+	go test -race -count=1 ./internal/register/
+	go test -run '^$' -fuzz '^FuzzRegister$' -fuzztime 10s ./internal/register
+	go test -run '^$' -fuzz '^FuzzWarpInto$' -fuzztime 10s ./internal/frame
+}
+
 run_fleet() {
 	# The broadcast-fleet gate in isolation under the race detector: a
 	# small-N fleet is the repo's richest cross-goroutine surface (nested
@@ -158,15 +192,18 @@ stage "go build ./..." go build ./...
 stage "inframe-lint ./..." run_lint
 stage "go test -race $short ./..." run_tests
 stage "internal/analysis coverage floor" run_analysis_cover
+stage "internal/register coverage floor" run_register_cover
 stage "steady-state alloc tests" run_alloc_tests
 stage "fixed-point kernel identity (race)" run_kernels
 if [[ -n "$short" ]]; then
 	skip "robustness matrix + fuzz smoke"
+	skip "pose robustness (race)"
 	skip "fleet determinism (race)"
 	skip "benchmarks (1 iteration smoke)"
 	skip "inframe-benchdiff"
 else
 	stage "robustness matrix + fuzz smoke" run_robustness
+	stage "pose robustness (race)" run_pose
 	stage "fleet determinism (race)" run_fleet
 	stage "benchmarks (1 iteration smoke)" run_bench_smoke
 	stage "inframe-benchdiff" run_benchdiff
